@@ -1,0 +1,59 @@
+// Command roamrepro regenerates the paper's tables and figures from
+// the synthetic datasets and prints them in the harness's text form.
+//
+// Usage:
+//
+//	roamrepro                       # run every experiment
+//	roamrepro -experiment fig11     # one experiment
+//	roamrepro -scale 1.0 -seed 7    # bigger population, other seed
+//	roamrepro -list                 # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"whereroam/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("roamrepro: ")
+	var (
+		id    = flag.String("experiment", "all", "experiment id or 'all'")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		scale = flag.Float64("scale", 0.5, "population scale factor (1.0 ≈ a tenth of paper scale)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-15s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	sess := experiments.NewSession(*seed, *scale)
+	runners := experiments.All()
+	if *id != "all" {
+		r, ok := experiments.ByID(*id)
+		if !ok {
+			log.Printf("unknown experiment %q; available:", *id)
+			for _, r := range runners {
+				log.Printf("  %s", r.ID)
+			}
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		rep := r.Run(sess)
+		fmt.Println(rep)
+		fmt.Printf("(%s ran in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,71 @@
+// Command smipsim synthesizes the §7 SMIP smart-meter dataset and
+// writes its devices-catalog as CSV. With -raw it exercises the full
+// per-event measurement path (radio events and CDRs through probe
+// taps into the catalog builder) instead of the direct aggregate
+// generator.
+//
+// Usage:
+//
+//	smipsim -native 20000 -roaming 12000 -out smip.csv
+//	smipsim -native 2000 -roaming 1500 -raw -out smip.csv
+//	smipsim -nbiot 0.5    # §8: half the roaming fleet on NB-IoT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"whereroam/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smipsim: ")
+	var (
+		native  = flag.Int("native", 20000, "SMIP-native meters")
+		roaming = flag.Int("roaming", 12000, "roaming meters on global IoT SIMs")
+		days    = flag.Int("days", 26, "observation window in days")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		nbiot   = flag.Float64("nbiot", 0, "fraction of roaming meters migrated to NB-IoT")
+		raw     = flag.Bool("raw", false, "generate via the per-event probe+builder pipeline")
+		out     = flag.String("out", "smip.csv", "devices-catalog output path")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultSMIPConfig()
+	cfg.NativeMeters = *native
+	cfg.RoamingMeters = *roaming
+	cfg.Days = *days
+	cfg.Seed = *seed
+	cfg.NBIoTMigration = *nbiot
+
+	start := time.Now()
+	var ds *dataset.SMIPDataset
+	if *raw {
+		var streams *dataset.RawStreams
+		ds, streams = dataset.GenerateSMIPRaw(cfg)
+		log.Printf("raw pipeline: %d radio events, %d CDRs/xDRs",
+			len(streams.Radio), len(streams.Records))
+	} else {
+		ds = dataset.GenerateSMIP(cfg)
+	}
+	log.Printf("generated %d catalog records for %d meters in %v",
+		len(ds.Catalog.Records), len(ds.Devices), time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Catalog.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	nNB := len(ds.NBIoT)
+	fmt.Printf("wrote %s (%d records; %d native, %d roaming, %d on NB-IoT)\n",
+		*out, len(ds.Catalog.Records), *native, *roaming, nNB)
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate a small visited-MNO population, run the
+// paper's roaming labeler and M2M classifier over its devices-catalog,
+// and check the result against the simulator's ground truth.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whereroam"
+)
+
+func main() {
+	// A session bundles the synthetic datasets; factor 0.2 keeps this
+	// run under a couple of seconds (~6k devices).
+	sess := whereroam.NewSession(42, 0.2)
+	mno := sess.MNO()
+
+	// The devices-catalog is the daily per-device aggregate an
+	// operator builds from radio logs, CDRs/xDRs and the GSMA TAC
+	// database (§4.1). Summaries collapse it per device.
+	sums := mno.Catalog.Summaries(mno.GSMA)
+	fmt.Printf("devices-catalog: %d records, %d devices over %d days\n\n",
+		len(mno.Catalog.Records), len(sums), mno.Days)
+
+	// Roaming labels (§4.2): who owns the SIM vs where it attaches.
+	// The labeler must know the host's MVNOs to tell V:H from N:H.
+	labeler := whereroam.NewLabeler(mno.Host, mno.MVNOs()...)
+	labels := map[whereroam.Label]int{}
+	for i := range sums {
+		labels[labeler.LabelSummary(&sums[i])]++
+	}
+	fmt.Println("roaming labels:")
+	for l, n := range labels {
+		fmt.Printf("  %s  %5d devices (%.1f%%)\n", l, n, 100*float64(n)/float64(len(sums)))
+	}
+
+	// The multi-step M2M classifier (§4.3).
+	results := whereroam.NewClassifier().Classify(sums)
+	fmt.Println("\ndevice classes:")
+	for class, n := range whereroam.Breakdown(results) {
+		fmt.Printf("  %-10s %5d devices (%.1f%%)\n", class, n, 100*float64(n)/float64(len(results)))
+	}
+
+	// The simulator knows the truth — validate the classifier.
+	v, err := whereroam.Validate(results, mno.Truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", v)
+}

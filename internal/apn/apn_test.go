@@ -1,0 +1,202 @@
+package apn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"whereroam/internal/mccmnc"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The worked example from §4.3 of the paper.
+	a, err := Parse("smhp.centricaplc.com.mnc004.mcc204.gprs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NetworkID != "smhp.centricaplc.com" {
+		t.Errorf("NetworkID = %q", a.NetworkID)
+	}
+	want := mccmnc.MustParse("20404") // Vodafone NL
+	if a.Operator != want {
+		t.Errorf("Operator = %v, want %v", a.Operator, want)
+	}
+	op, ok := mccmnc.Lookup(a.Operator)
+	if !ok || op.Name != "Vodafone NL" {
+		t.Errorf("operator lookup = %+v, %v", op, ok)
+	}
+}
+
+func TestParseBareNetworkID(t *testing.T) {
+	a, err := Parse("payandgo.o2.co.uk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasOperatorID() {
+		t.Error("bare NI should have no operator")
+	}
+	if a.String() != "payandgo.o2.co.uk" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestParseNormalizesCase(t *testing.T) {
+	a, err := Parse("  Internet.Provider.COM ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NetworkID != "internet.provider.com" {
+		t.Errorf("NetworkID = %q", a.NetworkID)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"mnc004.mcc204.gprs",                    // OI without NI
+		"a..b",                                  // empty label
+		"bad char.com",                          // space
+		"-lead.com",                             // leading hyphen
+		"trail-.com",                            // trailing hyphen
+		"a.mncXXX.mcc204.gprs",                  // malformed MNC
+		"a.mnc04.mcc204.gprs",                   // MNC label must be 3 digits
+		"rac.internal",                          // reserved prefix
+		strings.Repeat("a", 101),                // too long
+		"x." + strings.Repeat("b", 64) + ".com", // label too long
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: Parse(String(a)) == a for valid APNs.
+	networks := []string{
+		"smhp.centricaplc.com", "scania.fleet", "rwe.meter", "intelligent.m2m",
+		"internet", "iot.global-sim.io", "wap.telco", "m2m.tele2.com",
+	}
+	operators := []mccmnc.PLMN{
+		{}, mccmnc.MustParse("20404"), mccmnc.MustParse("23410"), mccmnc.MustParse("334020"),
+	}
+	for _, ni := range networks {
+		for _, op := range operators {
+			a := APN{NetworkID: ni, Operator: op}
+			got, err := Parse(a.String())
+			if err != nil {
+				t.Fatalf("Parse(String(%v)) failed: %v", a, err)
+			}
+			if got != a {
+				t.Errorf("round trip %v -> %q -> %v", a, a.String(), got)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	labels := []string{"smart", "meter", "iot", "m2m", "fleet", "telemetry", "vertical", "global"}
+	f := func(i, j, k uint8, withOp bool) bool {
+		ni := labels[int(i)%len(labels)] + "." + labels[int(j)%len(labels)] + "-" + labels[int(k)%len(labels)]
+		a := APN{NetworkID: ni}
+		if withOp {
+			a.Operator = mccmnc.MustParse("26201")
+		}
+		got, err := Parse(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatorIDAlwaysThreeDigitMNC(t *testing.T) {
+	a := APN{NetworkID: "x", Operator: mccmnc.MustParse("20404")} // MNC 04, 2-digit
+	if got := a.String(); got != "x.mnc004.mcc204.gprs" {
+		t.Errorf("String = %q, want zero-padded mnc004", got)
+	}
+}
+
+func TestParseUnregisteredOperator(t *testing.T) {
+	// MNC 99 is not registered under MCC 204; the parser should fall
+	// back to a 2-digit MNC for small values.
+	a, err := Parse("svc.mnc099.mcc204.gprs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Operator.MNC != 99 || a.Operator.MNCLen != 2 {
+		t.Errorf("Operator = %+v", a.Operator)
+	}
+	// Large MNC values stay 3-digit.
+	b, err := Parse("svc.mnc740.mcc722.gprs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Operator.MNCLen != 3 {
+		t.Errorf("Operator = %+v, want 3-digit MNC", b.Operator)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	a := MustParse("smhp.centricaplc.com.mnc004.mcc204.gprs")
+	kws := a.Keywords()
+	want := map[string]bool{"smhp": true, "centricaplc": true}
+	if len(kws) != len(want) {
+		t.Fatalf("Keywords = %v", kws)
+	}
+	for _, k := range kws {
+		if !want[k] {
+			t.Errorf("unexpected keyword %q", k)
+		}
+	}
+	b := MustParse("global-iot_data.scania.net")
+	got := strings.Join(b.Keywords(), ",")
+	if got != "global,iot,data,scania" {
+		t.Errorf("Keywords = %q", got)
+	}
+}
+
+func TestContainsKeyword(t *testing.T) {
+	a := MustParse("device.intelligent.m2m.provider.com")
+	if !a.ContainsKeyword("intelligent.m2m") {
+		t.Error("dotted keyword should match dotted substring")
+	}
+	if !a.ContainsKeyword("provider") {
+		t.Error("plain keyword should match token")
+	}
+	if a.ContainsKeyword("intel") {
+		t.Error("partial token must not match")
+	}
+	if a.ContainsKeyword("m2m.device") {
+		t.Error("out-of-order dotted keyword must not match")
+	}
+	b := MustParse("rwe-meter.energy.de")
+	if !b.ContainsKeyword("rwe") {
+		t.Error("hyphen-split keyword should match")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(APN{}).IsZero() {
+		t.Error("zero APN should be zero")
+	}
+	if MustParse("internet").IsZero() {
+		t.Error("parsed APN must not be zero")
+	}
+}
+
+func BenchmarkParseFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("smhp.centricaplc.com.mnc004.mcc204.gprs"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeywords(b *testing.B) {
+	a := MustParse("device.intelligent.m2m.provider.com")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Keywords()
+	}
+}

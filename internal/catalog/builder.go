@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"sort"
+	"time"
+
+	"whereroam/internal/cdrs"
+	"whereroam/internal/geo"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+// Builder ingests raw measurement streams (radio events, CDRs/xDRs)
+// and aggregates them into the daily devices-catalog. Sector dwell
+// times — the weights for centroid and gyration — are estimated from
+// inter-event gaps, capped so an idle night does not attribute hours
+// to the last sector of the evening.
+type Builder struct {
+	host  mccmnc.PLMN
+	start time.Time
+	days  int
+	grid  *radio.Grid
+
+	recs map[dayKey]*DailyRecord
+	// last event per device for dwell attribution.
+	last map[identity.DeviceID]lastSeen
+	// visits per device-day for the mobility metrics.
+	visits map[dayKey][]geo.Visit
+}
+
+type dayKey struct {
+	dev identity.DeviceID
+	day int
+}
+
+type lastSeen struct {
+	t      time.Time
+	sector radio.SectorID
+}
+
+// maxDwell caps the inter-event gap attributed as dwell time on the
+// previous sector.
+const maxDwell = 2 * time.Hour
+
+// NewBuilder returns a Builder for a window of days starting at
+// start, observing from host. grid resolves sector positions and may
+// be nil when mobility metrics are not needed.
+func NewBuilder(host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid) *Builder {
+	return &Builder{
+		host:   host,
+		start:  start,
+		days:   days,
+		grid:   grid,
+		recs:   map[dayKey]*DailyRecord{},
+		last:   map[identity.DeviceID]lastSeen{},
+		visits: map[dayKey][]geo.Visit{},
+	}
+}
+
+// day returns the window day index of t, or -1 when outside.
+func (b *Builder) day(t time.Time) int {
+	d := int(t.Sub(b.start) / (24 * time.Hour))
+	if d < 0 || d >= b.days {
+		return -1
+	}
+	return d
+}
+
+func (b *Builder) record(dev identity.DeviceID, day int, sim mccmnc.PLMN, tac identity.TAC) *DailyRecord {
+	k := dayKey{dev, day}
+	r := b.recs[k]
+	if r == nil {
+		r = &DailyRecord{Device: dev, Day: day, SIM: sim, TAC: tac}
+		b.recs[k] = r
+	}
+	if r.TAC == 0 && tac != 0 {
+		r.TAC = tac
+	}
+	return r
+}
+
+// AddRadioEvent ingests one radio-interface event.
+func (b *Builder) AddRadioEvent(ev radio.Event) {
+	day := b.day(ev.Time)
+	if day < 0 {
+		return
+	}
+	r := b.record(ev.Device, day, ev.SIM, ev.TAC)
+	r.Events++
+	if ev.Result != radio.ResultOK {
+		r.FailedEvents++
+	} else {
+		r.RadioFlags = r.RadioFlags.With(ev.RAT())
+	}
+	r.AddVisited(b.host)
+
+	if b.grid == nil {
+		return
+	}
+	// Attribute the gap since the previous event as dwell on the
+	// previous sector.
+	if prev, ok := b.last[ev.Device]; ok {
+		gap := ev.Time.Sub(prev.t)
+		if gap > 0 {
+			if gap > maxDwell {
+				gap = maxDwell
+			}
+			if s, ok := b.grid.Sector(prev.sector); ok {
+				pd := b.day(prev.t)
+				if pd >= 0 {
+					k := dayKey{ev.Device, pd}
+					b.visits[k] = append(b.visits[k], geo.Visit{At: s.At, Weight: gap.Seconds()})
+				}
+			}
+		}
+	}
+	b.last[ev.Device] = lastSeen{t: ev.Time, sector: ev.Sector}
+}
+
+// AddRecord ingests one CDR/xDR.
+func (b *Builder) AddRecord(rec cdrs.Record) {
+	day := b.day(rec.Time)
+	if day < 0 {
+		return
+	}
+	r := b.record(rec.Device, day, rec.SIM, 0)
+	r.AddVisited(rec.Visited)
+	switch rec.Kind {
+	case cdrs.KindVoice:
+		r.Calls++
+		r.CallSeconds += rec.Duration.Seconds()
+		r.VoiceRATs = r.VoiceRATs.With(rec.RAT)
+	case cdrs.KindData:
+		r.Bytes += rec.Bytes
+		r.DataRATs = r.DataRATs.With(rec.RAT)
+		r.AddAPN(rec.APN)
+	}
+	r.RadioFlags = r.RadioFlags.With(rec.RAT)
+}
+
+// Build finalizes the catalog: it computes the mobility metrics and
+// returns records sorted by (device, day).
+func (b *Builder) Build() *Catalog {
+	// Flush trailing dwell: the final event of each device gets a
+	// nominal one-minute dwell so single-event days still have a
+	// location.
+	if b.grid != nil {
+		for dev, prev := range b.last {
+			if s, ok := b.grid.Sector(prev.sector); ok {
+				if pd := b.day(prev.t); pd >= 0 {
+					k := dayKey{dev, pd}
+					b.visits[k] = append(b.visits[k], geo.Visit{At: s.At, Weight: 60})
+				}
+			}
+		}
+	}
+	out := &Catalog{Host: b.host, Days: b.days, Records: make([]DailyRecord, 0, len(b.recs))}
+	for k, r := range b.recs {
+		if vs := b.visits[k]; len(vs) > 0 {
+			if c, ok := geo.Centroid(vs); ok {
+				r.Centroid = c
+				r.GyrationKm = geo.Gyration(vs)
+				r.HasLocation = true
+			}
+		}
+		out.Records = append(out.Records, *r)
+	}
+	sort.Slice(out.Records, func(i, j int) bool {
+		a, c := &out.Records[i], &out.Records[j]
+		if a.Device != c.Device {
+			return a.Device < c.Device
+		}
+		return a.Day < c.Day
+	})
+	return out
+}

@@ -1,0 +1,257 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+var (
+	host  = mccmnc.MustParse("23410")
+	nlSIM = mccmnc.MustParse("20404")
+	start = time.Date(2019, 4, 5, 0, 0, 0, 0, time.UTC)
+)
+
+func ukGrid(t testing.TB) *radio.Grid {
+	t.Helper()
+	c, _ := mccmnc.CountryByISO("GB")
+	return radio.NewGrid(c, 30, 30, radio.DefaultSpacingDeg)
+}
+
+func TestBuilderRadioAggregation(t *testing.T) {
+	b := NewBuilder(host, start, 22, ukGrid(t))
+	dev := identity.DeviceID(0xaa)
+	for h := 0; h < 10; h++ {
+		b.AddRadioEvent(radio.Event{
+			Device: dev, Time: start.Add(time.Duration(h) * time.Hour),
+			SIM: nlSIM, TAC: 35600000, Sector: 5, Interface: radio.IfGb,
+			Result: radio.ResultOK,
+		})
+	}
+	b.AddRadioEvent(radio.Event{
+		Device: dev, Time: start.Add(11 * time.Hour),
+		SIM: nlSIM, TAC: 35600000, Sector: 5, Interface: radio.IfGb,
+		Result: radio.ResultFail,
+	})
+	cat := b.Build()
+	if len(cat.Records) != 1 {
+		t.Fatalf("records = %d, want 1 (single device-day)", len(cat.Records))
+	}
+	r := cat.Records[0]
+	if r.Events != 11 || r.FailedEvents != 1 {
+		t.Errorf("events = %d/%d, want 11/1", r.Events, r.FailedEvents)
+	}
+	if !r.RadioFlags.Only(radio.RAT2G) {
+		t.Errorf("radio flags = %v, want 2G only", r.RadioFlags)
+	}
+	if !r.HasLocation {
+		t.Fatal("stationary device should have a location")
+	}
+	if r.GyrationKm > 0.001 {
+		t.Errorf("single-sector gyration = %f, want ~0", r.GyrationKm)
+	}
+	if len(r.Visited) != 1 || r.Visited[0] != host {
+		t.Errorf("visited = %v", r.Visited)
+	}
+}
+
+func TestBuilderFailedEventsDontSetFlags(t *testing.T) {
+	b := NewBuilder(host, start, 22, nil)
+	dev := identity.DeviceID(0xbb)
+	b.AddRadioEvent(radio.Event{
+		Device: dev, Time: start, SIM: nlSIM, Interface: radio.IfS1,
+		Result: radio.ResultFail,
+	})
+	cat := b.Build()
+	if got := cat.Records[0].RadioFlags; !got.Empty() {
+		t.Errorf("failed-only device has radio flags %v", got)
+	}
+}
+
+func TestBuilderCDRAggregation(t *testing.T) {
+	b := NewBuilder(host, start, 22, nil)
+	dev := identity.DeviceID(0xcc)
+	a := apn.MustParse("smhp.centricaplc.com.mnc004.mcc204.gprs")
+	for i := 0; i < 3; i++ {
+		b.AddRecord(cdrs.Record{
+			Device: dev, Time: start.Add(time.Duration(i) * time.Hour),
+			SIM: nlSIM, Visited: host, Kind: cdrs.KindData,
+			RAT: radio.RAT2G, Bytes: 1000, APN: a,
+		})
+	}
+	b.AddRecord(cdrs.Record{
+		Device: dev, Time: start.Add(4 * time.Hour),
+		SIM: nlSIM, Visited: host, Kind: cdrs.KindVoice,
+		RAT: radio.RAT2G, Duration: 30 * time.Second,
+	})
+	cat := b.Build()
+	r := cat.Records[0]
+	if r.Bytes != 3000 {
+		t.Errorf("bytes = %d", r.Bytes)
+	}
+	if r.Calls != 1 || r.CallSeconds != 30 {
+		t.Errorf("calls = %d/%.0fs", r.Calls, r.CallSeconds)
+	}
+	if len(r.APNs) != 1 {
+		t.Errorf("APNs = %v (should dedup)", r.APNs)
+	}
+	if !r.DataRATs.Only(radio.RAT2G) || !r.VoiceRATs.Only(radio.RAT2G) {
+		t.Errorf("service RATs = %v/%v", r.DataRATs, r.VoiceRATs)
+	}
+}
+
+func TestBuilderDayBoundaries(t *testing.T) {
+	b := NewBuilder(host, start, 2, nil)
+	dev := identity.DeviceID(0xdd)
+	times := []time.Time{
+		start.Add(-time.Hour),     // before window: dropped
+		start,                     // day 0
+		start.Add(25 * time.Hour), // day 1
+		start.Add(49 * time.Hour), // past window: dropped
+	}
+	for _, ts := range times {
+		b.AddRadioEvent(radio.Event{Device: dev, Time: ts, SIM: nlSIM, Interface: radio.IfGb, Result: radio.ResultOK})
+	}
+	cat := b.Build()
+	if len(cat.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(cat.Records))
+	}
+	if cat.Records[0].Day != 0 || cat.Records[1].Day != 1 {
+		t.Errorf("days = %d,%d", cat.Records[0].Day, cat.Records[1].Day)
+	}
+}
+
+func TestBuilderMobilityFromDwell(t *testing.T) {
+	grid := ukGrid(t)
+	b := NewBuilder(host, start, 22, grid)
+	dev := identity.DeviceID(0xee)
+	// A device alternating between two far-apart sectors with equal
+	// dwell should show gyration about half the sector distance.
+	s1, _ := grid.Sector(0)
+	s2, _ := grid.Sector(radio.SectorID(grid.Len() - 1))
+	for h := 0; h < 12; h++ {
+		sec := s1.ID
+		if h%2 == 1 {
+			sec = s2.ID
+		}
+		b.AddRadioEvent(radio.Event{
+			Device: dev, Time: start.Add(time.Duration(h) * time.Hour),
+			SIM: nlSIM, Sector: sec, Interface: radio.IfGb, Result: radio.ResultOK,
+		})
+	}
+	cat := b.Build()
+	r := cat.Records[0]
+	want := geo.DistanceKm(s1.At, s2.At) / 2
+	if !r.HasLocation || r.GyrationKm < want*0.7 || r.GyrationKm > want*1.3 {
+		t.Errorf("gyration = %.1f km, want ~%.1f", r.GyrationKm, want)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	db := gsma.Synthesize(1)
+	b := NewBuilder(host, start, 22, nil)
+	dev := identity.DeviceID(0xff)
+	tac := identity.TAC(35600000) // in the M2M block of the synthetic catalog
+	for d := 0; d < 5; d++ {
+		b.AddRadioEvent(radio.Event{
+			Device: dev, Time: start.Add(time.Duration(d) * 24 * time.Hour),
+			SIM: nlSIM, TAC: tac, Interface: radio.IfGb, Result: radio.ResultOK,
+		})
+		b.AddRecord(cdrs.Record{
+			Device: dev, Time: start.Add(time.Duration(d)*24*time.Hour + time.Hour),
+			SIM: nlSIM, Visited: host, Kind: cdrs.KindData, RAT: radio.RAT2G,
+			Bytes: 500, APN: apn.MustParse("meter.rwe-npower.co.uk"),
+		})
+	}
+	cat := b.Build()
+	sums := cat.Summaries(db)
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	s := sums[0]
+	if s.ActiveDays != 5 || s.FirstDay != 0 || s.LastDay != 4 {
+		t.Errorf("activity = %d days [%d,%d]", s.ActiveDays, s.FirstDay, s.LastDay)
+	}
+	if s.Bytes != 2500 || s.Events != 5 {
+		t.Errorf("bytes=%d events=%d", s.Bytes, s.Events)
+	}
+	if !s.InfoOK {
+		t.Fatal("TAC should resolve against the synthetic GSMA catalog")
+	}
+	if !s.UsesData() || s.UsesVoice() {
+		t.Error("service flags wrong")
+	}
+	if len(s.APNs) != 1 {
+		t.Errorf("APNs = %v", s.APNs)
+	}
+}
+
+func TestSummariesUnknownTAC(t *testing.T) {
+	db := gsma.Synthesize(1)
+	b := NewBuilder(host, start, 22, nil)
+	b.AddRadioEvent(radio.Event{
+		Device: identity.DeviceID(1), Time: start, SIM: nlSIM,
+		TAC: 99999999, Interface: radio.IfGb, Result: radio.ResultOK,
+	})
+	sums := b.Build().Summaries(db)
+	if sums[0].InfoOK {
+		t.Error("unknown TAC should not resolve")
+	}
+}
+
+func TestSummariesSortedAndMultiDevice(t *testing.T) {
+	b := NewBuilder(host, start, 22, nil)
+	for i := 10; i > 0; i-- {
+		b.AddRadioEvent(radio.Event{
+			Device: identity.DeviceID(i), Time: start.Add(time.Hour),
+			SIM: nlSIM, Interface: radio.IfGb, Result: radio.ResultOK,
+		})
+	}
+	sums := b.Build().Summaries(nil)
+	if len(sums) != 10 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i-1].Device >= sums[i].Device {
+			t.Fatal("summaries must be sorted by device ID")
+		}
+	}
+}
+
+func TestDailyRecordDedup(t *testing.T) {
+	var r DailyRecord
+	a := apn.MustParse("internet")
+	r.AddAPN(a)
+	r.AddAPN(a)
+	r.AddAPN(apn.APN{}) // zero APN must be ignored
+	if len(r.APNs) != 1 {
+		t.Errorf("APNs = %v", r.APNs)
+	}
+	r.AddVisited(host)
+	r.AddVisited(host)
+	if len(r.Visited) != 1 {
+		t.Errorf("Visited = %v", r.Visited)
+	}
+}
+
+func BenchmarkBuilderIngest(b *testing.B) {
+	grid := ukGrid(b)
+	bl := NewBuilder(host, start, 22, grid)
+	ev := radio.Event{
+		Device: identity.DeviceID(1), SIM: nlSIM, Sector: 12,
+		Interface: radio.IfGb, Result: radio.ResultOK,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Time = start.Add(time.Duration(i) * time.Second)
+		ev.Device = identity.DeviceID(i % 1000)
+		bl.AddRadioEvent(ev)
+	}
+}

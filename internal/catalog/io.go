@@ -1,0 +1,199 @@
+package catalog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+// csvHeader is the CSV layout of the devices-catalog interchange
+// form. Multi-valued fields (visited networks, APNs) are
+// semicolon-joined inside one CSV cell.
+var csvHeader = []string{
+	"device", "day", "sim", "tac", "visited", "events", "failed",
+	"calls", "call_seconds", "bytes", "radio_flags", "data_rats",
+	"voice_rats", "apns", "lat", "lon", "gyration_km", "has_location",
+}
+
+// WriteCSV writes the catalog (header line carries host and days as a
+// comment-style first record).
+func (c *Catalog) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	meta := []string{"#host", c.Host.Concat(), "days", strconv.Itoa(c.Days)}
+	if err := cw.Write(meta); err != nil {
+		return err
+	}
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for i := range c.Records {
+		r := &c.Records[i]
+		visited := make([]string, len(r.Visited))
+		for j, v := range r.Visited {
+			visited[j] = v.Concat()
+		}
+		apns := make([]string, len(r.APNs))
+		for j, a := range r.APNs {
+			apns[j] = a.String()
+		}
+		row[0] = r.Device.String()
+		row[1] = strconv.Itoa(r.Day)
+		row[2] = r.SIM.Concat()
+		row[3] = r.TAC.String()
+		row[4] = strings.Join(visited, ";")
+		row[5] = strconv.Itoa(r.Events)
+		row[6] = strconv.Itoa(r.FailedEvents)
+		row[7] = strconv.Itoa(r.Calls)
+		row[8] = strconv.FormatFloat(r.CallSeconds, 'f', 1, 64)
+		row[9] = strconv.FormatUint(r.Bytes, 10)
+		row[10] = strconv.Itoa(int(r.RadioFlags))
+		row[11] = strconv.Itoa(int(r.DataRATs))
+		row[12] = strconv.Itoa(int(r.VoiceRATs))
+		row[13] = strings.Join(apns, ";")
+		row[14] = strconv.FormatFloat(r.Centroid.Lat, 'f', 6, 64)
+		row[15] = strconv.FormatFloat(r.Centroid.Lon, 'f', 6, 64)
+		row[16] = strconv.FormatFloat(r.GyrationKm, 'f', 4, 64)
+		row[17] = strconv.FormatBool(r.HasLocation)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a catalog in the WriteCSV layout.
+func ReadCSV(r io.Reader) (*Catalog, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading meta row: %w", err)
+	}
+	if len(meta) != 4 || meta[0] != "#host" {
+		return nil, fmt.Errorf("catalog: missing #host meta row")
+	}
+	host, err := mccmnc.Parse(meta[1])
+	if err != nil {
+		return nil, fmt.Errorf("catalog: meta host: %w", err)
+	}
+	days, err := strconv.Atoi(meta[3])
+	if err != nil || days <= 0 {
+		return nil, fmt.Errorf("catalog: meta days %q", meta[3])
+	}
+	if _, err := cr.Read(); err != nil { // header row
+		return nil, fmt.Errorf("catalog: reading header: %w", err)
+	}
+	out := &Catalog{Host: host, Days: days}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("catalog: line %d: %w", line, err)
+		}
+		line++
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("catalog: line %d: %d fields, want %d", line, len(row), len(csvHeader))
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: line %d: %w", line, err)
+		}
+		out.Records = append(out.Records, rec)
+	}
+}
+
+func parseCSVRow(row []string) (DailyRecord, error) {
+	var r DailyRecord
+	dev, err := identity.ParseDeviceID(row[0])
+	if err != nil {
+		return r, err
+	}
+	r.Device = dev
+	if r.Day, err = strconv.Atoi(row[1]); err != nil {
+		return r, fmt.Errorf("day: %w", err)
+	}
+	if r.SIM, err = mccmnc.Parse(row[2]); err != nil {
+		return r, err
+	}
+	if r.TAC, err = identity.ParseTAC(row[3]); err != nil {
+		return r, err
+	}
+	if row[4] != "" {
+		for _, v := range strings.Split(row[4], ";") {
+			p, err := mccmnc.Parse(v)
+			if err != nil {
+				return r, err
+			}
+			r.Visited = append(r.Visited, p)
+		}
+	}
+	if r.Events, err = strconv.Atoi(row[5]); err != nil {
+		return r, fmt.Errorf("events: %w", err)
+	}
+	if r.FailedEvents, err = strconv.Atoi(row[6]); err != nil {
+		return r, fmt.Errorf("failed: %w", err)
+	}
+	if r.Calls, err = strconv.Atoi(row[7]); err != nil {
+		return r, fmt.Errorf("calls: %w", err)
+	}
+	if r.CallSeconds, err = strconv.ParseFloat(row[8], 64); err != nil {
+		return r, fmt.Errorf("call_seconds: %w", err)
+	}
+	if r.Bytes, err = strconv.ParseUint(row[9], 10, 64); err != nil {
+		return r, fmt.Errorf("bytes: %w", err)
+	}
+	flags, err := strconv.Atoi(row[10])
+	if err != nil {
+		return r, fmt.Errorf("radio_flags: %w", err)
+	}
+	r.RadioFlags = radio.RATSet(flags)
+	if flags, err = strconv.Atoi(row[11]); err != nil {
+		return r, fmt.Errorf("data_rats: %w", err)
+	}
+	r.DataRATs = radio.RATSet(flags)
+	if flags, err = strconv.Atoi(row[12]); err != nil {
+		return r, fmt.Errorf("voice_rats: %w", err)
+	}
+	r.VoiceRATs = radio.RATSet(flags)
+	if row[13] != "" {
+		for _, s := range strings.Split(row[13], ";") {
+			a, err := apn.Parse(s)
+			if err != nil {
+				return r, err
+			}
+			r.APNs = append(r.APNs, a)
+		}
+	}
+	if r.Centroid.Lat, err = strconv.ParseFloat(row[14], 64); err != nil {
+		return r, fmt.Errorf("lat: %w", err)
+	}
+	if r.Centroid.Lon, err = strconv.ParseFloat(row[15], 64); err != nil {
+		return r, fmt.Errorf("lon: %w", err)
+	}
+	if r.GyrationKm, err = strconv.ParseFloat(row[16], 64); err != nil {
+		return r, fmt.Errorf("gyration: %w", err)
+	}
+	if r.HasLocation, err = strconv.ParseBool(row[17]); err != nil {
+		return r, fmt.Errorf("has_location: %w", err)
+	}
+	return r, nil
+}
+
+// StartOfDay returns the UTC timestamp of a day index given the
+// window start — a convenience for tools replaying catalogs.
+func StartOfDay(start time.Time, day int) time.Time {
+	return start.Add(time.Duration(day) * 24 * time.Hour)
+}

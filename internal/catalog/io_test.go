@@ -1,0 +1,114 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/geo"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+func sampleCatalog() *Catalog {
+	return &Catalog{
+		Host: mccmnc.MustParse("23410"),
+		Days: 22,
+		Records: []DailyRecord{
+			{
+				Device:       identity.DeviceID(0x01),
+				Day:          0,
+				SIM:          mccmnc.MustParse("20404"),
+				TAC:          identity.TAC(35600001),
+				Visited:      []mccmnc.PLMN{mccmnc.MustParse("23410")},
+				Events:       42,
+				FailedEvents: 3,
+				Calls:        1,
+				CallSeconds:  30.5,
+				Bytes:        12345,
+				RadioFlags:   radio.RATSet(radio.Has2G),
+				DataRATs:     radio.RATSet(radio.Has2G),
+				APNs:         []apn.APN{apn.MustParse("smhp.centricaplc.com.mnc004.mcc204.gprs")},
+				Centroid:     geo.Point{Lat: 51.5, Lon: -0.1},
+				GyrationKm:   0.25,
+				HasLocation:  true,
+			},
+			{
+				Device:  identity.DeviceID(0x02),
+				Day:     3,
+				SIM:     mccmnc.MustParse("23410"),
+				TAC:     identity.TAC(35200001),
+				Visited: []mccmnc.PLMN{mccmnc.MustParse("23410"), mccmnc.MustParse("20801")},
+				Events:  100,
+				Bytes:   999,
+			},
+		},
+	}
+}
+
+func TestCatalogCSVRoundTrip(t *testing.T) {
+	c := sampleCatalog()
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != c.Host || got.Days != c.Days {
+		t.Fatalf("meta: %v/%d", got.Host, got.Days)
+	}
+	if len(got.Records) != len(c.Records) {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	for i := range c.Records {
+		a, b := c.Records[i], got.Records[i]
+		if a.Device != b.Device || a.Day != b.Day || a.SIM != b.SIM || a.TAC != b.TAC {
+			t.Fatalf("record %d identity mismatch", i)
+		}
+		if a.Events != b.Events || a.FailedEvents != b.FailedEvents ||
+			a.Calls != b.Calls || a.Bytes != b.Bytes {
+			t.Fatalf("record %d counters mismatch", i)
+		}
+		if a.RadioFlags != b.RadioFlags || a.DataRATs != b.DataRATs || a.VoiceRATs != b.VoiceRATs {
+			t.Fatalf("record %d RAT sets mismatch", i)
+		}
+		if len(a.APNs) != len(b.APNs) || len(a.Visited) != len(b.Visited) {
+			t.Fatalf("record %d list lengths mismatch", i)
+		}
+		for j := range a.APNs {
+			if a.APNs[j] != b.APNs[j] {
+				t.Fatalf("record %d APN %d mismatch", i, j)
+			}
+		}
+		if a.HasLocation != b.HasLocation || a.GyrationKm != b.GyrationKm {
+			t.Fatalf("record %d mobility mismatch", i)
+		}
+	}
+}
+
+func TestCatalogCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing meta": "device,day\n",
+		"bad host":     "#host,abc,days,22\n",
+		"bad days":     "#host,23410,days,zero\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCSV succeeded", name)
+		}
+	}
+	// A malformed data row.
+	c := sampleCatalog()
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(buf.String(), "12345", "not-a-number", 1)
+	if _, err := ReadCSV(strings.NewReader(broken)); err == nil {
+		t.Error("corrupted bytes field accepted")
+	}
+}

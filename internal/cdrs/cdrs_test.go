@@ -1,0 +1,295 @@
+package cdrs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+func sampleVoice(i int) Record {
+	return Record{
+		Device:   identity.DeviceID(0x2000 + i),
+		Time:     time.Date(2019, 4, 5, 8, 0, i, 0, time.UTC),
+		SIM:      mccmnc.MustParse("23410"),
+		Visited:  mccmnc.MustParse("23410"),
+		Kind:     KindVoice,
+		RAT:      radio.RAT3G,
+		Duration: time.Duration(30+i) * time.Second,
+	}
+}
+
+func sampleData(i int) Record {
+	return Record{
+		Device:   identity.DeviceID(0x3000 + i),
+		Time:     time.Date(2019, 4, 5, 9, 0, i, 0, time.UTC),
+		SIM:      mccmnc.MustParse("20404"),
+		Visited:  mccmnc.MustParse("23410"),
+		Kind:     KindData,
+		RAT:      radio.RAT2G,
+		Duration: 90 * time.Second,
+		Bytes:    uint64(1000 + i),
+		APN:      apn.MustParse("smhp.centricaplc.com.mnc004.mcc204.gprs"),
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindVoice, KindData} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("kind %v round trip failed: %v %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("video"); err == nil {
+		t.Error("ParseKind should reject unknown kinds")
+	}
+}
+
+func TestRoaming(t *testing.T) {
+	if sampleVoice(0).Roaming() {
+		t.Error("native record misreported as roaming")
+	}
+	if !sampleData(0).Roaming() {
+		t.Error("NL SIM on UK network should be roaming")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := make([]Record, 0, 100)
+	for i := 0; i < 50; i++ {
+		recs = append(recs, sampleVoice(i), sampleData(i))
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Time.Equal(recs[i].Time) {
+			t.Fatalf("record %d time mismatch", i)
+		}
+		got[i].Time = recs[i].Time
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(dev uint64, bytes_ uint64, durMs uint32, data bool) bool {
+		r := Record{
+			Device:   identity.DeviceID(dev),
+			Time:     time.Date(2019, 4, 10, 0, 0, 0, 0, time.UTC),
+			SIM:      mccmnc.MustParse("24001"),
+			Visited:  mccmnc.MustParse("23410"),
+			Kind:     KindVoice,
+			RAT:      radio.RAT2G,
+			Duration: time.Duration(durMs) * time.Millisecond,
+		}
+		if data {
+			r.Kind = KindData
+			r.Bytes = bytes_
+			r.APN = apn.MustParse("m2m.telemetry.net")
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, []Record{r}); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		if !g.Time.Equal(r.Time) {
+			return false
+		}
+		g.Time = r.Time
+		return g == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryVoiceDropsAPN(t *testing.T) {
+	// Voice records must not serialize an APN even if one is set by
+	// mistake: the paper's key observation is that APNs exist only
+	// for data service (§4.3: 21% of devices have no APN).
+	r := sampleVoice(0)
+	r.APN = apn.MustParse("should.not.survive")
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].APN.IsZero() {
+		t.Errorf("voice record came back with APN %v", got[0].APN)
+	}
+}
+
+func TestBinaryTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []Record{sampleData(0)}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	_, err := ReadAll(bytes.NewReader(cut))
+	if err != ErrTruncated {
+		t.Fatalf("truncation error = %v", err)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	var rec Record
+	r := NewReader(strings.NewReader("XXXX\x01\x00"))
+	if err := r.Read(&rec); err != ErrBadMagic {
+		t.Fatalf("bad magic error = %v", err)
+	}
+}
+
+func TestBinaryOversizeRejected(t *testing.T) {
+	// Craft a stream whose record claims an absurd length.
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(wireVersion)
+	buf.WriteByte(0)
+	buf.Write([]byte{0xff, 0xff})
+	var rec Record
+	r := NewReader(&buf)
+	if err := r.Read(&rec); err == nil || !strings.Contains(err.Error(), "length out of range") {
+		t.Fatalf("oversize error = %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Record{sampleVoice(1), sampleData(2), sampleVoice(3)}
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewCSVReader(&buf)
+	for i := range recs {
+		var got Record
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !got.Time.Equal(recs[i].Time) {
+			t.Fatalf("row %d time mismatch", i)
+		}
+		got.Time = recs[i].Time
+		if got != recs[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got, recs[i])
+		}
+	}
+	var tail Record
+	if err := r.Read(&tail); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	head := "time,device,sim,visited,kind,rat,duration_ms,bytes,apn\n"
+	for _, row := range []string{
+		"bad,0000000000000001,23410,23410,voice,1,100,0,",
+		"2019-04-05T00:00:00Z,0000000000000001,23410,23410,video,1,100,0,",
+		"2019-04-05T00:00:00Z,0000000000000001,23410,23410,voice,9,100,0,",
+		"2019-04-05T00:00:00Z,0000000000000001,23410,23410,voice,1,-5,0,",
+		"2019-04-05T00:00:00Z,0000000000000001,23410,23410,data,1,100,10,..bad..",
+	} {
+		r := NewCSVReader(strings.NewReader(head + row))
+		var rec Record
+		if err := r.Read(&rec); err == nil {
+			t.Errorf("malformed row accepted: %q", row)
+		}
+	}
+}
+
+func TestStreamReadNoAllocSteadyState(t *testing.T) {
+	// The binary reader should not allocate per voice record once its
+	// buffer is warm (data records allocate only for the APN string).
+	var buf bytes.Buffer
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = sampleVoice(i)
+	}
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	rd := NewReader(bytes.NewReader(data))
+	var rec Record
+	if err := rd.Read(&rec); err != nil { // warm up header+buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := rd.Read(&rec); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state voice read allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkWriteData(b *testing.B) {
+	rec := sampleData(0)
+	w := NewWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadStream(b *testing.B) {
+	var buf bytes.Buffer
+	recs := make([]Record, 5000)
+	for i := range recs {
+		if i%2 == 0 {
+			recs[i] = sampleVoice(i)
+		} else {
+			recs[i] = sampleData(i)
+		}
+	}
+	if err := WriteAll(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := NewReader(bytes.NewReader(data))
+		var rec Record
+		for {
+			if err := rd.Read(&rec); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

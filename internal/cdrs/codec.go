@@ -1,0 +1,308 @@
+package cdrs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+// Binary wire format: a 6-byte header ("WRDR", version, 0) followed by
+// length-prefixed records — a fixed 40-byte body plus the APN string.
+// Records are variable length because APNs are; the per-record length
+// prefix lets a reader resynchronize after a corrupt record by
+// skipping it.
+const (
+	magic       = "WRDR"
+	wireVersion = 1
+	headerSize  = 6
+	bodySize    = 40
+)
+
+// Wire errors.
+var (
+	ErrBadMagic   = errors.New("cdrs: bad stream magic")
+	ErrBadVersion = errors.New("cdrs: unsupported wire version")
+	ErrTruncated  = errors.New("cdrs: truncated record")
+	ErrOversize   = errors.New("cdrs: record length out of range")
+)
+
+// Writer streams records in the binary wire format.
+type Writer struct {
+	w      *bufio.Writer
+	buf    []byte
+	wrote  int
+	header bool
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10), buf: make([]byte, 2+bodySize+128)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error {
+	if !w.header {
+		var h [headerSize]byte
+		copy(h[:], magic)
+		h[4] = wireVersion
+		if _, err := w.w.Write(h[:]); err != nil {
+			return fmt.Errorf("cdrs: writing header: %w", err)
+		}
+		w.header = true
+	}
+	apnStr := ""
+	if r.Kind == KindData {
+		apnStr = r.APN.String()
+	}
+	n := 2 + bodySize + len(apnStr)
+	if n > len(w.buf) {
+		w.buf = make([]byte, n)
+	}
+	b := w.buf[:n]
+	binary.BigEndian.PutUint16(b[0:2], uint16(bodySize+len(apnStr)))
+	binary.BigEndian.PutUint64(b[2:10], uint64(r.Device))
+	binary.BigEndian.PutUint64(b[10:18], uint64(r.Time.UnixNano()))
+	binary.BigEndian.PutUint16(b[18:20], r.SIM.MCC)
+	binary.BigEndian.PutUint16(b[20:22], r.SIM.MNC)
+	b[22] = r.SIM.MNCLen
+	binary.BigEndian.PutUint16(b[23:25], r.Visited.MCC)
+	binary.BigEndian.PutUint16(b[25:27], r.Visited.MNC)
+	b[27] = r.Visited.MNCLen
+	b[28] = byte(r.Kind)
+	b[29] = byte(r.RAT)
+	binary.BigEndian.PutUint32(b[30:34], uint32(r.Duration/time.Millisecond))
+	binary.BigEndian.PutUint64(b[34:42], r.Bytes)
+	copy(b[42:], apnStr)
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("cdrs: writing record %d: %w", w.wrote, err)
+	}
+	w.wrote++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.wrote }
+
+// Flush drains buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams records from the binary wire format into
+// caller-owned memory.
+type Reader struct {
+	r      *bufio.Reader
+	buf    []byte
+	lenBuf [2]byte
+	read   int
+	header bool
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10), buf: make([]byte, bodySize+256)}
+}
+
+// Read decodes the next record into rec; io.EOF marks a clean end.
+func (rd *Reader) Read(rec *Record) error {
+	if !rd.header {
+		var h [headerSize]byte
+		if _, err := io.ReadFull(rd.r, h[:]); err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("cdrs: reading header: %w", err)
+		}
+		if string(h[:4]) != magic {
+			return ErrBadMagic
+		}
+		if h[4] != wireVersion {
+			return fmt.Errorf("%w: %d", ErrBadVersion, h[4])
+		}
+		rd.header = true
+	}
+	if _, err := io.ReadFull(rd.r, rd.lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(rd.lenBuf[:]))
+	if n < bodySize || n > bodySize+128 {
+		return fmt.Errorf("%w: %d", ErrOversize, n)
+	}
+	if n > len(rd.buf) {
+		rd.buf = make([]byte, n)
+	}
+	b := rd.buf[:n]
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		return ErrTruncated
+	}
+	rec.Device = identity.DeviceID(binary.BigEndian.Uint64(b[0:8]))
+	rec.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[8:16]))).UTC()
+	rec.SIM = mccmnc.PLMN{MCC: binary.BigEndian.Uint16(b[16:18]), MNC: binary.BigEndian.Uint16(b[18:20]), MNCLen: b[20]}
+	rec.Visited = mccmnc.PLMN{MCC: binary.BigEndian.Uint16(b[21:23]), MNC: binary.BigEndian.Uint16(b[23:25]), MNCLen: b[25]}
+	rec.Kind = Kind(b[26])
+	rec.RAT = radio.RAT(b[27])
+	rec.Duration = time.Duration(binary.BigEndian.Uint32(b[28:32])) * time.Millisecond
+	rec.Bytes = binary.BigEndian.Uint64(b[32:40])
+	rec.APN = apn.APN{}
+	if n > bodySize {
+		a, err := apn.Parse(string(b[bodySize:]))
+		if err != nil {
+			return fmt.Errorf("cdrs: record %d: %w", rd.read, err)
+		}
+		rec.APN = a
+	}
+	rd.read++
+	return nil
+}
+
+// Count returns the number of records successfully read.
+func (rd *Reader) Count() int { return rd.read }
+
+// WriteAll encodes all records to w and flushes.
+func WriteAll(w io.Writer, recs []Record) error {
+	wr := NewWriter(w)
+	for i := range recs {
+		if err := wr.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}
+
+// ReadAll decodes an entire stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var out []Record
+	for {
+		var rec Record
+		err := rd.Read(&rec)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// csvHeader is the CSV interchange layout.
+var csvHeader = []string{"time", "device", "sim", "visited", "kind", "rat", "duration_ms", "bytes", "apn"}
+
+// CSVWriter streams records as CSV.
+type CSVWriter struct {
+	w      *csv.Writer
+	header bool
+	row    [9]string
+}
+
+// NewCSVWriter returns a CSVWriter targeting w.
+func NewCSVWriter(w io.Writer) *CSVWriter { return &CSVWriter{w: csv.NewWriter(w)} }
+
+// Write appends one record.
+func (c *CSVWriter) Write(r *Record) error {
+	if !c.header {
+		if err := c.w.Write(csvHeader); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	c.row[0] = r.Time.UTC().Format(time.RFC3339Nano)
+	c.row[1] = r.Device.String()
+	c.row[2] = r.SIM.Concat()
+	c.row[3] = r.Visited.Concat()
+	c.row[4] = r.Kind.String()
+	c.row[5] = strconv.Itoa(int(r.RAT))
+	c.row[6] = strconv.FormatInt(int64(r.Duration/time.Millisecond), 10)
+	c.row[7] = strconv.FormatUint(r.Bytes, 10)
+	c.row[8] = ""
+	if r.Kind == KindData && !r.APN.IsZero() {
+		c.row[8] = r.APN.String()
+	}
+	return c.w.Write(c.row[:])
+}
+
+// Flush drains buffered rows and reports any write error.
+func (c *CSVWriter) Flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// CSVReader streams records from the CSV form.
+type CSVReader struct {
+	r      *csv.Reader
+	header bool
+	line   int
+}
+
+// NewCSVReader returns a CSVReader consuming from r.
+func NewCSVReader(r io.Reader) *CSVReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
+	return &CSVReader{r: cr}
+}
+
+// Read decodes the next row into rec; io.EOF marks the end.
+func (c *CSVReader) Read(rec *Record) error {
+	if !c.header {
+		if _, err := c.r.Read(); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	row, err := c.r.Read()
+	if err != nil {
+		return err
+	}
+	c.line++
+	fail := func(field string, err error) error {
+		return fmt.Errorf("cdrs: csv line %d: %s: %w", c.line, field, err)
+	}
+	if rec.Time, err = time.Parse(time.RFC3339Nano, row[0]); err != nil {
+		return fail("time", err)
+	}
+	if rec.Device, err = identity.ParseDeviceID(row[1]); err != nil {
+		return fail("device", err)
+	}
+	if rec.SIM, err = mccmnc.Parse(row[2]); err != nil {
+		return fail("sim", err)
+	}
+	if rec.Visited, err = mccmnc.Parse(row[3]); err != nil {
+		return fail("visited", err)
+	}
+	if rec.Kind, err = ParseKind(row[4]); err != nil {
+		return fail("kind", err)
+	}
+	rat, err := strconv.Atoi(row[5])
+	if err != nil || rat < 0 || rat > int(radio.RATNB) {
+		return fail("rat", fmt.Errorf("%q", row[5]))
+	}
+	rec.RAT = radio.RAT(rat)
+	ms, err := strconv.ParseInt(row[6], 10, 64)
+	if err != nil || ms < 0 {
+		return fail("duration_ms", fmt.Errorf("%q", row[6]))
+	}
+	rec.Duration = time.Duration(ms) * time.Millisecond
+	if rec.Bytes, err = strconv.ParseUint(row[7], 10, 64); err != nil {
+		return fail("bytes", err)
+	}
+	rec.APN = apn.APN{}
+	if row[8] != "" {
+		if rec.APN, err = apn.Parse(row[8]); err != nil {
+			return fail("apn", err)
+		}
+	}
+	return nil
+}

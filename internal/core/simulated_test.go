@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"testing"
+
+	"whereroam/internal/core"
+	"whereroam/internal/dataset"
+)
+
+// These tests live outside package core because they drive the
+// simulator (internal/dataset imports core for the transparency
+// registry, so an in-package import would cycle).
+
+func TestValidateOnSimulatedPopulation(t *testing.T) {
+	cfg := dataset.DefaultMNOConfig()
+	cfg.Devices = 6000
+	ds := dataset.GenerateMNO(cfg)
+	sums := ds.Catalog.Summaries(ds.GSMA)
+	res := core.NewClassifier().Classify(sums)
+	v, err := core.Validate(res, ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Total != len(sums) {
+		t.Fatalf("validated %d of %d", v.Total, len(sums))
+	}
+	// The classifier must be strong on the simulated population: the
+	// paper ships it as the practical answer to inbound-roamer
+	// triage.
+	if acc := v.Accuracy(); acc < 0.93 {
+		t.Errorf("accuracy = %.3f, want >= 0.93\n%s", acc, v)
+	}
+	if p := v.Precision(core.ClassM2M); p < 0.90 {
+		t.Errorf("m2m precision = %.3f\n%s", p, v)
+	}
+	if r := v.Recall(core.ClassM2M); r < 0.75 {
+		t.Errorf("m2m recall = %.3f\n%s", r, v)
+	}
+	if r := v.Recall(core.ClassSmart); r < 0.90 {
+		t.Errorf("smart recall = %.3f\n%s", r, v)
+	}
+}
+
+func TestClassSharesMatchPaper(t *testing.T) {
+	// §4.3: smart 62%, feat 8%, m2m 26%, m2m-maybe 4%.
+	cfg := dataset.DefaultMNOConfig()
+	cfg.Devices = 8000
+	ds := dataset.GenerateMNO(cfg)
+	sums := ds.Catalog.Summaries(ds.GSMA)
+	res := core.NewClassifier().Classify(sums)
+	b := core.Breakdown(res)
+	n := float64(len(res))
+	check := func(c core.Class, want, tol float64) {
+		got := float64(b[c]) / n
+		if got < want-tol || got > want+tol {
+			t.Errorf("%v share = %.3f, want %.2f±%.2f", c, got, want, tol)
+		}
+	}
+	check(core.ClassSmart, 0.62, 0.05)
+	check(core.ClassFeat, 0.08, 0.04)
+	check(core.ClassM2M, 0.26, 0.06)
+	check(core.ClassM2MMaybe, 0.04, 0.04)
+}
+
+func TestTransparencyImprovesRecall(t *testing.T) {
+	// §1/§8: with IR.88 declarations the visited operator recognizes
+	// declared fleets without any traffic evidence. Recall with
+	// declarations must be at least as good as without, and declared
+	// devices must all be truly m2m (the home operator knows its own
+	// fleet).
+	cfg := dataset.DefaultMNOConfig()
+	cfg.Devices = 6000
+	cfg.TransparencyAdoption = 0.6
+	ds := dataset.GenerateMNO(cfg)
+	if ds.Transparency.Len() == 0 {
+		t.Fatal("no home operator adopted transparency")
+	}
+	for id := range ds.Declared {
+		if !ds.Truth[id].IsM2M() {
+			t.Fatalf("declared device %v is not m2m ground truth", id)
+		}
+	}
+	sums := ds.Catalog.Summaries(ds.GSMA)
+	plain := core.NewClassifier()
+	resPlain := plain.Classify(sums)
+	withDecl := plain.WithDeclarations(ds.Declared)
+	resDecl := withDecl.Classify(sums)
+
+	vPlain, err := core.Validate(resPlain, ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vDecl, err := core.Validate(resDecl, ds.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vDecl.Recall(core.ClassM2M) < vPlain.Recall(core.ClassM2M) {
+		t.Errorf("declarations reduced m2m recall: %.3f -> %.3f",
+			vPlain.Recall(core.ClassM2M), vDecl.Recall(core.ClassM2M))
+	}
+	if vDecl.Precision(core.ClassM2M) < 0.95 {
+		t.Errorf("m2m precision with declarations = %.3f", vDecl.Precision(core.ClassM2M))
+	}
+	// Evidence audit: some devices must be decided by the declaration
+	// alone.
+	declaredEvidence := 0
+	for _, r := range resDecl {
+		if r.Evidence == "ir88-declared" {
+			declaredEvidence++
+		}
+	}
+	if declaredEvidence == 0 {
+		t.Error("no device was classified by declaration evidence")
+	}
+}
+
+func TestTransparencyDisabled(t *testing.T) {
+	cfg := dataset.DefaultMNOConfig()
+	cfg.Devices = 1000
+	cfg.TransparencyAdoption = 0
+	ds := dataset.GenerateMNO(cfg)
+	if ds.Transparency.Len() != 0 || len(ds.Declared) != 0 {
+		t.Error("transparency should be empty when adoption is 0")
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	cfg := dataset.DefaultMNOConfig()
+	cfg.Devices = 4000
+	ds := dataset.GenerateMNO(cfg)
+	sums := ds.Catalog.Summaries(ds.GSMA)
+	c := core.NewClassifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Classify(sums)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"whereroam/internal/devices"
+	"whereroam/internal/identity"
+)
+
+// Validation measures the classifier against simulator ground truth.
+// The paper validates on the smart-meter population (§7); with the
+// simulator we can validate over every class.
+type Validation struct {
+	// Confusion[truth][predicted] counts devices. Truth collapses the
+	// vertical classes into the paper's three: smart / feat / m2m.
+	Confusion map[Class]map[Class]int
+	// Total is the number of devices evaluated.
+	Total int
+}
+
+// truthClass maps a ground-truth vertical to the paper's
+// classification target.
+func truthClass(c devices.Class) Class {
+	switch c {
+	case devices.ClassSmartphone:
+		return ClassSmart
+	case devices.ClassFeaturePhone:
+		return ClassFeat
+	default:
+		return ClassM2M
+	}
+}
+
+// Validate compares predictions against ground truth.
+func Validate(results []Result, truth map[identity.DeviceID]devices.Class) (*Validation, error) {
+	v := &Validation{Confusion: map[Class]map[Class]int{}}
+	for _, r := range results {
+		tc, ok := truth[r.Device]
+		if !ok {
+			return nil, fmt.Errorf("core: no ground truth for device %v", r.Device)
+		}
+		t := truthClass(tc)
+		m := v.Confusion[t]
+		if m == nil {
+			m = map[Class]int{}
+			v.Confusion[t] = m
+		}
+		m[r.Class]++
+		v.Total++
+	}
+	return v, nil
+}
+
+// Precision returns precision for the class: of the devices predicted
+// c (excluding m2m-maybe abstentions), how many truly are c.
+func (v *Validation) Precision(c Class) float64 {
+	tp, fp := 0, 0
+	for truth, preds := range v.Confusion {
+		if truth == c {
+			tp += preds[c]
+		} else {
+			fp += preds[c]
+		}
+	}
+	if tp+fp == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Recall returns recall for the class: of the devices truly c, how
+// many were predicted c. m2m-maybe abstentions count against recall,
+// matching the paper's decision to exclude them from analysis.
+func (v *Validation) Recall(c Class) float64 {
+	tp, fn := 0, 0
+	for pred, n := range v.Confusion[c] {
+		if pred == c {
+			tp += n
+		} else {
+			fn += n
+		}
+	}
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// Abstained returns the fraction of truly-c devices the classifier
+// parked in m2m-maybe.
+func (v *Validation) Abstained(c Class) float64 {
+	total := 0
+	for _, n := range v.Confusion[c] {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(v.Confusion[c][ClassM2MMaybe]) / float64(total)
+}
+
+// Accuracy returns overall accuracy over non-abstained predictions.
+func (v *Validation) Accuracy() float64 {
+	correct, decided := 0, 0
+	for truth, preds := range v.Confusion {
+		for pred, n := range preds {
+			if pred == ClassM2MMaybe {
+				continue
+			}
+			decided += n
+			if pred == truth {
+				correct += n
+			}
+		}
+	}
+	if decided == 0 {
+		return 0
+	}
+	return float64(correct) / float64(decided)
+}
+
+// String renders a compact report.
+func (v *Validation) String() string {
+	s := fmt.Sprintf("validation over %d devices: accuracy %.3f\n", v.Total, v.Accuracy())
+	for _, c := range []Class{ClassSmart, ClassFeat, ClassM2M} {
+		s += fmt.Sprintf("  %-6s precision %.3f recall %.3f abstained %.3f\n",
+			c, v.Precision(c), v.Recall(c), v.Abstained(c))
+	}
+	return s
+}

@@ -1,0 +1,315 @@
+// Package dataset synthesizes the paper's two datasets at configurable
+// scale and holds their in-memory containers: the M2M platform
+// signaling dataset (§3.1), the visited-MNO population dataset
+// (§4.1), and the SMIP smart-meter dataset (§4.4/§7).
+//
+// Generators are deterministic in (Seed, Scale); time windows follow
+// the paper (11 / 22 / 26 days). Device counts default to roughly a
+// tenth of the paper's (which keeps every experiment in seconds) and
+// scale linearly.
+package dataset
+
+import (
+	"sort"
+	"time"
+
+	"whereroam/internal/devices"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/netsim"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+	"whereroam/internal/signaling"
+)
+
+// M2MConfig parameterizes the platform dataset generator.
+type M2MConfig struct {
+	Seed    uint64
+	Devices int       // IoT SIM population (paper: 120k)
+	Days    int       // observation window (paper: 11)
+	Start   time.Time // window start (paper: 2018-11-19)
+	Policy  netsim.SelectionPolicy
+	// SampleRate thins the probe capture (1 = keep everything).
+	SampleRate float64
+}
+
+// DefaultM2MConfig returns the standard scaled-down configuration.
+func DefaultM2MConfig() M2MConfig {
+	return M2MConfig{
+		Seed:    1,
+		Devices: 12000,
+		Days:    11,
+		Start:   time.Date(2018, 11, 19, 0, 0, 0, 0, time.UTC),
+		Policy:  netsim.PolicySticky,
+	}
+}
+
+// M2MDeviceTruth is the generator-side ground truth for one platform
+// device, used to validate the analyses.
+type M2MDeviceTruth struct {
+	Home     mccmnc.PLMN
+	Roaming  bool
+	FailOnly bool
+	Profile  devices.PlatformProfile
+}
+
+// M2MDataset is the §3 dataset: a transaction stream plus ground
+// truth.
+type M2MDataset struct {
+	Start        time.Time
+	Days         int
+	Transactions []signaling.Transaction
+	Truth        map[identity.DeviceID]M2MDeviceTruth
+}
+
+// hmnoSpec describes one of the four home operators behind the
+// platform (§3.2).
+type hmnoSpec struct {
+	plmn mccmnc.PLMN
+	// share of the device population.
+	share float64
+	// roamShare is the fraction of its devices operating abroad.
+	roamShare float64
+	// footprint is the visited-country pool (ISO codes) with Zipf
+	// skew: earlier entries attract more devices.
+	footprint []string
+}
+
+// platformHMNOs encodes the §3.2 numbers: ES 52.3% (82% roaming over
+// ~76 countries), MX 42.2% (90% at home, 7 countries), AR 4.7%
+// (almost all home), DE ~0.8% (small population, many VMNOs — the
+// connected-car profile).
+func platformHMNOs() []hmnoSpec {
+	// The ES footprint: every registered country except ES, ordered
+	// Europe-first so the Zipf head stays in-region.
+	var esFootprint []string
+	for _, r := range []mccmnc.Region{mccmnc.RegionEurope, mccmnc.RegionLatAm, mccmnc.RegionAPAC, mccmnc.RegionMEA, mccmnc.RegionNorthAmerica} {
+		for _, c := range mccmnc.CountriesInRegion(r) {
+			if c.ISO != "ES" {
+				esFootprint = append(esFootprint, c.ISO)
+			}
+		}
+	}
+	return []hmnoSpec{
+		{plmn: mccmnc.MustParse("21407"), share: 0.523, roamShare: 0.82, footprint: esFootprint},
+		{plmn: mccmnc.MustParse("334020"), share: 0.422, roamShare: 0.10,
+			footprint: []string{"US", "GT", "CO", "AR", "CL", "PE"}},
+		{plmn: mccmnc.MustParse("722070"), share: 0.047, roamShare: 0.05,
+			footprint: []string{"UY", "CL", "PY", "BR", "BO"}},
+		{plmn: mccmnc.MustParse("26201"), share: 0.008, roamShare: 0.95,
+			footprint: []string{"AT", "CH", "FR", "NL", "BE", "PL", "CZ", "IT", "DK", "GB"}},
+	}
+}
+
+// GenerateM2M synthesizes the platform dataset: it builds the world,
+// draws the device population, walks each device's attach/switch
+// schedule through the roaming machinery and captures the resulting
+// transactions with a platform-side probe.
+func GenerateM2M(cfg M2MConfig) *M2MDataset {
+	if cfg.Devices <= 0 || cfg.Days <= 0 {
+		panic("dataset: M2M config needs positive Devices and Days")
+	}
+	world := netsim.NewWorld(netsim.DefaultConfig())
+	root := rng.New(cfg.Seed).Split("m2m")
+	specs := platformHMNOs()
+
+	var collector probe.Collector[signaling.Transaction]
+	tap := probe.NewTap("hmno-probe", cfg.Seed, collector.Add)
+	tap.SampleRate = cfg.SampleRate
+
+	ds := &M2MDataset{
+		Start: cfg.Start,
+		Days:  cfg.Days,
+		Truth: make(map[identity.DeviceID]M2MDeviceTruth, cfg.Devices),
+	}
+	alloc := devices.NewIMSIAllocator()
+
+	weights := make([]float64, len(specs))
+	for i, s := range specs {
+		weights[i] = s.share
+	}
+	hmnoPick := rng.NewWeighted(root.Split("hmno"), weights)
+
+	for i := 0; i < cfg.Devices; i++ {
+		src := root.SplitN("device", uint64(i))
+		spec := specs[hmnoPick.DrawFrom(src)]
+		imsi := alloc.Next(spec.plmn, 7_000_000_000)
+		dev := identity.HashDevice(imsi)
+		roaming := src.Bool(spec.roamShare)
+		prof := devices.NewPlatformIoT(src.Split("profile"), roaming, cfg.Days)
+		ds.Truth[dev] = M2MDeviceTruth{Home: spec.plmn, Roaming: roaming, FailOnly: prof.FailOnly, Profile: prof}
+		emitPlatformDevice(tap, world, src, cfg, spec, dev, prof)
+	}
+
+	ds.Transactions = collector.Records()
+	sort.Slice(ds.Transactions, func(i, j int) bool {
+		return ds.Transactions[i].Time.Before(ds.Transactions[j].Time)
+	})
+	return ds
+}
+
+// emitPlatformDevice walks one device's schedule and offers every
+// transaction to the probe.
+func emitPlatformDevice(tap *probe.Tap[signaling.Transaction], world *netsim.World,
+	src *rng.Source, cfg M2MConfig, spec hmnoSpec, dev identity.DeviceID, prof devices.PlatformProfile) {
+
+	windowS := int64(cfg.Days) * 86400
+	randTime := func() time.Time {
+		return cfg.Start.Add(time.Duration(src.Int63n(windowS)) * time.Second)
+	}
+
+	// Pick the device's visited networks.
+	vmnos := pickVMNOs(world, src, spec, prof, cfg.Policy)
+	// Failure mode for fail-only devices (drawn once: subscriptions
+	// fail consistently, §3.3).
+	failResult := signaling.ResultOK
+	if prof.FailOnly {
+		switch {
+		case src.Bool(0.5):
+			failResult = signaling.ResultRoamingNotAllowed
+		case src.Bool(0.6):
+			failResult = signaling.ResultUnknownSubscription
+		default:
+			failResult = signaling.ResultFeatureUnsupported
+		}
+	}
+	result := func() signaling.Result {
+		if prof.FailOnly {
+			return failResult
+		}
+		if src.Bool(0.02) { // sporadic transient failures
+			return signaling.ResultNetworkFailure
+		}
+		return signaling.ResultOK
+	}
+	// offer delivers a transaction; for fail-only devices every
+	// procedure in the chain fails (§3.3 splits devices into the 60%
+	// with at least one success and the 40% without any).
+	offer := func(tx signaling.Transaction) {
+		if prof.FailOnly {
+			tx.Result = failResult
+		}
+		tap.Offer(tx)
+	}
+
+	// Budget the transaction count: switches cost 3 transactions,
+	// the rest are keepalive procedures.
+	budget := prof.TotalSignaling
+	switches := prof.SwitchesTotal
+	if switches*3 > budget {
+		switches = budget / 3
+	}
+
+	// The device's timeline is segmented by its switch instants: the
+	// device camps on vmnos[i mod n] during segment i, so keepalives,
+	// switches and the analysis-side switch counting all agree.
+	switchTimes := make([]time.Time, switches)
+	for s := range switchTimes {
+		switchTimes[s] = randTime()
+	}
+	sort.Slice(switchTimes, func(i, j int) bool { return switchTimes[i].Before(switchTimes[j]) })
+	vmnoAt := func(t time.Time) mccmnc.PLMN {
+		seg := sort.Search(len(switchTimes), func(i int) bool { return switchTimes[i].After(t) })
+		return vmnos[seg%len(vmnos)]
+	}
+	for s, st := range switchTimes {
+		old := vmnos[s%len(vmnos)]
+		next := vmnos[(s+1)%len(vmnos)]
+		for _, tx := range netsim.SwitchSequence(dev, st, spec.plmn, old, next, radio.RAT4G, result()) {
+			offer(tx)
+		}
+		budget -= 3
+	}
+	// Keepalive procedures on the segment's VMNO.
+	for budget > 0 {
+		t := randTime()
+		visited := vmnoAt(t)
+		switch {
+		case src.Bool(0.55):
+			tx := signaling.Transaction{
+				Device: dev, Time: t, SIM: spec.plmn, Visited: visited,
+				Procedure: signaling.ProcUpdateLocation, RAT: radio.RAT4G, Result: result(),
+			}
+			offer(tx)
+			budget--
+		case src.Bool(0.8):
+			tx := signaling.Transaction{
+				Device: dev, Time: t, SIM: spec.plmn, Visited: visited,
+				Procedure: signaling.ProcAuthentication, RAT: radio.RAT4G, Result: result(),
+			}
+			offer(tx)
+			budget--
+		default:
+			for _, tx := range netsim.AttachSequence(dev, t, spec.plmn, visited, radio.RAT4G, result()) {
+				offer(tx)
+			}
+			budget -= 2
+		}
+	}
+}
+
+// pickVMNOs selects the device's visited networks: its primary
+// country first, spilling to further footprint countries when the
+// device uses more VMNOs than the country hosts. policy orders the
+// partners within each country (the DESIGN.md ablation): "strongest"
+// concentrates every device on the first partner, "rotate" spreads
+// deterministically, "sticky" spreads randomly.
+func pickVMNOs(world *netsim.World, src *rng.Source, spec hmnoSpec, prof devices.PlatformProfile, policy netsim.SelectionPolicy) []mccmnc.PLMN {
+	if !prof.Roaming {
+		return []mccmnc.PLMN{spec.plmn}
+	}
+	z := rng.NewZipf(src, len(spec.footprint), 1.25)
+	primary := spec.footprint[z.DrawFrom(src)-1]
+	var out []mccmnc.PLMN
+	seen := map[mccmnc.PLMN]bool{}
+	countryIdx := 0
+	country := primary
+	for len(out) < prof.NumVMNOs {
+		added := false
+		partners := world.PartnersOf(spec.plmn, country)
+		if n := len(partners); n > 1 {
+			var off int
+			switch policy {
+			case netsim.PolicyStrongest:
+				off = 0
+			case netsim.PolicyRotate:
+				off = prof.NumVMNOs % n
+			default: // PolicySticky
+				off = src.Intn(n)
+			}
+			rotated := make([]mccmnc.PLMN, 0, n)
+			rotated = append(rotated, partners[off:]...)
+			rotated = append(rotated, partners[:off]...)
+			partners = rotated
+		}
+		for _, p := range partners {
+			if seen[p] {
+				continue
+			}
+			out = append(out, p)
+			seen[p] = true
+			added = true
+			if len(out) == prof.NumVMNOs {
+				break
+			}
+		}
+		if len(out) == prof.NumVMNOs {
+			break
+		}
+		// Spill to the next footprint country.
+		countryIdx++
+		if countryIdx >= len(spec.footprint) {
+			if !added && len(out) == 0 {
+				// Nowhere to roam at all: fall back to home.
+				return []mccmnc.PLMN{spec.plmn}
+			}
+			break
+		}
+		country = spec.footprint[countryIdx]
+	}
+	if len(out) == 0 {
+		return []mccmnc.PLMN{spec.plmn}
+	}
+	return out
+}

@@ -1,0 +1,462 @@
+package dataset
+
+import (
+	"time"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/core"
+	"whereroam/internal/devices"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/mobility"
+	"whereroam/internal/rng"
+)
+
+// MNOConfig parameterizes the visited-MNO dataset generator.
+type MNOConfig struct {
+	Seed    uint64
+	Devices int       // distinct devices across the window (paper: 39.6M)
+	Days    int       // observation window (paper: 22)
+	Start   time.Time // window start (paper: 2019-04-05)
+	Host    mccmnc.PLMN
+	// GSMASeed seeds the synthetic TAC catalog (kept separate so the
+	// same catalog can be shared across datasets).
+	GSMASeed uint64
+	// TransparencyAdoption is the probability that a home operator
+	// publishes IR.88 declarations for its M2M IMSI ranges (§1: the
+	// GSMA PRD is binding but adoption in the wild is partial). Zero
+	// disables transparency.
+	TransparencyAdoption float64
+}
+
+// DefaultMNOConfig returns the standard scaled-down configuration.
+func DefaultMNOConfig() MNOConfig {
+	return MNOConfig{
+		Seed:                 1,
+		Devices:              30000,
+		Days:                 22,
+		Start:                time.Date(2019, 4, 5, 0, 0, 0, 0, time.UTC),
+		Host:                 mccmnc.MustParse("23410"),
+		GSMASeed:             1,
+		TransparencyAdoption: 0.6,
+	}
+}
+
+// MVNO PLMNs: virtual operators riding the host's radio network.
+// They hold their own network codes but appear in no sector grid —
+// which is why they are not in the mccmnc operator registry.
+var (
+	MVNO1 = mccmnc.PLMN{MCC: 234, MNC: 26, MNCLen: 2}
+	MVNO2 = mccmnc.PLMN{MCC: 234, MNC: 38, MNCLen: 2}
+)
+
+// MNODataset is the §4 dataset: ground-truth devices plus the daily
+// devices-catalog the operator-side pipeline would have built.
+type MNODataset struct {
+	Host    mccmnc.PLMN
+	Start   time.Time
+	Days    int
+	GSMA    *gsma.DB
+	Devices []devices.Device
+	Catalog *catalog.Catalog
+	// Truth maps device IDs to ground-truth classes.
+	Truth map[identity.DeviceID]devices.Class
+	// Transparency is the IR.88 registry the declaring home operators
+	// published; Declared holds the capture-time verdict per device
+	// (IMSIs are visible at attach, before anonymization).
+	Transparency *core.Registry
+	Declared     map[identity.DeviceID]bool
+}
+
+// MVNOs returns the virtual operators riding the host network —
+// the set a Labeler needs to tell V:H from N:H.
+func (ds *MNODataset) MVNOs() []mccmnc.PLMN {
+	return []mccmnc.PLMN{MVNO1, MVNO2}
+}
+
+// population composition (§4.2/§4.3/§5): cumulative shares over the
+// window.
+const (
+	shareSmart = 0.62
+	shareFeat  = 0.08
+	shareM2M   = 0.30 // classifier splits this into m2m and m2m-maybe
+
+	inboundSmart = 0.121 // Fig 6: share of each class that roams in
+	inboundFeat  = 0.064
+	inboundM2M   = 0.747
+
+	nativeMNOShare = 0.59 // H vs V split of native devices (≈48:33)
+
+	nationalShare = 0.005 // N:H national roamers
+	outboundProb  = 0.03  // native smartphones traveling abroad
+)
+
+// m2m subclass mix within the m2m umbrella.
+var m2mMix = []struct {
+	class devices.Class
+	share float64
+}{
+	{devices.ClassSmartMeter, 0.45},
+	{devices.ClassAssetTracker, 0.18},
+	{devices.ClassPOSTerminal, 0.17},
+	{devices.ClassWearable, 0.14},
+	{devices.ClassConnectedCar, 0.06},
+}
+
+// homeCountryTable gives inbound-roamer home countries per class
+// (Fig 5: top-3 NL/SE/ES ≈60% overall, ≈83% for m2m, 17% for
+// smartphones, 35% for feature phones).
+type countryWeight struct {
+	iso string
+	w   float64
+}
+
+var smartHomes = []countryWeight{
+	{"FR", 0.09}, {"DE", 0.08}, {"ES", 0.07}, {"IE", 0.07}, {"US", 0.07},
+	{"IT", 0.07}, {"PL", 0.06}, {"NL", 0.06}, {"RO", 0.05}, {"SE", 0.04},
+	{"PT", 0.04}, {"AU", 0.03}, {"IN", 0.03}, {"CN", 0.03}, {"CA", 0.03},
+	{"DK", 0.03}, {"NO", 0.03}, {"BE", 0.03}, {"CH", 0.03}, {"GR", 0.02},
+	{"JP", 0.02}, {"BR", 0.02},
+}
+
+var featHomes = []countryWeight{
+	{"ES", 0.15}, {"NL", 0.12}, {"RO", 0.12}, {"PL", 0.10}, {"SE", 0.08},
+	{"IN", 0.08}, {"TR", 0.07}, {"EG", 0.05}, {"MA", 0.05}, {"UA", 0.05},
+	{"NG", 0.04}, {"PK", 0.0}, {"FR", 0.04}, {"DE", 0.03}, {"IT", 0.02},
+}
+
+// m2m homes are per subclass: meters all come from NL (§4.4), the
+// platform verticals from ES/SE, cars from DE.
+var m2mHomes = map[devices.Class][]countryWeight{
+	devices.ClassSmartMeter:   {{"NL", 1.0}},
+	devices.ClassPOSTerminal:  {{"SE", 0.50}, {"ES", 0.30}, {"DE", 0.05}, {"FR", 0.05}, {"IT", 0.05}, {"BE", 0.05}},
+	devices.ClassAssetTracker: {{"ES", 0.50}, {"SE", 0.30}, {"NL", 0.05}, {"FR", 0.05}, {"PL", 0.05}, {"CZ", 0.05}},
+	devices.ClassWearable:     {{"ES", 0.40}, {"SE", 0.30}, {"NL", 0.10}, {"US", 0.05}, {"FR", 0.05}, {"DE", 0.05}, {"IE", 0.05}},
+	devices.ClassConnectedCar: {{"DE", 0.60}, {"SE", 0.10}, {"ES", 0.10}, {"FR", 0.05}, {"IT", 0.05}, {"AT", 0.05}, {"CZ", 0.05}},
+}
+
+func drawHome(src *rng.Source, table []countryWeight) mccmnc.PLMN {
+	weights := make([]float64, len(table))
+	for i, cw := range table {
+		weights[i] = cw.w
+	}
+	iso := table[rng.NewWeighted(src, weights).DrawFrom(src)].iso
+	ops := mccmnc.OperatorsIn(iso)
+	if len(ops) == 0 {
+		// Unregistered tail entries fall back to NL (harmless: only
+		// reachable via zero-weight rows).
+		ops = mccmnc.OperatorsIn("NL")
+	}
+	// Smart meters concentrate on one specific NL operator (§4.4).
+	if iso == "NL" {
+		return mccmnc.MustParse("20404")
+	}
+	return ops[src.Intn(len(ops))].PLMN
+}
+
+// GenerateMNO synthesizes the visited-MNO dataset.
+func GenerateMNO(cfg MNOConfig) *MNODataset {
+	if cfg.Devices <= 0 || cfg.Days <= 0 {
+		panic("dataset: MNO config needs positive Devices and Days")
+	}
+	db := gsma.Synthesize(cfg.GSMASeed)
+	root := rng.New(cfg.Seed).Split("mno")
+	hostCountry, _ := mccmnc.CountryByMCC(cfg.Host.MCC)
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+
+	ds := &MNODataset{
+		Host:  cfg.Host,
+		Start: cfg.Start,
+		Days:  cfg.Days,
+		GSMA:  db,
+		Truth: make(map[identity.DeviceID]devices.Class, cfg.Devices),
+	}
+	cat := &catalog.Catalog{Host: cfg.Host, Days: cfg.Days}
+	alloc := devices.NewIMSIAllocator()
+
+	classPick := rng.NewWeighted(root.Split("class"), []float64{shareSmart, shareFeat, shareM2M})
+	m2mWeights := make([]float64, len(m2mMix))
+	for i, m := range m2mMix {
+		m2mWeights[i] = m.share
+	}
+	m2mPick := rng.NewWeighted(root.Split("m2m"), m2mWeights)
+
+	for i := 0; i < cfg.Devices; i++ {
+		src := root.SplitN("device", uint64(i))
+		var class devices.Class
+		switch classPick.DrawFrom(src) {
+		case 0:
+			class = devices.ClassSmartphone
+		case 1:
+			class = devices.ClassFeaturePhone
+		default:
+			class = m2mMix[m2mPick.DrawFrom(src)].class
+		}
+		dev := buildDevice(src, cfg, db, alloc, centre, class)
+		ds.Devices = append(ds.Devices, dev)
+		ds.Truth[dev.ID] = class
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, cat, &dev)
+	}
+	ds.Catalog = cat
+	ds.buildTransparency(cfg, alloc, root.Split("ir88"))
+	return ds
+}
+
+// M2MBlockBase is the MSIN base of foreign operators' dedicated M2M
+// IMSI blocks.
+const M2MBlockBase = 6_000_000_000
+
+// buildTransparency publishes IR.88 declarations for the adopting
+// subset of home operators and computes the capture-time verdicts.
+func (ds *MNODataset) buildTransparency(cfg MNOConfig, alloc *devices.IMSIAllocator, src *rng.Source) {
+	ds.Transparency = core.NewRegistry()
+	ds.Declared = map[identity.DeviceID]bool{}
+	if cfg.TransparencyAdoption <= 0 {
+		return
+	}
+	// Collect the home operators with M2M blocks.
+	homes := map[mccmnc.PLMN]bool{}
+	for _, d := range ds.Devices {
+		if d.IMSI.MSIN >= M2MBlockBase && d.IMSI.MSIN < SMIPNativeBase {
+			homes[d.Home] = true
+		}
+	}
+	for home := range homes {
+		key := uint64(home.MCC)<<16 | uint64(home.MNC)
+		if !src.SplitN("adopt", key).Bool(cfg.TransparencyAdoption) {
+			continue
+		}
+		n := alloc.Allocated(home, M2MBlockBase)
+		ds.Transparency.Add(core.Declaration{
+			Home:   home,
+			Ranges: []identity.IMSIRange{{PLMN: home, Lo: M2MBlockBase, Hi: M2MBlockBase + n - 1}},
+		})
+	}
+	for _, d := range ds.Devices {
+		if ds.Transparency.MatchIMSI(d.IMSI) {
+			ds.Declared[d.ID] = true
+		}
+	}
+}
+
+// buildDevice draws one device: roaming status, home network,
+// identity, profile and mobility.
+func buildDevice(src *rng.Source, cfg MNOConfig, db *gsma.DB, alloc *devices.IMSIAllocator,
+	centre geo.Point, class devices.Class) devices.Device {
+
+	inboundShare := inboundM2M
+	switch class {
+	case devices.ClassSmartphone:
+		inboundShare = inboundSmart
+	case devices.ClassFeaturePhone:
+		inboundShare = inboundFeat
+	}
+	inbound := src.Bool(inboundShare)
+	national := !inbound && src.Bool(nationalShare/(1-inboundShare))
+
+	// Home network.
+	var home mccmnc.PLMN
+	mvno := false
+	switch {
+	case inbound:
+		switch class {
+		case devices.ClassSmartphone:
+			home = drawHome(src.Split("home"), smartHomes)
+		case devices.ClassFeaturePhone:
+			home = drawHome(src.Split("home"), featHomes)
+		default:
+			home = drawHome(src.Split("home"), m2mHomes[class])
+		}
+	case national:
+		// Another operator of the host country.
+		ops := mccmnc.OperatorsIn(mccmnc.ISOByMCC(cfg.Host.MCC))
+		home = ops[src.Intn(len(ops))].PLMN
+		if home == cfg.Host {
+			home = ops[(src.Intn(len(ops)-1)+1)%len(ops)].PLMN
+		}
+	default:
+		if src.Bool(nativeMNOShare) {
+			home = cfg.Host
+		} else {
+			mvno = true
+			home = MVNO1
+			if src.Bool(0.4) {
+				home = MVNO2
+			}
+		}
+	}
+
+	// Identity: IMSI bases segregate populations. SMIP-native meters
+	// get the host's dedicated range (§4.4); foreign M2M fleets sit
+	// in their home operators' dedicated M2M blocks — the ranges an
+	// IR.88 declaration would publish.
+	base := uint64(1_000_000_000)
+	switch {
+	case class == devices.ClassSmartMeter && home == cfg.Host:
+		base = SMIPNativeBase
+	case class.IsM2M() && inbound:
+		base = M2MBlockBase
+	}
+	imsi := alloc.Next(home, base)
+
+	// Profile + catalog identity per class.
+	var (
+		prof devices.Profile
+		info gsma.DeviceInfo
+		mob  mobility.Model
+	)
+	psrc := src.Split("profile")
+	msrc := src.Split("mobility")
+	switch class {
+	case devices.ClassSmartphone:
+		prof = devices.SmartphoneProfile(psrc, cfg.Days, inbound)
+		info = db.Pick(psrc, gsma.ArchSmartphone)
+		mob = mobility.NewCommuter(msrc, centre, 120)
+	case devices.ClassFeaturePhone:
+		prof = devices.FeaturePhoneProfile(psrc, cfg.Days, inbound)
+		info = db.Pick(psrc, gsma.ArchFeaturePhone)
+		mob = mobility.NewWaypoint(msrc, centre, 15)
+	case devices.ClassSmartMeter:
+		if inbound {
+			prof = devices.SmartMeterRoamingProfile(psrc, cfg.Days)
+			info = db.PickFromVendors(psrc, gsma.ArchM2MModule, "Gemalto", "Telit")
+		} else {
+			prof = devices.SmartMeterNativeProfile(psrc, cfg.Days, cfg.Host)
+			info = db.Pick(psrc, gsma.ArchM2MModule)
+		}
+		mob = mobility.NewStationary(msrc, centre, 150)
+	case devices.ClassConnectedCar:
+		prof = devices.ConnectedCarProfile(psrc, cfg.Days)
+		info = db.Pick(psrc, gsma.ArchVehicle)
+		mob = mobility.NewVehicular(msrc, centre, 120)
+	case devices.ClassWearable:
+		prof = devices.WearableProfile(psrc, cfg.Days, home)
+		info = db.Pick(psrc, gsma.ArchWearable)
+		mob = mobility.NewCommuter(msrc, centre, 120)
+	case devices.ClassPOSTerminal:
+		prof = devices.POSTerminalProfile(psrc, cfg.Days, home)
+		info = db.Pick(psrc, gsma.ArchM2MModule)
+		mob = mobility.NewStationary(msrc, centre, 150)
+	default: // ClassAssetTracker
+		prof = devices.AssetTrackerProfile(psrc, cfg.Days, home)
+		info = db.Pick(psrc, gsma.ArchM2MModule)
+		mob = mobility.NewVehicular(msrc, centre, 150)
+	}
+	return devices.Assemble(class, imsi, info, prof, mob, mvno)
+}
+
+// SMIPNativeBase is the dedicated MSIN base of the host's smart-meter
+// IMSI range.
+const SMIPNativeBase = 9_000_000_000
+
+// SMIPNativeRange returns the host's dedicated smart-meter IMSI range
+// given how many meters were allocated.
+func SMIPNativeRange(host mccmnc.PLMN, count uint64) identity.IMSIRange {
+	return identity.IMSIRange{PLMN: host, Lo: SMIPNativeBase, Hi: SMIPNativeBase + count}
+}
+
+// emitDeviceDays samples the device's daily activity and appends the
+// resulting catalog records.
+func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, cat *catalog.Catalog, dev *devices.Device) {
+	p := dev.Profile
+	// Native smartphones occasionally travel abroad (H:A days,
+	// captured via CDRs only — no radio events).
+	outboundDays := map[int]mccmnc.PLMN{}
+	if dev.Class == devices.ClassSmartphone && dev.Home == host && src.Bool(outboundProb) {
+		tripLen := 1 + src.Intn(3)
+		tripStart := src.Intn(days)
+		dest := drawHome(src.Split("trip"), smartHomes)
+		for d := tripStart; d < tripStart+tripLen && d < days; d++ {
+			outboundDays[d] = dest
+		}
+	}
+
+	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < days; day++ {
+		if !src.Bool(p.DailyActiveProb) {
+			continue
+		}
+		rec := catalog.DailyRecord{
+			Device: dev.ID,
+			Day:    day,
+			SIM:    dev.Home,
+			TAC:    dev.IMEI.TAC,
+		}
+		abroad, isAbroad := outboundDays[day]
+		if isAbroad {
+			rec.AddVisited(abroad)
+		} else {
+			rec.AddVisited(host)
+		}
+
+		// Signaling events (radio logs exist only on the host
+		// network: outbound days carry no radio activity, §4.1).
+		if !isAbroad {
+			events := int(src.LogNormal(p.SignalingMu, p.SignalingSigma))
+			if events < 1 {
+				events = 1
+			}
+			rec.Events = events
+			if p.FailProb > 0 {
+				rec.FailedEvents = src.Poisson(float64(events) * p.FailProb)
+				if rec.FailedEvents > events {
+					rec.FailedEvents = events
+				}
+			}
+		}
+
+		// Service usage.
+		if p.UsesData {
+			sessions := src.Poisson(p.DataSessionsPerDay)
+			if sessions == 0 && src.Bool(0.5) {
+				sessions = 1
+			}
+			var bytes uint64
+			for s := 0; s < sessions; s++ {
+				bytes += uint64(src.LogNormal(p.SessionBytesMu, p.SessionBytesSigma))
+			}
+			if sessions > 0 {
+				rec.Bytes = bytes
+				rec.DataRATs = rec.DataRATs.With(p.DataRAT)
+				if p.DataRAT2 != 0 && src.Bool(0.5) {
+					rec.DataRATs = rec.DataRATs.With(p.DataRAT2)
+				}
+				rec.AddAPN(p.APN)
+			}
+		}
+		if p.UsesVoice {
+			calls := src.Poisson(p.CallsPerDay)
+			if calls > 0 {
+				rec.Calls = calls
+				rec.CallSeconds = float64(calls) * src.Exp(p.CallDurMeanS)
+				rec.VoiceRATs = rec.VoiceRATs.With(p.VoiceRAT)
+			}
+		}
+		rec.RadioFlags = rec.DataRATs | rec.VoiceRATs
+		if rec.RadioFlags.Empty() {
+			// Signaling-only day: flags come from the profile's
+			// primary technology.
+			rec.RadioFlags = p.RATs()
+		}
+
+		// Mobility: sample the position over the day and compute the
+		// daily metrics (outbound days have no host-side location).
+		if !isAbroad {
+			dayStart := start.Add(time.Duration(day) * 24 * time.Hour)
+			visits := make([]geo.Visit, 0, 8)
+			for h := 0; h < 24; h += 3 {
+				visits = append(visits, geo.Visit{
+					At:     dev.Mobility.Position(dayStart.Add(time.Duration(h) * time.Hour)),
+					Weight: 3,
+				})
+			}
+			if c, ok := geo.Centroid(visits); ok {
+				rec.Centroid = c
+				rec.GyrationKm = geo.Gyration(visits)
+				rec.HasLocation = true
+			}
+		}
+		cat.Records = append(cat.Records, rec)
+	}
+}

@@ -1,0 +1,192 @@
+package dataset
+
+import (
+	"sort"
+	"time"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/devices"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/mobility"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+)
+
+// RawStreams is the per-event view of a capture: what the probes at
+// the MME/MSC/SGSN hand to the pipeline before any aggregation.
+type RawStreams struct {
+	Radio   []radio.Event
+	Records []cdrs.Record
+}
+
+// GenerateSMIPRaw builds the same SMIP population as GenerateSMIP but
+// materializes the §4.1 measurement path end to end: it synthesizes
+// individual radio events and CDRs/xDRs, runs them through probe
+// taps, and aggregates the devices-catalog with catalog.Builder —
+// dwell-based mobility metrics included. It is an order of magnitude
+// more expensive per device than the direct generator and exists to
+// exercise (and cross-validate) the real pipeline; keep cohorts in
+// the thousands.
+func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
+	if cfg.NativeMeters < 0 || cfg.RoamingMeters < 0 || cfg.Days <= 0 {
+		panic("dataset: SMIP config needs non-negative cohorts and positive Days")
+	}
+	db := gsma.Synthesize(cfg.GSMASeed)
+	root := rng.New(cfg.Seed).Split("smipraw")
+	hostCountry, _ := mccmnc.CountryByMCC(cfg.Host.MCC)
+	grid := radio.NewGrid(hostCountry, 60, 60, radio.DefaultSpacingDeg)
+	alloc := devices.NewIMSIAllocator()
+	nlHome := mccmnc.MustParse("20404")
+
+	ds := &SMIPDataset{
+		Host:   cfg.Host,
+		Start:  cfg.Start,
+		Days:   cfg.Days,
+		GSMA:   db,
+		Native: make(map[identity.DeviceID]bool, cfg.NativeMeters+cfg.RoamingMeters),
+		NBIoT:  map[identity.DeviceID]bool{},
+	}
+
+	// Probe taps into in-memory collectors, exactly the capture
+	// arrangement of Fig. 4.
+	var radioCol probe.Collector[radio.Event]
+	var cdrCol probe.Collector[cdrs.Record]
+	radioTap := probe.NewTap("mme-msc-sgsn", cfg.Seed, radioCol.Add)
+	cdrTap := probe.NewTap("mediation", cfg.Seed, cdrCol.Add)
+
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+	for i := 0; i < cfg.NativeMeters; i++ {
+		src := root.SplitN("native", uint64(i))
+		imsi := alloc.Next(cfg.Host, SMIPNativeBase)
+		prof := devices.SmartMeterNativeProfile(src.Split("profile"), cfg.Days, cfg.Host)
+		info := db.Pick(src.Split("tac"), gsma.ArchM2MModule)
+		mob := mobility.NewStationary(src.Split("mob"), centre, 40)
+		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
+		ds.Devices = append(ds.Devices, dev)
+		ds.Native[dev.ID] = true
+		emitDeviceDaysRaw(src.Split("days"), cfg, grid, radioTap, cdrTap, &dev)
+	}
+	for i := 0; i < cfg.RoamingMeters; i++ {
+		src := root.SplitN("roaming", uint64(i))
+		imsi := alloc.Next(nlHome, 4_000_000_000)
+		prof := devices.SmartMeterRoamingProfile(src.Split("profile"), cfg.Days)
+		info := db.PickFromVendors(src.Split("tac"), gsma.ArchM2MModule, "Gemalto", "Telit")
+		mob := mobility.NewStationary(src.Split("mob"), centre, 40)
+		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
+		ds.Devices = append(ds.Devices, dev)
+		ds.Native[dev.ID] = false
+		emitDeviceDaysRaw(src.Split("days"), cfg, grid, radioTap, cdrTap, &dev)
+	}
+
+	// Time-order the streams (probes interleave by capture point) and
+	// run the aggregation pipeline.
+	raw := &RawStreams{Radio: radioCol.Records(), Records: cdrCol.Records()}
+	sort.Slice(raw.Radio, func(i, j int) bool { return raw.Radio[i].Time.Before(raw.Radio[j].Time) })
+	sort.Slice(raw.Records, func(i, j int) bool { return raw.Records[i].Time.Before(raw.Records[j].Time) })
+
+	builder := catalog.NewBuilder(cfg.Host, cfg.Start, cfg.Days, grid)
+	for i := range raw.Radio {
+		builder.AddRadioEvent(raw.Radio[i])
+	}
+	for i := range raw.Records {
+		builder.AddRecord(raw.Records[i])
+	}
+	ds.Catalog = builder.Build()
+	ds.NativeRange = SMIPNativeRange(cfg.Host, alloc.Allocated(cfg.Host, SMIPNativeBase))
+	return ds, raw
+}
+
+// emitDeviceDaysRaw synthesizes per-event streams for one device.
+func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
+	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device) {
+
+	p := dev.Profile
+	daySeconds := int64(24 * 3600)
+	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < cfg.Days; day++ {
+		if !src.Bool(p.DailyActiveProb) {
+			continue
+		}
+		dayStart := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+		at := func() time.Time {
+			return dayStart.Add(time.Duration(src.Int63n(daySeconds)) * time.Second)
+		}
+		sectorAt := func(t time.Time, rat radio.RAT) radio.SectorID {
+			pos := dev.Mobility.Position(t)
+			if s, ok := grid.NearestWithRAT(pos, rat); ok {
+				return s.ID
+			}
+			return grid.Nearest(pos).ID
+		}
+
+		// Radio events.
+		events := int(src.LogNormal(p.SignalingMu, p.SignalingSigma))
+		if events < 1 {
+			events = 1
+		}
+		rat := p.DataRAT
+		if rat == radio.RATUnknown {
+			rat = p.VoiceRAT
+		}
+		iface, _ := radio.InterfaceFor(rat, radio.DomainPS)
+		for e := 0; e < events; e++ {
+			t := at()
+			evRAT := rat
+			evIface := iface
+			if p.DataRAT2 != radio.RATUnknown && src.Bool(0.4) {
+				evRAT = p.DataRAT2
+				evIface, _ = radio.InterfaceFor(evRAT, radio.DomainPS)
+			}
+			res := radio.ResultOK
+			if p.FailProb > 0 && src.Bool(p.FailProb) {
+				res = radio.ResultFail
+			}
+			radioTap.Offer(radio.Event{
+				Device:    dev.ID,
+				Time:      t,
+				SIM:       dev.Home,
+				TAC:       dev.IMEI.TAC,
+				Sector:    sectorAt(t, evRAT),
+				Interface: evIface,
+				Result:    res,
+			})
+		}
+
+		// Data sessions as xDRs.
+		if p.UsesData {
+			sessions := src.Poisson(p.DataSessionsPerDay)
+			for sNum := 0; sNum < sessions; sNum++ {
+				cdrTap.Offer(cdrs.Record{
+					Device:   dev.ID,
+					Time:     at(),
+					SIM:      dev.Home,
+					Visited:  cfg.Host,
+					Kind:     cdrs.KindData,
+					RAT:      p.DataRAT,
+					Duration: time.Duration(30+src.Intn(300)) * time.Second,
+					Bytes:    uint64(src.LogNormal(p.SessionBytesMu, p.SessionBytesSigma)),
+					APN:      p.APN,
+				})
+			}
+		}
+		// Voice as CDRs.
+		if p.UsesVoice {
+			calls := src.Poisson(p.CallsPerDay)
+			for cNum := 0; cNum < calls; cNum++ {
+				cdrTap.Offer(cdrs.Record{
+					Device:   dev.ID,
+					Time:     at(),
+					SIM:      dev.Home,
+					Visited:  cfg.Host,
+					Kind:     cdrs.KindVoice,
+					RAT:      p.VoiceRAT,
+					Duration: time.Duration(src.Exp(p.CallDurMeanS)) * time.Second,
+				})
+			}
+		}
+	}
+}

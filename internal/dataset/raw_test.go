@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+
+	"whereroam/internal/radio"
+)
+
+func rawSMIP() SMIPConfig {
+	cfg := DefaultSMIPConfig()
+	cfg.NativeMeters = 400
+	cfg.RoamingMeters = 300
+	return cfg
+}
+
+func TestGenerateSMIPRawPipeline(t *testing.T) {
+	ds, raw := GenerateSMIPRaw(rawSMIP())
+	if len(raw.Radio) == 0 || len(raw.Records) == 0 {
+		t.Fatal("raw streams empty")
+	}
+	// Streams are time-ordered after capture.
+	for i := 1; i < len(raw.Radio); i++ {
+		if raw.Radio[i].Time.Before(raw.Radio[i-1].Time) {
+			t.Fatal("radio stream not time-ordered")
+		}
+	}
+	// The builder's catalog covers the devices that were active.
+	if len(ds.Catalog.Records) == 0 {
+		t.Fatal("builder produced no catalog records")
+	}
+	seen := map[uint64]bool{}
+	for i := range ds.Catalog.Records {
+		r := &ds.Catalog.Records[i]
+		seen[uint64(r.Device)] = true
+		if r.FailedEvents > r.Events {
+			t.Fatal("failed > events")
+		}
+	}
+	if len(seen) < 650 {
+		t.Errorf("catalog covers %d devices of 700", len(seen))
+	}
+}
+
+func TestRawMatchesDirectGeneratorShape(t *testing.T) {
+	// The per-event path and the direct aggregate path must agree on
+	// the §7.1 shape criteria: native persistence, roaming
+	// intermittence, the ~10x signaling ratio, and RAT usage.
+	cfg := rawSMIP()
+	direct := GenerateSMIP(cfg)
+	rawDS, _ := GenerateSMIPRaw(cfg)
+
+	summarize := func(ds *SMIPDataset) (natMed, roamMed, ratio float64) {
+		activeDays := map[uint64]int{}
+		events := map[uint64]int{}
+		for i := range ds.Catalog.Records {
+			r := &ds.Catalog.Records[i]
+			activeDays[uint64(r.Device)]++
+			events[uint64(r.Device)] += r.Events
+		}
+		var nat, roam []float64
+		var natEv, natDays, roamEv, roamDays float64
+		for _, d := range ds.Devices {
+			id := uint64(d.ID)
+			if ds.Native[d.ID] {
+				nat = append(nat, float64(activeDays[id]))
+				natEv += float64(events[id])
+				natDays += float64(activeDays[id])
+			} else {
+				roam = append(roam, float64(activeDays[id]))
+				roamEv += float64(events[id])
+				roamDays += float64(activeDays[id])
+			}
+		}
+		sort.Float64s(nat)
+		sort.Float64s(roam)
+		return nat[len(nat)/2], roam[len(roam)/2], (roamEv / roamDays) / (natEv / natDays)
+	}
+	dn, dr, dratio := summarize(direct)
+	rn, rr, rratio := summarize(rawDS)
+	if dn < 22 || rn < 22 {
+		t.Errorf("native medians: direct %.0f raw %.0f, want ~26", dn, rn)
+	}
+	if dr > 8 || rr > 8 {
+		t.Errorf("roaming medians: direct %.0f raw %.0f, want ~5", dr, rr)
+	}
+	if rratio < dratio/2 || rratio > dratio*2 {
+		t.Errorf("signaling ratios diverge: direct %.1f raw %.1f", dratio, rratio)
+	}
+}
+
+func TestRawMobilityIsStationary(t *testing.T) {
+	ds, _ := GenerateSMIPRaw(rawSMIP())
+	// Meters are stationary; the dwell-weighted gyration computed by
+	// the builder from raw sector visits must say so.
+	located, under1km := 0, 0
+	for i := range ds.Catalog.Records {
+		r := &ds.Catalog.Records[i]
+		if !r.HasLocation {
+			continue
+		}
+		located++
+		if r.GyrationKm <= 1 {
+			under1km++
+		}
+	}
+	if located == 0 {
+		t.Fatal("no located records")
+	}
+	if frac := float64(under1km) / float64(located); frac < 0.9 {
+		t.Errorf("stationary share via raw pipeline = %.3f, want >= 0.9", frac)
+	}
+}
+
+func TestRawRATConsistency(t *testing.T) {
+	ds, raw := GenerateSMIPRaw(rawSMIP())
+	// Roaming meters are 2G-only: every radio event from a roaming
+	// device must ride a 2G interface.
+	for i := range raw.Radio {
+		ev := &raw.Radio[i]
+		native := ds.Native[ev.Device]
+		if !native && ev.RAT() != radio.RAT2G {
+			t.Fatalf("roaming meter event on %v", ev.RAT())
+		}
+	}
+}
+
+func BenchmarkGenerateSMIPRaw(b *testing.B) {
+	cfg := rawSMIP()
+	cfg.NativeMeters, cfg.RoamingMeters = 150, 100
+	for i := 0; i < b.N; i++ {
+		_, _ = GenerateSMIPRaw(cfg)
+	}
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"time"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/devices"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/mobility"
+	"whereroam/internal/rng"
+)
+
+// SMIPConfig parameterizes the smart-meter dataset generator (§7,
+// Fig 11: 1–26 October 2019).
+type SMIPConfig struct {
+	Seed          uint64
+	NativeMeters  int // host-MNO SIMs in the dedicated IMSI range
+	RoamingMeters int // global IoT SIMs homed at the NL operator
+	Days          int
+	Start         time.Time
+	Host          mccmnc.PLMN
+	GSMASeed      uint64
+	// NBIoTMigration is the fraction of roaming meters migrated to
+	// NB-IoT (the §8 scenario). Zero reproduces the paper's 2G fleet.
+	NBIoTMigration float64
+}
+
+// DefaultSMIPConfig returns the standard scaled-down configuration
+// (the paper studies 3.2M meters; 1/100 scale keeps runs instant).
+func DefaultSMIPConfig() SMIPConfig {
+	return SMIPConfig{
+		Seed:          1,
+		NativeMeters:  20000,
+		RoamingMeters: 12000,
+		Days:          26,
+		Start:         time.Date(2019, 10, 1, 0, 0, 0, 0, time.UTC),
+		Host:          mccmnc.MustParse("23410"),
+		GSMASeed:      1,
+	}
+}
+
+// SMIPDataset is the §7 dataset.
+type SMIPDataset struct {
+	Host    mccmnc.PLMN
+	Start   time.Time
+	Days    int
+	GSMA    *gsma.DB
+	Devices []devices.Device
+	Catalog *catalog.Catalog
+	// Native marks the SMIP-native cohort (false = roaming meter).
+	Native map[identity.DeviceID]bool
+	// NBIoT marks the roaming meters migrated to NB-IoT (empty when
+	// NBIoTMigration is zero).
+	NBIoT map[identity.DeviceID]bool
+	// NativeRange is the dedicated IMSI block of the native cohort.
+	NativeRange identity.IMSIRange
+}
+
+// GenerateSMIP synthesizes the smart-meter dataset.
+func GenerateSMIP(cfg SMIPConfig) *SMIPDataset {
+	if cfg.NativeMeters < 0 || cfg.RoamingMeters < 0 || cfg.Days <= 0 {
+		panic("dataset: SMIP config needs non-negative cohorts and positive Days")
+	}
+	db := gsma.Synthesize(cfg.GSMASeed)
+	root := rng.New(cfg.Seed).Split("smip")
+	hostCountry, _ := mccmnc.CountryByMCC(cfg.Host.MCC)
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+	alloc := devices.NewIMSIAllocator()
+	nlHome := mccmnc.MustParse("20404")
+
+	ds := &SMIPDataset{
+		Host:   cfg.Host,
+		Start:  cfg.Start,
+		Days:   cfg.Days,
+		GSMA:   db,
+		Native: make(map[identity.DeviceID]bool, cfg.NativeMeters+cfg.RoamingMeters),
+		NBIoT:  map[identity.DeviceID]bool{},
+	}
+	cat := &catalog.Catalog{Host: cfg.Host, Days: cfg.Days}
+
+	for i := 0; i < cfg.NativeMeters; i++ {
+		src := root.SplitN("native", uint64(i))
+		imsi := alloc.Next(cfg.Host, SMIPNativeBase)
+		prof := devices.SmartMeterNativeProfile(src.Split("profile"), cfg.Days, cfg.Host)
+		info := db.Pick(src.Split("tac"), gsma.ArchM2MModule)
+		mob := mobility.NewStationary(src.Split("mob"), centre, 150)
+		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
+		ds.Devices = append(ds.Devices, dev)
+		ds.Native[dev.ID] = true
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, cat, &dev)
+	}
+	for i := 0; i < cfg.RoamingMeters; i++ {
+		src := root.SplitN("roaming", uint64(i))
+		imsi := alloc.Next(nlHome, 4_000_000_000)
+		migrated := cfg.NBIoTMigration > 0 && src.Bool(cfg.NBIoTMigration)
+		var prof devices.Profile
+		if migrated {
+			prof = devices.NBIoTMeterProfile(src.Split("profile"), cfg.Days)
+		} else {
+			prof = devices.SmartMeterRoamingProfile(src.Split("profile"), cfg.Days)
+		}
+		// §4.4: every roaming meter maps to a Gemalto or Telit module.
+		info := db.PickFromVendors(src.Split("tac"), gsma.ArchM2MModule, "Gemalto", "Telit")
+		mob := mobility.NewStationary(src.Split("mob"), centre, 150)
+		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
+		ds.Devices = append(ds.Devices, dev)
+		ds.Native[dev.ID] = false
+		if migrated {
+			ds.NBIoT[dev.ID] = true
+		}
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, cat, &dev)
+	}
+	ds.Catalog = cat
+	ds.NativeRange = SMIPNativeRange(cfg.Host, alloc.Allocated(cfg.Host, SMIPNativeBase))
+	return ds
+}

@@ -1,0 +1,142 @@
+// Package devices defines the generator-side ground truth of the
+// simulated populations: device classes (the IoT verticals and phone
+// types the paper contrasts), per-device behaviour profiles, and the
+// assembly of concrete devices (IMSI, IMEI, catalog identity).
+//
+// The package encodes *behaviour*, not *labels*: a smart meter here is
+// a thing that reports a few kilobytes nightly over 2G with an energy
+// APN, and whether the classifier in internal/core recognizes it as
+// m2m is exactly the question the paper's §4.3/§7 evaluate.
+package devices
+
+import (
+	"fmt"
+	"strconv"
+
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/mobility"
+)
+
+// Class is the ground-truth vertical of a simulated device.
+type Class uint8
+
+// Ground-truth classes. The first two are the person-device classes;
+// the rest are IoT verticals (the paper's m2m umbrella).
+const (
+	ClassSmartphone Class = iota
+	ClassFeaturePhone
+	ClassSmartMeter
+	ClassConnectedCar
+	ClassWearable
+	ClassPOSTerminal
+	ClassAssetTracker
+	classCount
+)
+
+var classNames = [...]string{
+	"smartphone", "featurephone", "smartmeter", "connectedcar",
+	"wearable", "posterminal", "assettracker",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class(" + strconv.Itoa(int(c)) + ")"
+}
+
+// IsM2M reports whether the class belongs to the paper's m2m umbrella
+// (everything that is not a personal phone).
+func (c Class) IsM2M() bool {
+	return c != ClassSmartphone && c != ClassFeaturePhone
+}
+
+// Device is one concrete simulated device.
+type Device struct {
+	ID       identity.DeviceID
+	IMSI     identity.IMSI
+	IMEI     identity.IMEI
+	Info     gsma.DeviceInfo // catalog identity resolved via TAC
+	Class    Class
+	Profile  Profile
+	Mobility mobility.Model
+	// Home is the operator that provisioned the SIM.
+	Home mccmnc.PLMN
+	// MVNO marks SIMs of a virtual operator riding on the host MNO
+	// (the V:H roaming label population).
+	MVNO bool
+}
+
+// HomeISO returns the ISO country of the SIM's home operator.
+func (d *Device) HomeISO() string { return mccmnc.ISOByMCC(d.Home.MCC) }
+
+// IMSIAllocator hands out sequential MSINs per (home network, base)
+// block so IMSIs are unique and dedicated ranges (the SMIP block) are
+// contiguous.
+type IMSIAllocator struct {
+	next map[imsiBlock]uint64
+}
+
+type imsiBlock struct {
+	plmn mccmnc.PLMN
+	base uint64
+}
+
+// NewIMSIAllocator returns an empty allocator.
+func NewIMSIAllocator() *IMSIAllocator {
+	return &IMSIAllocator{next: map[imsiBlock]uint64{}}
+}
+
+// Next allocates the next IMSI in the PLMN's block starting at base.
+// Distinct populations on one PLMN should use disjoint, well-spaced
+// bases; the allocator does not police overlap.
+func (a *IMSIAllocator) Next(plmn mccmnc.PLMN, base uint64) identity.IMSI {
+	k := imsiBlock{plmn, base}
+	n := a.next[k]
+	a.next[k] = n + 1
+	return identity.IMSI{PLMN: plmn, MSIN: base + n}
+}
+
+// Allocated returns how many IMSIs the block has handed out.
+func (a *IMSIAllocator) Allocated(plmn mccmnc.PLMN, base uint64) uint64 {
+	return a.next[imsiBlock{plmn, base}]
+}
+
+// Assemble builds a Device from its parts, deriving the hashed ID and
+// a plausible IMEI serial from the IMSI so that identity is stable.
+func Assemble(class Class, imsi identity.IMSI, info gsma.DeviceInfo, prof Profile, mob mobility.Model, mvno bool) Device {
+	return Device{
+		ID:       identity.HashDevice(imsi),
+		IMSI:     imsi,
+		IMEI:     identity.IMEI{TAC: info.TAC, Serial: uint32(imsi.MSIN % 1_000_000)},
+		Info:     info,
+		Class:    class,
+		Profile:  prof,
+		Mobility: mob,
+		Home:     imsi.PLMN,
+		MVNO:     mvno,
+	}
+}
+
+// Validate performs generator-side sanity checks; it is used by tests
+// and returns an error describing the first inconsistency.
+func (d *Device) Validate() error {
+	if d.ID != identity.HashDevice(d.IMSI) {
+		return fmt.Errorf("devices: %v: ID does not match IMSI hash", d.ID)
+	}
+	if d.IMEI.TAC != d.Info.TAC {
+		return fmt.Errorf("devices: %v: IMEI TAC %v != catalog TAC %v", d.ID, d.IMEI.TAC, d.Info.TAC)
+	}
+	if d.Profile.PresenceDays <= 0 {
+		return fmt.Errorf("devices: %v: non-positive presence window", d.ID)
+	}
+	if !d.Profile.UsesData && !d.Profile.UsesVoice {
+		return fmt.Errorf("devices: %v: device uses neither data nor voice", d.ID)
+	}
+	if d.Profile.UsesData && d.Profile.DataSessionsPerDay <= 0 {
+		return fmt.Errorf("devices: %v: data user with no sessions", d.ID)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner builds (or reuses) the scaled
+// synthetic dataset it needs, executes the paper's analysis over the
+// capture→catalog→classify pipeline, and emits both human-readable
+// tables and a machine-checkable map of key values. The integration
+// tests in this package assert the paper's shape criteria — who wins,
+// by what factor, where the knees sit — against those values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"whereroam/internal/analysis"
+	"whereroam/internal/dataset"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports for this artefact, so
+	// EXPERIMENTS.md can show paper-vs-measured side by side.
+	Paper  string
+	Tables []*analysis.Table
+	// Values holds the headline numbers keyed by stable names; tests
+	// and EXPERIMENTS.md read them.
+	Values map[string]float64
+	// Notes carries free-form observations.
+	Notes []string
+}
+
+// Value returns a named value (0 when missing; tests use Has first).
+func (r *Report) Value(key string) float64 { return r.Values[key] }
+
+// Has reports whether a named value exists.
+func (r *Report) Has(key string) bool {
+	_, ok := r.Values[key]
+	return ok
+}
+
+func (r *Report) setValue(key string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[key] = v
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("\nvalues:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-32s %.4f\n", k, r.Values[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Session shares the expensive synthetic datasets between runners:
+// the MNO dataset alone feeds eight experiments.
+type Session struct {
+	// Seed drives every generator.
+	Seed uint64
+	// Factor scales the default device counts (1.0 ≈ a tenth of
+	// paper scale; tests use less, cmd/roamrepro -scale more).
+	Factor float64
+
+	mu   sync.Mutex
+	m2m  *dataset.M2MDataset
+	mno  *dataset.MNODataset
+	smip *dataset.SMIPDataset
+}
+
+// NewSession returns a session with the given seed and scale factor.
+func NewSession(seed uint64, factor float64) *Session {
+	if factor <= 0 {
+		factor = 1
+	}
+	return &Session{Seed: seed, Factor: factor}
+}
+
+func (s *Session) scaled(n int) int {
+	v := int(float64(n) * s.Factor)
+	if v < 100 {
+		v = 100
+	}
+	return v
+}
+
+// M2M lazily builds the platform dataset.
+func (s *Session) M2M() *dataset.M2MDataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m2m == nil {
+		cfg := dataset.DefaultM2MConfig()
+		cfg.Seed = s.Seed
+		cfg.Devices = s.scaled(cfg.Devices)
+		s.m2m = dataset.GenerateM2M(cfg)
+	}
+	return s.m2m
+}
+
+// MNO lazily builds the visited-MNO dataset.
+func (s *Session) MNO() *dataset.MNODataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mno == nil {
+		cfg := dataset.DefaultMNOConfig()
+		cfg.Seed = s.Seed
+		cfg.Devices = s.scaled(cfg.Devices)
+		s.mno = dataset.GenerateMNO(cfg)
+	}
+	return s.mno
+}
+
+// SMIP lazily builds the smart-meter dataset.
+func (s *Session) SMIP() *dataset.SMIPDataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.smip == nil {
+		cfg := dataset.DefaultSMIPConfig()
+		cfg.Seed = s.Seed
+		cfg.NativeMeters = s.scaled(cfg.NativeMeters)
+		cfg.RoamingMeters = s.scaled(cfg.RoamingMeters)
+		s.smip = dataset.GenerateSMIP(cfg)
+	}
+	return s.smip
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Session) *Report
+}
+
+var registry []Runner
+
+// canonicalOrder presents experiments in the paper's order with the
+// ablations last, regardless of file-init order.
+var canonicalOrder = map[string]int{
+	"t1": 0, "fig2": 1, "fig3l": 2, "fig3c": 3, "fig3r": 4,
+	"t2": 5, "fig5": 6, "fig6": 7, "fig7": 8, "fig8": 9,
+	"fig9": 10, "fig10": 11, "fig11": 12, "fig12": 13, "t3": 14,
+	"abl-classifier": 15, "abl-gyration": 16, "abl-policy": 17,
+	"ext-revenue": 18, "ext-transparency": 19, "ext-nbiot": 20, "ext-latency": 21,
+}
+
+func register(id, title string, run func(*Session) *Report) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered runners in paper order.
+func All() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		oi, oki := canonicalOrder[out[i].ID]
+		oj, okj := canonicalOrder[out[j].ID]
+		if oki && okj {
+			return oi < oj
+		}
+		if oki != okj {
+			return oki // known ids first
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ByID returns the runner with the given experiment id.
+func ByID(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+func TestExtRevenue(t *testing.T) {
+	rep := run(t, "ext-revenue")
+	// The paper's §9 claim, priced: m2m dominates the inbound event
+	// load but contributes a small fraction of wholesale revenue.
+	m2mEvents := rep.Value("m2m_event_share")
+	smartEvents := rep.Value("smart_event_share")
+	m2mRev := rep.Value("m2m_revenue_share")
+	smartRev := rep.Value("smart_revenue_share")
+	if m2mEvents <= smartEvents {
+		t.Errorf("m2m event share %.3f should exceed smart %.3f", m2mEvents, smartEvents)
+	}
+	if m2mRev >= smartRev {
+		t.Errorf("m2m revenue share %.3f should trail smart %.3f", m2mRev, smartRev)
+	}
+	// Per-device value gap of at least an order of magnitude.
+	if rep.Value("smart_eur_per_device") < 10*rep.Value("m2m_eur_per_device") {
+		t.Errorf("per-device revenue gap too small: smart %.4f vs m2m %.4f EUR",
+			rep.Value("smart_eur_per_device"), rep.Value("m2m_eur_per_device"))
+	}
+	if rep.Value("total_revenue_eur") <= 0 || rep.Value("partners") < 10 {
+		t.Errorf("settlement degenerate: %.2f EUR across %.0f partners",
+			rep.Value("total_revenue_eur"), rep.Value("partners"))
+	}
+}
+
+func TestExtTransparency(t *testing.T) {
+	rep := run(t, "ext-transparency")
+	cov := rep.Value("declaration_coverage")
+	if cov <= 0.2 || cov >= 0.95 {
+		t.Errorf("declaration coverage = %.3f, want partial (adoption is 0.6)", cov)
+	}
+	if rep.Value("declaring_operators") < 2 {
+		t.Errorf("declaring operators = %.0f", rep.Value("declaring_operators"))
+	}
+	if rep.Value("combined_m2m_recall") < rep.Value("classifier_m2m_recall") {
+		t.Error("declarations must not reduce recall")
+	}
+}
+
+func TestExtNBIoT(t *testing.T) {
+	rep := run(t, "ext-nbiot")
+	// RAT-rule recall grows with migration: 0 → ~0.5 → ~1.
+	r0 := rep.Value("migration_0_rat_recall")
+	r50 := rep.Value("migration_50_rat_recall")
+	r100 := rep.Value("migration_100_rat_recall")
+	if r0 != 0 {
+		t.Errorf("pre-migration RAT recall = %.3f, want 0", r0)
+	}
+	if r50 < 0.4 || r50 > 0.6 {
+		t.Errorf("half-migration RAT recall = %.3f, want ~0.5", r50)
+	}
+	if r100 < 0.99 {
+		t.Errorf("full-migration RAT recall = %.3f, want ~1", r100)
+	}
+	// NB-IoT's power-save profile slashes the signaling overhead.
+	if rep.Value("migration_100_signaling_per_day") >= rep.Value("migration_0_signaling_per_day")/5 {
+		t.Errorf("NB-IoT signaling %.1f/day should be far below 2G fleet %.1f/day",
+			rep.Value("migration_100_signaling_per_day"), rep.Value("migration_0_signaling_per_day"))
+	}
+}
+
+func TestExtLatency(t *testing.T) {
+	rep := run(t, "ext-latency")
+	// HR's tail is the problem; hub breakout cuts it.
+	if rep.Value("hr_p95_ms") <= rep.Value("policy_p95_ms") {
+		t.Errorf("HR p95 %.0f ms should exceed policy p95 %.0f ms",
+			rep.Value("hr_p95_ms"), rep.Value("policy_p95_ms"))
+	}
+	if rep.Value("hr_max_ms") < 150 {
+		t.Errorf("HR worst case = %.0f ms; far destinations should hurt more", rep.Value("hr_max_ms"))
+	}
+	if rep.Value("policy_max_ms") >= rep.Value("hr_max_ms") {
+		t.Error("hub breakout should improve the worst case")
+	}
+	// Medians stay comparable: most roaming is intra-Europe where HR
+	// is cheap (the paper's European focus).
+	if rep.Value("hr_median_ms") > 3*rep.Value("policy_p95_ms") {
+		t.Error("median HR latency implausibly high for a Europe-centric footprint")
+	}
+}

@@ -1,0 +1,125 @@
+// Package geo provides the small amount of spherical geometry the
+// mobility analysis needs: great-circle distances, time-weighted
+// centroids and the radius of gyration metric from §5.3 of the paper
+// (a weighted RMS distance of a device's cell sectors from its
+// centroid, the standard mobility-range measure).
+package geo
+
+import "math"
+
+// EarthRadiusKm is the mean Earth radius used for all distances.
+const EarthRadiusKm = 6371.0
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// DistanceKm returns the great-circle (haversine) distance between two
+// points in kilometres.
+func DistanceKm(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	la1, lo1 := a.Lat*degToRad, a.Lon*degToRad
+	la2, lo2 := b.Lat*degToRad, b.Lon*degToRad
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(la1)*math.Cos(la2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// Visit is a dwell at a location with a weight (the paper weights by
+// time spent connected to the sector).
+type Visit struct {
+	At     Point
+	Weight float64 // must be >= 0; zero-weight visits are ignored
+}
+
+// Centroid returns the weighted centroid of the visits. For the
+// city-to-country scales the analysis works at, the flat weighted
+// mean of coordinates is within measurement noise of the true
+// spherical centroid; longitudes are unwrapped around the first visit
+// so clusters straddling the antimeridian do not average to the wrong
+// side of the planet. The second return is false when the visits
+// carry no positive weight.
+func Centroid(visits []Visit) (Point, bool) {
+	var sumLat, sumLon, sumW float64
+	first := true
+	var ref float64
+	for _, v := range visits {
+		if v.Weight <= 0 {
+			continue
+		}
+		lon := v.At.Lon
+		if first {
+			ref = lon
+			first = false
+		} else {
+			for lon-ref > 180 {
+				lon -= 360
+			}
+			for lon-ref < -180 {
+				lon += 360
+			}
+		}
+		sumLat += v.At.Lat * v.Weight
+		sumLon += lon * v.Weight
+		sumW += v.Weight
+	}
+	if sumW == 0 {
+		return Point{}, false
+	}
+	lon := sumLon / sumW
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return Point{Lat: sumLat / sumW, Lon: lon}, true
+}
+
+// Gyration returns the weighted radius of gyration in kilometres: the
+// square root of the weighted mean squared distance of each visit
+// from the weighted centroid. A stationary device has gyration 0; the
+// paper reports that ~80% of inbound-roaming M2M devices stay under
+// 1 km (and attributes part of the residual to cell reselection, not
+// movement).
+func Gyration(visits []Visit) float64 {
+	c, ok := Centroid(visits)
+	if !ok {
+		return 0
+	}
+	var sum, sumW float64
+	for _, v := range visits {
+		if v.Weight <= 0 {
+			continue
+		}
+		d := DistanceKm(v.At, c)
+		sum += v.Weight * d * d
+		sumW += v.Weight
+	}
+	if sumW == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / sumW)
+}
+
+// GyrationUnweighted ignores weights (every visit counts once). Kept
+// for the ablation in DESIGN.md §5: without time weighting, brief
+// cell reselections inflate the apparent mobility of stationary
+// devices.
+func GyrationUnweighted(visits []Visit) float64 {
+	uw := make([]Visit, 0, len(visits))
+	for _, v := range visits {
+		if v.Weight > 0 {
+			uw = append(uw, Visit{At: v.At, Weight: 1})
+		}
+	}
+	return Gyration(uw)
+}

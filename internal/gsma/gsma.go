@@ -1,0 +1,201 @@
+// Package gsma models the commercial GSMA TAC device catalog the
+// paper joins against (§4.1 "Device properties"): a mapping from the
+// 8-digit Type Allocation Code to vendor, model, operating system,
+// radio capability and a coarse device-type label.
+//
+// The real catalog is licensed; this package synthesizes one with the
+// same shape, including the properties the paper leans on:
+//
+//   - scale: ~2,400 vendors and ~25,000 models (the paper observes
+//     2,436 and 24,991 across 22 days), far too many for the manual
+//     classification of prior work;
+//   - concentration: Gemalto, Telit and Sierra Wireless dominate the
+//     M2M module space (≈75% of inbound-roaming devices);
+//   - ambiguity: non-phone devices carry generic "Modem"/"Module"
+//     labels that do not by themselves imply an IoT application.
+package gsma
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"whereroam/internal/identity"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+)
+
+// DeviceType is the coarse GSMA device-type label.
+type DeviceType uint8
+
+// GSMA device-type labels. Only Smartphone and FeaturePhone are
+// directly actionable for classification; Modem/Module are the
+// ambiguous labels §4.3 calls out.
+const (
+	TypeUnknown DeviceType = iota
+	TypeSmartphone
+	TypeFeaturePhone
+	TypeModem
+	TypeModule
+	TypeTablet
+	TypeWearable
+	TypeVehicle
+	TypeRouter
+)
+
+var typeNames = [...]string{
+	"Unknown", "Smartphone", "Feature Phone", "Modem", "Module",
+	"Tablet", "Wearable", "Vehicle", "WLAN Router",
+}
+
+func (t DeviceType) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "type(" + strconv.Itoa(int(t)) + ")"
+}
+
+// OS identifies the device operating system as catalogued by GSMA.
+// The paper treats Android/iOS/BlackBerry/Windows Mobile as "major
+// smartphone OS" for the smart class.
+type OS string
+
+// Operating systems appearing in the catalog.
+const (
+	OSAndroid     OS = "Android"
+	OSiOS         OS = "iOS"
+	OSBlackBerry  OS = "BlackBerry"
+	OSWindows     OS = "Windows Mobile"
+	OSKaiOS       OS = "KaiOS"
+	OSRTOS        OS = "RTOS"
+	OSLinux       OS = "Linux"
+	OSProprietary OS = "Proprietary"
+	OSNone        OS = ""
+)
+
+// IsSmartphoneOS reports whether the OS is one of the four the paper
+// accepts as evidence for the smart class.
+func (o OS) IsSmartphoneOS() bool {
+	switch o {
+	case OSAndroid, OSiOS, OSBlackBerry, OSWindows:
+		return true
+	}
+	return false
+}
+
+// DeviceInfo is one catalog row.
+type DeviceInfo struct {
+	TAC    identity.TAC
+	Vendor string
+	Model  string
+	OS     OS
+	Type   DeviceType
+	Bands  radio.RATSet // radio capability of the model
+}
+
+// Archetype selects a market segment when drawing devices from the
+// catalog. It is generator-side knowledge: the catalog rows themselves
+// carry only the ambiguous GSMA labels.
+type Archetype uint8
+
+// Market segments used by the population generators.
+const (
+	ArchSmartphone Archetype = iota
+	ArchFeaturePhone
+	ArchM2MModule
+	ArchVehicle
+	ArchWearable
+	archCount
+)
+
+var archNames = [...]string{"smartphone", "featurephone", "m2mmodule", "vehicle", "wearable"}
+
+func (a Archetype) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return "arch(" + strconv.Itoa(int(a)) + ")"
+}
+
+// DB is an immutable synthesized catalog. All lookups are safe for
+// concurrent use.
+type DB struct {
+	byTAC   map[identity.TAC]DeviceInfo
+	byArch  [archCount][]DeviceInfo // models per archetype, popularity-ordered
+	pick    [archCount]*rng.Weighted
+	vendors map[string]bool
+}
+
+// Lookup returns the catalog row for the TAC.
+func (db *DB) Lookup(tac identity.TAC) (DeviceInfo, bool) {
+	di, ok := db.byTAC[tac]
+	return di, ok
+}
+
+// Vendors returns the number of distinct vendors in the catalog.
+func (db *DB) Vendors() int { return len(db.vendors) }
+
+// Models returns the number of distinct models (TACs) in the catalog.
+func (db *DB) Models() int { return len(db.byTAC) }
+
+// Pick draws a model of the archetype with the market's popularity
+// skew (Zipf over models, with the M2M module segment additionally
+// concentrated on its three dominant vendors). src provides the
+// randomness so callers control determinism.
+func (db *DB) Pick(src *rng.Source, a Archetype) DeviceInfo {
+	models := db.byArch[a]
+	return models[db.pick[a].DrawFrom(src)]
+}
+
+// PickFromVendors draws a model of the archetype restricted to the
+// listed vendors, preserving relative popularity. It panics if no
+// model matches, which indicates generator misconfiguration.
+func (db *DB) PickFromVendors(src *rng.Source, a Archetype, vendors ...string) DeviceInfo {
+	allowed := map[string]bool{}
+	for _, v := range vendors {
+		allowed[v] = true
+	}
+	var filtered []DeviceInfo
+	var weights []float64
+	for rank, di := range db.byArch[a] {
+		if allowed[di.Vendor] {
+			filtered = append(filtered, di)
+			weights = append(weights, 1/float64(rank+1))
+		}
+	}
+	if len(filtered) == 0 {
+		panic(fmt.Sprintf("gsma: no %v models from vendors %v", a, vendors))
+	}
+	return filtered[rng.NewWeighted(src, weights).DrawFrom(src)]
+}
+
+// PickWithBands draws a model of the archetype whose radio capability
+// includes every RAT in want. Panics if no model qualifies.
+func (db *DB) PickWithBands(src *rng.Source, a Archetype, want radio.RATSet) DeviceInfo {
+	// Bounded rejection sampling first (cheap, usually succeeds)...
+	for i := 0; i < 32; i++ {
+		di := db.Pick(src, a)
+		if di.Bands&want == want {
+			return di
+		}
+	}
+	// ...then exhaustive fallback.
+	for _, di := range db.byArch[a] {
+		if di.Bands&want == want {
+			return di
+		}
+	}
+	panic(fmt.Sprintf("gsma: no %v model with bands %v", a, want))
+}
+
+// ModelsOf returns the catalog rows of one vendor, sorted by TAC.
+func (db *DB) ModelsOf(vendor string) []DeviceInfo {
+	var out []DeviceInfo
+	for _, di := range db.byTAC {
+		if di.Vendor == vendor {
+			out = append(out, di)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TAC < out[j].TAC })
+	return out
+}

@@ -1,0 +1,223 @@
+package gsma
+
+import (
+	"testing"
+
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+)
+
+func testDB(t testing.TB) *DB {
+	t.Helper()
+	return Synthesize(1)
+}
+
+func TestCatalogScale(t *testing.T) {
+	db := testDB(t)
+	// The paper observes 2,436 vendors and 24,991 models; ours must
+	// be of the same order.
+	if v := db.Vendors(); v < 2200 || v > 2700 {
+		t.Errorf("vendors = %d, want ~2400", v)
+	}
+	if m := db.Models(); m < 22000 || m > 28000 {
+		t.Errorf("models = %d, want ~25000", m)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, b := Synthesize(7), Synthesize(7)
+	if a.Models() != b.Models() || a.Vendors() != b.Vendors() {
+		t.Fatal("same seed produced different catalogs")
+	}
+	for tac, di := range a.byTAC {
+		if other, ok := b.byTAC[tac]; !ok || other != di {
+			t.Fatalf("TAC %v differs between identical seeds", tac)
+		}
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(2)
+	for i := 0; i < 100; i++ {
+		di := db.Pick(src, ArchM2MModule)
+		got, ok := db.Lookup(di.TAC)
+		if !ok || got != di {
+			t.Fatalf("Lookup(%v) = %+v, %v", di.TAC, got, ok)
+		}
+	}
+	if _, ok := db.Lookup(99999999); ok {
+		t.Error("lookup of unallocated TAC succeeded")
+	}
+}
+
+func TestM2MVendorConcentration(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(3)
+	const n = 20000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[db.Pick(src, ArchM2MModule).Vendor]++
+	}
+	top3 := counts["Gemalto"] + counts["Telit"] + counts["Sierra Wireless"]
+	share := float64(top3) / n
+	// §4.3: the three big vendors are ~75% of inbound-roaming devices.
+	if share < 0.70 || share > 0.80 {
+		t.Errorf("Gemalto+Telit+Sierra share = %.3f, want ~0.75", share)
+	}
+	if counts["Gemalto"] <= counts["Telit"] {
+		t.Errorf("Gemalto (%d) should outdraw Telit (%d)", counts["Gemalto"], counts["Telit"])
+	}
+}
+
+func TestSmartphoneOS(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(4)
+	smart, total := 0, 5000
+	for i := 0; i < total; i++ {
+		di := db.Pick(src, ArchSmartphone)
+		if di.OS.IsSmartphoneOS() {
+			smart++
+		}
+	}
+	if frac := float64(smart) / float64(total); frac < 0.99 {
+		t.Errorf("smartphone OS share = %.3f, want ~1", frac)
+	}
+	// Feature phones must not carry a smartphone OS.
+	for i := 0; i < 1000; i++ {
+		di := db.Pick(src, ArchFeaturePhone)
+		if di.OS.IsSmartphoneOS() {
+			t.Fatalf("feature phone %q has smartphone OS %q", di.Model, di.OS)
+		}
+	}
+}
+
+func TestM2MLabelsAreAmbiguous(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(5)
+	labels := map[DeviceType]int{}
+	for i := 0; i < 2000; i++ {
+		labels[db.Pick(src, ArchM2MModule).Type]++
+	}
+	// §4.3: GSMA marks most non-phones as "modem" or "module" — no
+	// M2M-specific label exists.
+	if labels[TypeModule]+labels[TypeModem] < 1600 {
+		t.Errorf("module+modem labels = %d/2000, want dominant", labels[TypeModule]+labels[TypeModem])
+	}
+	if labels[TypeSmartphone] != 0 {
+		t.Error("an M2M module must never be labelled Smartphone")
+	}
+}
+
+func TestPickFromVendors(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(6)
+	// The SMIP-roaming scenario: meters built exclusively on Gemalto
+	// and Telit modules (§4.4).
+	for i := 0; i < 500; i++ {
+		di := db.PickFromVendors(src, ArchM2MModule, "Gemalto", "Telit")
+		if di.Vendor != "Gemalto" && di.Vendor != "Telit" {
+			t.Fatalf("vendor %q outside restriction", di.Vendor)
+		}
+	}
+}
+
+func TestPickFromVendorsPanicsOnUnknown(t *testing.T) {
+	db := testDB(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown vendor")
+		}
+	}()
+	db.PickFromVendors(rng.New(1), ArchM2MModule, "NoSuchVendor")
+}
+
+func TestPickWithBands(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(7)
+	for i := 0; i < 200; i++ {
+		di := db.PickWithBands(src, ArchM2MModule, radio.Has4G)
+		if !di.Bands.Has(radio.RAT4G) {
+			t.Fatalf("model %q lacks requested 4G band", di.Model)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		di := db.PickWithBands(src, ArchFeaturePhone, radio.Has2G)
+		if !di.Bands.Has(radio.RAT2G) {
+			t.Fatalf("model %q lacks 2G", di.Model)
+		}
+	}
+}
+
+func TestM2MBandMix(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(8)
+	only2G, total := 0, 5000
+	for i := 0; i < total; i++ {
+		if db.Pick(src, ArchM2MModule).Bands.Only(radio.RAT2G) {
+			only2G++
+		}
+	}
+	// The installed base should be 2G-heavy (not exact: behaviour
+	// profiles choose what devices do with their bands).
+	if frac := float64(only2G) / float64(total); frac < 0.35 || frac > 0.70 {
+		t.Errorf("2G-only module share = %.3f, want ~0.55", frac)
+	}
+}
+
+func TestVehicleSegment(t *testing.T) {
+	db := testDB(t)
+	src := rng.New(9)
+	multiRAT := 0
+	for i := 0; i < 1000; i++ {
+		di := db.Pick(src, ArchVehicle)
+		if di.Bands.Has(radio.RAT4G) {
+			multiRAT++
+		}
+	}
+	if multiRAT < 700 {
+		t.Errorf("4G-capable vehicles = %d/1000, want ~800", multiRAT)
+	}
+}
+
+func TestModelsOf(t *testing.T) {
+	db := testDB(t)
+	ms := db.ModelsOf("Gemalto")
+	if len(ms) < 50 {
+		t.Fatalf("Gemalto has %d models, want many (portfolio leader)", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].TAC >= ms[i].TAC {
+			t.Fatal("ModelsOf must be TAC-sorted")
+		}
+	}
+}
+
+func TestDistinctTACBlocks(t *testing.T) {
+	db := testDB(t)
+	// Every TAC maps to exactly one archetype's block; verify no
+	// overlap by re-deriving membership.
+	for a := Archetype(0); a < archCount; a++ {
+		for _, di := range db.byArch[a] {
+			got, ok := db.Lookup(di.TAC)
+			if !ok || got.Vendor != di.Vendor {
+				t.Fatalf("TAC %v: block overlap or missing", di.TAC)
+			}
+		}
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Synthesize(uint64(i))
+	}
+}
+
+func BenchmarkPick(b *testing.B) {
+	db := Synthesize(1)
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.Pick(src, ArchM2MModule)
+	}
+}

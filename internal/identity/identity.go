@@ -1,0 +1,246 @@
+// Package identity implements the subscriber and equipment identifiers
+// of the cellular identity plane: IMSI (E.212), IMEI with its TAC
+// prefix (3GPP TS 23.003), ICCID (E.118) and MSISDN (E.164), plus the
+// one-way hashing used to anonymize device identifiers in traces, as
+// both of the paper's datasets do.
+package identity
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"whereroam/internal/mccmnc"
+)
+
+// IMSI is an International Mobile Subscriber Identity: the PLMN of the
+// SIM's issuer followed by a Mobile Subscriber Identification Number.
+// Total length is at most 15 digits.
+type IMSI struct {
+	PLMN mccmnc.PLMN
+	MSIN uint64 // up to 10 digits (9 when the MNC has 3 digits)
+}
+
+// msinDigits returns the MSIN width for the IMSI's MNC length, fixed
+// at the maximum allowed so every IMSI renders as 15 digits.
+func (im IMSI) msinDigits() int { return 15 - 3 - int(im.PLMN.MNCLen) }
+
+// ParseIMSI parses a 15-digit IMSI string. The MNC length cannot be
+// derived from the digits alone (E.212 leaves it to the home registry),
+// so the caller supplies mncLen (2 or 3).
+func ParseIMSI(s string, mncLen int) (IMSI, error) {
+	if len(s) != 15 {
+		return IMSI{}, fmt.Errorf("identity: IMSI %q: want 15 digits, have %d", s, len(s))
+	}
+	if mncLen != 2 && mncLen != 3 {
+		return IMSI{}, fmt.Errorf("identity: IMSI MNC length %d: want 2 or 3", mncLen)
+	}
+	if !allDigits(s) {
+		return IMSI{}, fmt.Errorf("identity: IMSI %q: non-digit", s)
+	}
+	plmn, err := mccmnc.Parse(s[:3+mncLen])
+	if err != nil {
+		return IMSI{}, fmt.Errorf("identity: IMSI %q: %w", s, err)
+	}
+	msin, err := strconv.ParseUint(s[3+mncLen:], 10, 64)
+	if err != nil {
+		return IMSI{}, fmt.Errorf("identity: IMSI %q: MSIN: %w", s, err)
+	}
+	return IMSI{PLMN: plmn, MSIN: msin}, nil
+}
+
+// String renders the IMSI as 15 digits.
+func (im IMSI) String() string {
+	return im.PLMN.Concat() + fmt.Sprintf("%0*d", im.msinDigits(), im.MSIN)
+}
+
+// IsZero reports whether the IMSI is the zero value.
+func (im IMSI) IsZero() bool { return im == IMSI{} }
+
+// InRange reports whether the IMSI's MSIN falls inside [lo, hi]. MNOs
+// dedicate IMSI ranges to verticals (the paper's UK MNO dedicates one
+// to SMIP smart meters); this is the membership test for such ranges.
+func (im IMSI) InRange(r IMSIRange) bool {
+	return im.PLMN == r.PLMN && im.MSIN >= r.Lo && im.MSIN <= r.Hi
+}
+
+// IMSIRange is a dedicated block of MSINs within one PLMN.
+type IMSIRange struct {
+	PLMN mccmnc.PLMN
+	Lo   uint64
+	Hi   uint64
+}
+
+// Contains reports whether the IMSI falls in the range.
+func (r IMSIRange) Contains(im IMSI) bool { return im.InRange(r) }
+
+// TAC is a Type Allocation Code: the first 8 digits of an IMEI,
+// statically allocated to a device vendor/model by GSMA.
+type TAC uint32
+
+// ParseTAC parses an 8-digit TAC.
+func ParseTAC(s string) (TAC, error) {
+	if len(s) != 8 || !allDigits(s) {
+		return 0, fmt.Errorf("identity: TAC %q: want 8 digits", s)
+	}
+	v, _ := strconv.ParseUint(s, 10, 32)
+	return TAC(v), nil
+}
+
+// String renders the TAC as 8 digits.
+func (t TAC) String() string { return fmt.Sprintf("%08d", uint32(t)) }
+
+// IMEI is an International Mobile Equipment Identity: 8-digit TAC,
+// 6-digit serial number and a Luhn check digit.
+type IMEI struct {
+	TAC    TAC
+	Serial uint32 // 6 digits
+}
+
+// ParseIMEI parses a 15-digit IMEI and verifies its Luhn check digit.
+func ParseIMEI(s string) (IMEI, error) {
+	if len(s) != 15 || !allDigits(s) {
+		return IMEI{}, fmt.Errorf("identity: IMEI %q: want 15 digits", s)
+	}
+	if luhnDigit(s[:14]) != int(s[14]-'0') {
+		return IMEI{}, fmt.Errorf("identity: IMEI %q: Luhn check digit mismatch", s)
+	}
+	tac, _ := ParseTAC(s[:8])
+	serial, _ := strconv.ParseUint(s[8:14], 10, 32)
+	return IMEI{TAC: tac, Serial: uint32(serial)}, nil
+}
+
+// String renders the IMEI as 15 digits including the Luhn check digit.
+func (im IMEI) String() string {
+	body := fmt.Sprintf("%08d%06d", uint32(im.TAC), im.Serial%1000000)
+	return body + strconv.Itoa(luhnDigit(body))
+}
+
+// luhnDigit computes the Luhn check digit for a digit string.
+func luhnDigit(body string) int {
+	sum := 0
+	// Walk right to left; double every second digit starting from the
+	// rightmost (which precedes the check digit position).
+	dbl := true
+	for i := len(body) - 1; i >= 0; i-- {
+		d := int(body[i] - '0')
+		if dbl {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		dbl = !dbl
+	}
+	return (10 - sum%10) % 10
+}
+
+// LuhnOK reports whether the digit string's final digit is a valid
+// Luhn check digit for the preceding digits.
+func LuhnOK(s string) bool {
+	if len(s) < 2 || !allDigits(s) {
+		return false
+	}
+	return luhnDigit(s[:len(s)-1]) == int(s[len(s)-1]-'0')
+}
+
+// ICCID is the SIM card serial number (E.118): the "89" telecom
+// industry prefix, a country calling code, an issuer identifier, an
+// account number and a Luhn check digit — 19 or 20 digits total. Only
+// the fields the generators need are modelled.
+type ICCID struct {
+	CountryCode uint16 // E.164 country calling code, 1-3 digits
+	Issuer      uint16 // 2-digit issuer within country
+	Account     uint64 // 12-digit individual account number
+}
+
+// String renders the ICCID as 19 digits plus the Luhn check digit.
+func (ic ICCID) String() string {
+	body := fmt.Sprintf("89%03d%02d%012d", ic.CountryCode%1000, ic.Issuer%100, ic.Account%1_000_000_000_000)
+	return body + strconv.Itoa(luhnDigit(body))
+}
+
+// ParseICCID parses a 20-digit ICCID in the layout produced by String
+// and verifies the Luhn check digit.
+func ParseICCID(s string) (ICCID, error) {
+	if len(s) != 20 || !allDigits(s) {
+		return ICCID{}, fmt.Errorf("identity: ICCID %q: want 20 digits", s)
+	}
+	if !strings.HasPrefix(s, "89") {
+		return ICCID{}, fmt.Errorf("identity: ICCID %q: missing telecom prefix 89", s)
+	}
+	if !LuhnOK(s) {
+		return ICCID{}, fmt.Errorf("identity: ICCID %q: Luhn check digit mismatch", s)
+	}
+	cc, _ := strconv.ParseUint(s[2:5], 10, 16)
+	issuer, _ := strconv.ParseUint(s[5:7], 10, 16)
+	acct, _ := strconv.ParseUint(s[7:19], 10, 64)
+	return ICCID{CountryCode: uint16(cc), Issuer: uint16(issuer), Account: acct}, nil
+}
+
+// MSISDN is a subscriber telephone number in E.164 form.
+type MSISDN struct {
+	CountryCode uint16 // 1-3 digits
+	National    uint64 // up to 12 digits
+}
+
+// String renders the MSISDN with a leading +.
+func (m MSISDN) String() string {
+	return fmt.Sprintf("+%d%d", m.CountryCode, m.National)
+}
+
+// DeviceID is the one-way-hashed device identifier that appears in
+// traces instead of the raw IMSI/IMEI, mirroring the anonymization
+// both paper datasets apply.
+type DeviceID uint64
+
+// HashDevice derives a DeviceID from an IMSI using the FNV-64a
+// construction with a fixed salt. The mapping is stable across runs
+// (so multi-day datasets join on it) and not reversible without the
+// full identifier space.
+func HashDevice(im IMSI) DeviceID {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+		salt     = "whereroam/v1"
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < len(salt); i++ {
+		mix(salt[i])
+	}
+	s := im.String()
+	for i := 0; i < len(s); i++ {
+		mix(s[i])
+	}
+	return DeviceID(h)
+}
+
+// String renders the DeviceID as fixed-width hex, the form used in
+// trace files.
+func (d DeviceID) String() string { return fmt.Sprintf("%016x", uint64(d)) }
+
+// ParseDeviceID parses the 16-hex-digit form produced by String.
+func ParseDeviceID(s string) (DeviceID, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("identity: device ID %q: want 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("identity: device ID %q: %w", s, err)
+	}
+	return DeviceID(v), nil
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

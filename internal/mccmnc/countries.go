@@ -1,0 +1,112 @@
+package mccmnc
+
+// countryTable is the curated country registry. MCC values follow the
+// ITU E.212 allocation; centroids are rough population centroids used
+// only to place simulated radio sectors and to measure home↔visited
+// distances. The EU flag marks membership of the EU/EEA "roam like at
+// home" regulation zone as of the paper's measurement window (April
+// 2019 — the UK is still inside).
+var countryTable = []Country{
+	// Europe.
+	{MCC: 202, ISO: "GR", Name: "Greece", Region: RegionEurope, Lat: 38.0, Lon: 23.7, EU: true},
+	{MCC: 204, ISO: "NL", Name: "Netherlands", Region: RegionEurope, Lat: 52.2, Lon: 5.3, EU: true},
+	{MCC: 206, ISO: "BE", Name: "Belgium", Region: RegionEurope, Lat: 50.8, Lon: 4.4, EU: true},
+	{MCC: 208, ISO: "FR", Name: "France", Region: RegionEurope, Lat: 48.9, Lon: 2.3, EU: true},
+	{MCC: 214, ISO: "ES", Name: "Spain", Region: RegionEurope, Lat: 40.4, Lon: -3.7, EU: true},
+	{MCC: 216, ISO: "HU", Name: "Hungary", Region: RegionEurope, Lat: 47.5, Lon: 19.0, EU: true},
+	{MCC: 219, ISO: "HR", Name: "Croatia", Region: RegionEurope, Lat: 45.8, Lon: 16.0, EU: true},
+	{MCC: 220, ISO: "RS", Name: "Serbia", Region: RegionEurope, Lat: 44.8, Lon: 20.5},
+	{MCC: 222, ISO: "IT", Name: "Italy", Region: RegionEurope, Lat: 41.9, Lon: 12.5, EU: true},
+	{MCC: 226, ISO: "RO", Name: "Romania", Region: RegionEurope, Lat: 44.4, Lon: 26.1, EU: true},
+	{MCC: 228, ISO: "CH", Name: "Switzerland", Region: RegionEurope, Lat: 46.9, Lon: 7.5},
+	{MCC: 230, ISO: "CZ", Name: "Czechia", Region: RegionEurope, Lat: 50.1, Lon: 14.4, EU: true},
+	{MCC: 231, ISO: "SK", Name: "Slovakia", Region: RegionEurope, Lat: 48.1, Lon: 17.1, EU: true},
+	{MCC: 232, ISO: "AT", Name: "Austria", Region: RegionEurope, Lat: 48.2, Lon: 16.4, EU: true},
+	{MCC: 234, ISO: "GB", Name: "United Kingdom", Region: RegionEurope, Lat: 51.5, Lon: -0.1, EU: true},
+	{MCC: 238, ISO: "DK", Name: "Denmark", Region: RegionEurope, Lat: 55.7, Lon: 12.6, EU: true},
+	{MCC: 240, ISO: "SE", Name: "Sweden", Region: RegionEurope, Lat: 59.3, Lon: 18.1, EU: true},
+	{MCC: 242, ISO: "NO", Name: "Norway", Region: RegionEurope, Lat: 59.9, Lon: 10.8, EU: true},
+	{MCC: 244, ISO: "FI", Name: "Finland", Region: RegionEurope, Lat: 60.2, Lon: 24.9, EU: true},
+	{MCC: 246, ISO: "LT", Name: "Lithuania", Region: RegionEurope, Lat: 54.7, Lon: 25.3, EU: true},
+	{MCC: 247, ISO: "LV", Name: "Latvia", Region: RegionEurope, Lat: 56.9, Lon: 24.1, EU: true},
+	{MCC: 248, ISO: "EE", Name: "Estonia", Region: RegionEurope, Lat: 59.4, Lon: 24.8, EU: true},
+	{MCC: 255, ISO: "UA", Name: "Ukraine", Region: RegionEurope, Lat: 50.5, Lon: 30.5},
+	{MCC: 260, ISO: "PL", Name: "Poland", Region: RegionEurope, Lat: 52.2, Lon: 21.0, EU: true},
+	{MCC: 262, ISO: "DE", Name: "Germany", Region: RegionEurope, Lat: 52.5, Lon: 13.4, EU: true},
+	{MCC: 268, ISO: "PT", Name: "Portugal", Region: RegionEurope, Lat: 38.7, Lon: -9.1, EU: true},
+	{MCC: 270, ISO: "LU", Name: "Luxembourg", Region: RegionEurope, Lat: 49.6, Lon: 6.1, EU: true},
+	{MCC: 272, ISO: "IE", Name: "Ireland", Region: RegionEurope, Lat: 53.3, Lon: -6.2, EU: true},
+	{MCC: 274, ISO: "IS", Name: "Iceland", Region: RegionEurope, Lat: 64.1, Lon: -21.9, EU: true},
+	{MCC: 278, ISO: "MT", Name: "Malta", Region: RegionEurope, Lat: 35.9, Lon: 14.5, EU: true},
+	{MCC: 280, ISO: "CY", Name: "Cyprus", Region: RegionEurope, Lat: 35.2, Lon: 33.4, EU: true},
+	{MCC: 284, ISO: "BG", Name: "Bulgaria", Region: RegionEurope, Lat: 42.7, Lon: 23.3, EU: true},
+	{MCC: 286, ISO: "TR", Name: "Turkey", Region: RegionMEA, Lat: 39.9, Lon: 32.9},
+	{MCC: 293, ISO: "SI", Name: "Slovenia", Region: RegionEurope, Lat: 46.1, Lon: 14.5, EU: true},
+
+	// Latin America.
+	{MCC: 334, ISO: "MX", Name: "Mexico", Region: RegionLatAm, Lat: 19.4, Lon: -99.1},
+	{MCC: 370, ISO: "DO", Name: "Dominican Republic", Region: RegionLatAm, Lat: 18.5, Lon: -69.9},
+	{MCC: 704, ISO: "GT", Name: "Guatemala", Region: RegionLatAm, Lat: 14.6, Lon: -90.5},
+	{MCC: 706, ISO: "SV", Name: "El Salvador", Region: RegionLatAm, Lat: 13.7, Lon: -89.2},
+	{MCC: 708, ISO: "HN", Name: "Honduras", Region: RegionLatAm, Lat: 14.1, Lon: -87.2},
+	{MCC: 710, ISO: "NI", Name: "Nicaragua", Region: RegionLatAm, Lat: 12.1, Lon: -86.3},
+	{MCC: 712, ISO: "CR", Name: "Costa Rica", Region: RegionLatAm, Lat: 9.9, Lon: -84.1},
+	{MCC: 714, ISO: "PA", Name: "Panama", Region: RegionLatAm, Lat: 9.0, Lon: -79.5},
+	{MCC: 716, ISO: "PE", Name: "Peru", Region: RegionLatAm, Lat: -12.0, Lon: -77.0},
+	{MCC: 722, ISO: "AR", Name: "Argentina", Region: RegionLatAm, Lat: -34.6, Lon: -58.4},
+	{MCC: 724, ISO: "BR", Name: "Brazil", Region: RegionLatAm, Lat: -23.6, Lon: -46.6},
+	{MCC: 730, ISO: "CL", Name: "Chile", Region: RegionLatAm, Lat: -33.4, Lon: -70.7},
+	{MCC: 732, ISO: "CO", Name: "Colombia", Region: RegionLatAm, Lat: 4.6, Lon: -74.1},
+	{MCC: 734, ISO: "VE", Name: "Venezuela", Region: RegionLatAm, Lat: 10.5, Lon: -66.9},
+	{MCC: 736, ISO: "BO", Name: "Bolivia", Region: RegionLatAm, Lat: -16.5, Lon: -68.1},
+	{MCC: 740, ISO: "EC", Name: "Ecuador", Region: RegionLatAm, Lat: -0.2, Lon: -78.5},
+	{MCC: 744, ISO: "PY", Name: "Paraguay", Region: RegionLatAm, Lat: -25.3, Lon: -57.6},
+	{MCC: 748, ISO: "UY", Name: "Uruguay", Region: RegionLatAm, Lat: -34.9, Lon: -56.2},
+
+	// North America.
+	{MCC: 302, ISO: "CA", Name: "Canada", Region: RegionNorthAmerica, Lat: 43.7, Lon: -79.4},
+	{MCC: 310, ISO: "US", Name: "United States", Region: RegionNorthAmerica, Lat: 40.7, Lon: -74.0},
+
+	// Asia-Pacific.
+	{MCC: 404, ISO: "IN", Name: "India", Region: RegionAPAC, Lat: 28.6, Lon: 77.2},
+	{MCC: 440, ISO: "JP", Name: "Japan", Region: RegionAPAC, Lat: 35.7, Lon: 139.7},
+	{MCC: 450, ISO: "KR", Name: "South Korea", Region: RegionAPAC, Lat: 37.6, Lon: 127.0},
+	{MCC: 452, ISO: "VN", Name: "Vietnam", Region: RegionAPAC, Lat: 21.0, Lon: 105.9},
+	{MCC: 454, ISO: "HK", Name: "Hong Kong", Region: RegionAPAC, Lat: 22.3, Lon: 114.2},
+	{MCC: 460, ISO: "CN", Name: "China", Region: RegionAPAC, Lat: 39.9, Lon: 116.4},
+	{MCC: 466, ISO: "TW", Name: "Taiwan", Region: RegionAPAC, Lat: 25.0, Lon: 121.6},
+	{MCC: 502, ISO: "MY", Name: "Malaysia", Region: RegionAPAC, Lat: 3.1, Lon: 101.7},
+	{MCC: 505, ISO: "AU", Name: "Australia", Region: RegionAPAC, Lat: -33.9, Lon: 151.2},
+	{MCC: 510, ISO: "ID", Name: "Indonesia", Region: RegionAPAC, Lat: -6.2, Lon: 106.8},
+	{MCC: 515, ISO: "PH", Name: "Philippines", Region: RegionAPAC, Lat: 14.6, Lon: 121.0},
+	{MCC: 520, ISO: "TH", Name: "Thailand", Region: RegionAPAC, Lat: 13.8, Lon: 100.5},
+	{MCC: 525, ISO: "SG", Name: "Singapore", Region: RegionAPAC, Lat: 1.3, Lon: 103.9},
+	{MCC: 530, ISO: "NZ", Name: "New Zealand", Region: RegionAPAC, Lat: -36.8, Lon: 174.8},
+
+	// Middle East and Africa.
+	{MCC: 416, ISO: "JO", Name: "Jordan", Region: RegionMEA, Lat: 32.0, Lon: 35.9},
+	{MCC: 419, ISO: "KW", Name: "Kuwait", Region: RegionMEA, Lat: 29.4, Lon: 48.0},
+	{MCC: 420, ISO: "SA", Name: "Saudi Arabia", Region: RegionMEA, Lat: 24.7, Lon: 46.7},
+	{MCC: 424, ISO: "AE", Name: "United Arab Emirates", Region: RegionMEA, Lat: 25.2, Lon: 55.3},
+	{MCC: 425, ISO: "IL", Name: "Israel", Region: RegionMEA, Lat: 32.1, Lon: 34.8},
+	{MCC: 427, ISO: "QA", Name: "Qatar", Region: RegionMEA, Lat: 25.3, Lon: 51.5},
+	{MCC: 602, ISO: "EG", Name: "Egypt", Region: RegionMEA, Lat: 30.0, Lon: 31.2},
+	{MCC: 603, ISO: "DZ", Name: "Algeria", Region: RegionMEA, Lat: 36.8, Lon: 3.1},
+	{MCC: 604, ISO: "MA", Name: "Morocco", Region: RegionMEA, Lat: 33.6, Lon: -7.6},
+	{MCC: 605, ISO: "TN", Name: "Tunisia", Region: RegionMEA, Lat: 36.8, Lon: 10.2},
+	{MCC: 620, ISO: "GH", Name: "Ghana", Region: RegionMEA, Lat: 5.6, Lon: -0.2},
+	{MCC: 621, ISO: "NG", Name: "Nigeria", Region: RegionMEA, Lat: 6.5, Lon: 3.4},
+	{MCC: 639, ISO: "KE", Name: "Kenya", Region: RegionMEA, Lat: -1.3, Lon: 36.8},
+	{MCC: 655, ISO: "ZA", Name: "South Africa", Region: RegionMEA, Lat: -26.2, Lon: 28.0},
+}
+
+// secondaryMCC maps additional MCC allocations onto countries already
+// registered under their primary MCC.
+var secondaryMCC = map[uint16]string{
+	235: "GB", // UK secondary allocation
+	311: "US",
+	312: "US",
+	313: "US",
+	405: "IN",
+	441: "JP",
+}

@@ -1,0 +1,307 @@
+package mccmnc
+
+// operatorTable is the curated operator registry. PLMNs are written in
+// concatenated form: a 5-digit string means a 2-digit MNC, a 6-digit
+// string a 3-digit MNC (the NANP-region countries and a few others use
+// 3-digit MNCs). Names follow the brands operating during the paper's
+// measurement window (late 2018 / early 2019).
+var operatorTable = []Operator{
+	// Greece.
+	{PLMN: MustParse("20201"), Name: "Cosmote", ISO: "GR"},
+	{PLMN: MustParse("20205"), Name: "Vodafone GR", ISO: "GR"},
+	{PLMN: MustParse("20210"), Name: "Wind Hellas", ISO: "GR"},
+	// Netherlands — 204-04 is the operator the paper finds provisioning
+	// every roaming UK smart meter.
+	{PLMN: MustParse("20404"), Name: "Vodafone NL", ISO: "NL"},
+	{PLMN: MustParse("20408"), Name: "KPN", ISO: "NL"},
+	{PLMN: MustParse("20416"), Name: "T-Mobile NL", ISO: "NL"},
+	// Belgium.
+	{PLMN: MustParse("20601"), Name: "Proximus", ISO: "BE"},
+	{PLMN: MustParse("20610"), Name: "Orange BE", ISO: "BE"},
+	{PLMN: MustParse("20620"), Name: "BASE", ISO: "BE"},
+	// France.
+	{PLMN: MustParse("20801"), Name: "Orange FR", ISO: "FR"},
+	{PLMN: MustParse("20810"), Name: "SFR", ISO: "FR"},
+	{PLMN: MustParse("20815"), Name: "Free Mobile", ISO: "FR"},
+	{PLMN: MustParse("20820"), Name: "Bouygues", ISO: "FR"},
+	// Spain — 214-07 is the paper's anonymized "ES" HMNO issuing 52.3%
+	// of the platform's IoT SIMs.
+	{PLMN: MustParse("21401"), Name: "Vodafone ES", ISO: "ES"},
+	{PLMN: MustParse("21403"), Name: "Orange ES", ISO: "ES"},
+	{PLMN: MustParse("21407"), Name: "Movistar", ISO: "ES"},
+	// Hungary.
+	{PLMN: MustParse("21601"), Name: "Yettel HU", ISO: "HU"},
+	{PLMN: MustParse("21630"), Name: "T-Mobile HU", ISO: "HU"},
+	{PLMN: MustParse("21670"), Name: "Vodafone HU", ISO: "HU"},
+	// Croatia.
+	{PLMN: MustParse("21901"), Name: "T-HT", ISO: "HR"},
+	{PLMN: MustParse("21910"), Name: "A1 HR", ISO: "HR"},
+	// Serbia.
+	{PLMN: MustParse("22001"), Name: "Telenor RS", ISO: "RS"},
+	{PLMN: MustParse("22003"), Name: "mts", ISO: "RS"},
+	// Italy.
+	{PLMN: MustParse("22201"), Name: "TIM", ISO: "IT"},
+	{PLMN: MustParse("22210"), Name: "Vodafone IT", ISO: "IT"},
+	{PLMN: MustParse("22288"), Name: "WindTre", ISO: "IT"},
+	// Romania.
+	{PLMN: MustParse("22601"), Name: "Vodafone RO", ISO: "RO"},
+	{PLMN: MustParse("22603"), Name: "Telekom RO", ISO: "RO"},
+	{PLMN: MustParse("22610"), Name: "Orange RO", ISO: "RO"},
+	// Switzerland.
+	{PLMN: MustParse("22801"), Name: "Swisscom", ISO: "CH"},
+	{PLMN: MustParse("22802"), Name: "Sunrise", ISO: "CH"},
+	{PLMN: MustParse("22803"), Name: "Salt", ISO: "CH"},
+	// Czechia.
+	{PLMN: MustParse("23001"), Name: "T-Mobile CZ", ISO: "CZ"},
+	{PLMN: MustParse("23002"), Name: "O2 CZ", ISO: "CZ"},
+	{PLMN: MustParse("23003"), Name: "Vodafone CZ", ISO: "CZ"},
+	// Slovakia.
+	{PLMN: MustParse("23101"), Name: "Orange SK", ISO: "SK"},
+	{PLMN: MustParse("23102"), Name: "Telekom SK", ISO: "SK"},
+	// Austria.
+	{PLMN: MustParse("23201"), Name: "A1", ISO: "AT"},
+	{PLMN: MustParse("23203"), Name: "Magenta", ISO: "AT"},
+	{PLMN: MustParse("23205"), Name: "Drei", ISO: "AT"},
+	// United Kingdom — 234-10 models the paper's visited MNO.
+	{PLMN: MustParse("23410"), Name: "O2 UK", ISO: "GB"},
+	{PLMN: MustParse("23415"), Name: "Vodafone UK", ISO: "GB"},
+	{PLMN: MustParse("23420"), Name: "Three UK", ISO: "GB"},
+	{PLMN: MustParse("23430"), Name: "EE", ISO: "GB"},
+	// Denmark.
+	{PLMN: MustParse("23801"), Name: "TDC", ISO: "DK"},
+	{PLMN: MustParse("23802"), Name: "Telenor DK", ISO: "DK"},
+	{PLMN: MustParse("23820"), Name: "Telia DK", ISO: "DK"},
+	// Sweden — home of the paper's second-largest inbound-roamer group.
+	{PLMN: MustParse("24001"), Name: "Telia", ISO: "SE"},
+	{PLMN: MustParse("24007"), Name: "Tele2", ISO: "SE"},
+	{PLMN: MustParse("24008"), Name: "Telenor SE", ISO: "SE"},
+	// Norway.
+	{PLMN: MustParse("24201"), Name: "Telenor NO", ISO: "NO"},
+	{PLMN: MustParse("24202"), Name: "Telia NO", ISO: "NO"},
+	// Finland.
+	{PLMN: MustParse("24405"), Name: "Elisa", ISO: "FI"},
+	{PLMN: MustParse("24412"), Name: "DNA", ISO: "FI"},
+	{PLMN: MustParse("24491"), Name: "Telia FI", ISO: "FI"},
+	// Lithuania.
+	{PLMN: MustParse("24601"), Name: "Telia LT", ISO: "LT"},
+	{PLMN: MustParse("24602"), Name: "Bite", ISO: "LT"},
+	// Latvia.
+	{PLMN: MustParse("24701"), Name: "LMT", ISO: "LV"},
+	{PLMN: MustParse("24702"), Name: "Tele2 LV", ISO: "LV"},
+	// Estonia.
+	{PLMN: MustParse("24801"), Name: "Telia EE", ISO: "EE"},
+	{PLMN: MustParse("24802"), Name: "Elisa EE", ISO: "EE"},
+	// Ukraine.
+	{PLMN: MustParse("25501"), Name: "Vodafone UA", ISO: "UA"},
+	{PLMN: MustParse("25503"), Name: "Kyivstar", ISO: "UA"},
+	// Poland.
+	{PLMN: MustParse("26001"), Name: "Plus", ISO: "PL"},
+	{PLMN: MustParse("26002"), Name: "T-Mobile PL", ISO: "PL"},
+	{PLMN: MustParse("26003"), Name: "Orange PL", ISO: "PL"},
+	{PLMN: MustParse("26006"), Name: "Play", ISO: "PL"},
+	// Germany — 262-01 models the paper's anonymized "DE" HMNO.
+	{PLMN: MustParse("26201"), Name: "Telekom DE", ISO: "DE"},
+	{PLMN: MustParse("26202"), Name: "Vodafone DE", ISO: "DE"},
+	{PLMN: MustParse("26203"), Name: "O2 DE", ISO: "DE"},
+	// Portugal.
+	{PLMN: MustParse("26801"), Name: "Vodafone PT", ISO: "PT"},
+	{PLMN: MustParse("26803"), Name: "NOS", ISO: "PT"},
+	{PLMN: MustParse("26806"), Name: "MEO", ISO: "PT"},
+	// Luxembourg.
+	{PLMN: MustParse("27001"), Name: "POST", ISO: "LU"},
+	{PLMN: MustParse("27077"), Name: "Tango", ISO: "LU"},
+	// Ireland.
+	{PLMN: MustParse("27201"), Name: "Vodafone IE", ISO: "IE"},
+	{PLMN: MustParse("27202"), Name: "Three IE", ISO: "IE"},
+	{PLMN: MustParse("27203"), Name: "Eir", ISO: "IE"},
+	// Iceland.
+	{PLMN: MustParse("27401"), Name: "Siminn", ISO: "IS"},
+	{PLMN: MustParse("27402"), Name: "Vodafone IS", ISO: "IS"},
+	// Malta.
+	{PLMN: MustParse("27801"), Name: "Epic MT", ISO: "MT"},
+	{PLMN: MustParse("27821"), Name: "GO", ISO: "MT"},
+	// Cyprus.
+	{PLMN: MustParse("28001"), Name: "Cyta", ISO: "CY"},
+	{PLMN: MustParse("28010"), Name: "Epic CY", ISO: "CY"},
+	// Bulgaria.
+	{PLMN: MustParse("28401"), Name: "A1 BG", ISO: "BG"},
+	{PLMN: MustParse("28403"), Name: "Vivacom", ISO: "BG"},
+	{PLMN: MustParse("28405"), Name: "Telenor BG", ISO: "BG"},
+	// Turkey.
+	{PLMN: MustParse("28601"), Name: "Turkcell", ISO: "TR"},
+	{PLMN: MustParse("28602"), Name: "Vodafone TR", ISO: "TR"},
+	{PLMN: MustParse("28603"), Name: "Turk Telekom", ISO: "TR"},
+	// Slovenia.
+	{PLMN: MustParse("29340"), Name: "A1 SI", ISO: "SI"},
+	{PLMN: MustParse("29341"), Name: "Telekom SI", ISO: "SI"},
+	// Canada (3-digit MNCs).
+	{PLMN: MustParse("302220"), Name: "Telus", ISO: "CA"},
+	{PLMN: MustParse("302610"), Name: "Bell", ISO: "CA"},
+	{PLMN: MustParse("302720"), Name: "Rogers", ISO: "CA"},
+	// United States (3-digit MNCs).
+	{PLMN: MustParse("310012"), Name: "Verizon", ISO: "US"},
+	{PLMN: MustParse("310260"), Name: "T-Mobile US", ISO: "US"},
+	{PLMN: MustParse("310410"), Name: "AT&T", ISO: "US"},
+	// Mexico (3-digit MNCs) — 334-020 models the paper's "MX" HMNO.
+	{PLMN: MustParse("334020"), Name: "Telcel", ISO: "MX"},
+	{PLMN: MustParse("334030"), Name: "Movistar MX", ISO: "MX"},
+	{PLMN: MustParse("334050"), Name: "AT&T MX", ISO: "MX"},
+	// Dominican Republic.
+	{PLMN: MustParse("37001"), Name: "Altice DO", ISO: "DO"},
+	{PLMN: MustParse("37002"), Name: "Claro DO", ISO: "DO"},
+	// India.
+	{PLMN: MustParse("40410"), Name: "Airtel", ISO: "IN"},
+	{PLMN: MustParse("40420"), Name: "Vodafone Idea", ISO: "IN"},
+	// Jordan.
+	{PLMN: MustParse("41601"), Name: "Zain JO", ISO: "JO"},
+	{PLMN: MustParse("41677"), Name: "Orange JO", ISO: "JO"},
+	// Kuwait.
+	{PLMN: MustParse("41902"), Name: "Zain KW", ISO: "KW"},
+	{PLMN: MustParse("41903"), Name: "Ooredoo KW", ISO: "KW"},
+	// Saudi Arabia.
+	{PLMN: MustParse("42001"), Name: "STC", ISO: "SA"},
+	{PLMN: MustParse("42003"), Name: "Mobily", ISO: "SA"},
+	{PLMN: MustParse("42004"), Name: "Zain SA", ISO: "SA"},
+	// United Arab Emirates.
+	{PLMN: MustParse("42402"), Name: "Etisalat", ISO: "AE"},
+	{PLMN: MustParse("42403"), Name: "du", ISO: "AE"},
+	// Israel.
+	{PLMN: MustParse("42501"), Name: "Partner", ISO: "IL"},
+	{PLMN: MustParse("42502"), Name: "Cellcom IL", ISO: "IL"},
+	{PLMN: MustParse("42503"), Name: "Pelephone", ISO: "IL"},
+	// Qatar.
+	{PLMN: MustParse("42701"), Name: "Ooredoo QA", ISO: "QA"},
+	{PLMN: MustParse("42702"), Name: "Vodafone QA", ISO: "QA"},
+	// Japan.
+	{PLMN: MustParse("44010"), Name: "NTT docomo", ISO: "JP"},
+	{PLMN: MustParse("44020"), Name: "SoftBank", ISO: "JP"},
+	// South Korea.
+	{PLMN: MustParse("45005"), Name: "SK Telecom", ISO: "KR"},
+	{PLMN: MustParse("45006"), Name: "LG U+", ISO: "KR"},
+	{PLMN: MustParse("45008"), Name: "KT", ISO: "KR"},
+	// Vietnam.
+	{PLMN: MustParse("45201"), Name: "MobiFone", ISO: "VN"},
+	{PLMN: MustParse("45202"), Name: "Vinaphone", ISO: "VN"},
+	{PLMN: MustParse("45204"), Name: "Viettel", ISO: "VN"},
+	// Hong Kong.
+	{PLMN: MustParse("45400"), Name: "CSL", ISO: "HK"},
+	{PLMN: MustParse("45403"), Name: "3 HK", ISO: "HK"},
+	{PLMN: MustParse("45406"), Name: "SmarTone", ISO: "HK"},
+	// China.
+	{PLMN: MustParse("46000"), Name: "China Mobile", ISO: "CN"},
+	{PLMN: MustParse("46001"), Name: "China Unicom", ISO: "CN"},
+	{PLMN: MustParse("46003"), Name: "China Telecom", ISO: "CN"},
+	// Taiwan.
+	{PLMN: MustParse("46601"), Name: "FarEasTone", ISO: "TW"},
+	{PLMN: MustParse("46692"), Name: "Chunghwa", ISO: "TW"},
+	{PLMN: MustParse("46697"), Name: "Taiwan Mobile", ISO: "TW"},
+	// Malaysia.
+	{PLMN: MustParse("50212"), Name: "Maxis", ISO: "MY"},
+	{PLMN: MustParse("50213"), Name: "Celcom", ISO: "MY"},
+	{PLMN: MustParse("50216"), Name: "Digi", ISO: "MY"},
+	// Australia.
+	{PLMN: MustParse("50501"), Name: "Telstra", ISO: "AU"},
+	{PLMN: MustParse("50502"), Name: "Optus", ISO: "AU"},
+	{PLMN: MustParse("50503"), Name: "Vodafone AU", ISO: "AU"},
+	// Indonesia.
+	{PLMN: MustParse("51001"), Name: "Indosat", ISO: "ID"},
+	{PLMN: MustParse("51010"), Name: "Telkomsel", ISO: "ID"},
+	{PLMN: MustParse("51011"), Name: "XL Axiata", ISO: "ID"},
+	// Philippines.
+	{PLMN: MustParse("51502"), Name: "Globe", ISO: "PH"},
+	{PLMN: MustParse("51503"), Name: "Smart", ISO: "PH"},
+	// Thailand.
+	{PLMN: MustParse("52001"), Name: "AIS", ISO: "TH"},
+	{PLMN: MustParse("52004"), Name: "TrueMove", ISO: "TH"},
+	{PLMN: MustParse("52005"), Name: "dtac", ISO: "TH"},
+	// Singapore.
+	{PLMN: MustParse("52501"), Name: "Singtel", ISO: "SG"},
+	{PLMN: MustParse("52503"), Name: "M1", ISO: "SG"},
+	{PLMN: MustParse("52505"), Name: "StarHub", ISO: "SG"},
+	// New Zealand.
+	{PLMN: MustParse("53001"), Name: "Vodafone NZ", ISO: "NZ"},
+	{PLMN: MustParse("53005"), Name: "Spark", ISO: "NZ"},
+	// Egypt.
+	{PLMN: MustParse("60201"), Name: "Orange EG", ISO: "EG"},
+	{PLMN: MustParse("60202"), Name: "Vodafone EG", ISO: "EG"},
+	{PLMN: MustParse("60203"), Name: "Etisalat EG", ISO: "EG"},
+	// Algeria.
+	{PLMN: MustParse("60301"), Name: "Mobilis", ISO: "DZ"},
+	{PLMN: MustParse("60302"), Name: "Djezzy", ISO: "DZ"},
+	{PLMN: MustParse("60303"), Name: "Ooredoo DZ", ISO: "DZ"},
+	// Morocco.
+	{PLMN: MustParse("60400"), Name: "Orange MA", ISO: "MA"},
+	{PLMN: MustParse("60401"), Name: "Maroc Telecom", ISO: "MA"},
+	// Tunisia.
+	{PLMN: MustParse("60501"), Name: "Orange TN", ISO: "TN"},
+	{PLMN: MustParse("60502"), Name: "Tunisie Telecom", ISO: "TN"},
+	{PLMN: MustParse("60503"), Name: "Ooredoo TN", ISO: "TN"},
+	// Ghana.
+	{PLMN: MustParse("62001"), Name: "MTN GH", ISO: "GH"},
+	{PLMN: MustParse("62002"), Name: "Vodafone GH", ISO: "GH"},
+	// Nigeria.
+	{PLMN: MustParse("62120"), Name: "Airtel NG", ISO: "NG"},
+	{PLMN: MustParse("62130"), Name: "MTN NG", ISO: "NG"},
+	{PLMN: MustParse("62150"), Name: "Glo", ISO: "NG"},
+	// Kenya.
+	{PLMN: MustParse("63902"), Name: "Safaricom", ISO: "KE"},
+	{PLMN: MustParse("63903"), Name: "Airtel KE", ISO: "KE"},
+	// South Africa.
+	{PLMN: MustParse("65501"), Name: "Vodacom", ISO: "ZA"},
+	{PLMN: MustParse("65507"), Name: "Cell C", ISO: "ZA"},
+	{PLMN: MustParse("65510"), Name: "MTN", ISO: "ZA"},
+	// Guatemala.
+	{PLMN: MustParse("70401"), Name: "Claro GT", ISO: "GT"},
+	{PLMN: MustParse("70403"), Name: "Movistar GT", ISO: "GT"},
+	// El Salvador.
+	{PLMN: MustParse("70601"), Name: "Claro SV", ISO: "SV"},
+	{PLMN: MustParse("70603"), Name: "Tigo SV", ISO: "SV"},
+	// Honduras.
+	{PLMN: MustParse("70802"), Name: "Tigo HN", ISO: "HN"},
+	// Nicaragua.
+	{PLMN: MustParse("71021"), Name: "Claro NI", ISO: "NI"},
+	{PLMN: MustParse("71030"), Name: "Movistar NI", ISO: "NI"},
+	// Costa Rica.
+	{PLMN: MustParse("71201"), Name: "Kolbi", ISO: "CR"},
+	{PLMN: MustParse("71204"), Name: "Movistar CR", ISO: "CR"},
+	// Panama.
+	{PLMN: MustParse("71401"), Name: "Cable & Wireless PA", ISO: "PA"},
+	{PLMN: MustParse("71402"), Name: "Movistar PA", ISO: "PA"},
+	// Peru.
+	{PLMN: MustParse("71606"), Name: "Movistar PE", ISO: "PE"},
+	{PLMN: MustParse("71610"), Name: "Claro PE", ISO: "PE"},
+	{PLMN: MustParse("71617"), Name: "Entel PE", ISO: "PE"},
+	// Argentina (3-digit MNCs) — 722-070 models the paper's "AR" HMNO.
+	{PLMN: MustParse("722070"), Name: "Movistar AR", ISO: "AR"},
+	{PLMN: MustParse("722310"), Name: "Claro AR", ISO: "AR"},
+	{PLMN: MustParse("722340"), Name: "Personal", ISO: "AR"},
+	// Brazil.
+	{PLMN: MustParse("72402"), Name: "TIM BR", ISO: "BR"},
+	{PLMN: MustParse("72405"), Name: "Claro BR", ISO: "BR"},
+	{PLMN: MustParse("72410"), Name: "Vivo", ISO: "BR"},
+	// Chile.
+	{PLMN: MustParse("73001"), Name: "Entel", ISO: "CL"},
+	{PLMN: MustParse("73002"), Name: "Movistar CL", ISO: "CL"},
+	{PLMN: MustParse("73003"), Name: "Claro CL", ISO: "CL"},
+	// Colombia (3-digit MNCs).
+	{PLMN: MustParse("732101"), Name: "Claro CO", ISO: "CO"},
+	{PLMN: MustParse("732103"), Name: "Tigo CO", ISO: "CO"},
+	{PLMN: MustParse("732123"), Name: "Movistar CO", ISO: "CO"},
+	// Venezuela.
+	{PLMN: MustParse("73404"), Name: "Movistar VE", ISO: "VE"},
+	{PLMN: MustParse("73406"), Name: "Movilnet", ISO: "VE"},
+	// Bolivia.
+	{PLMN: MustParse("73602"), Name: "Entel BO", ISO: "BO"},
+	{PLMN: MustParse("73603"), Name: "Tigo BO", ISO: "BO"},
+	// Ecuador.
+	{PLMN: MustParse("74000"), Name: "Movistar EC", ISO: "EC"},
+	{PLMN: MustParse("74001"), Name: "Claro EC", ISO: "EC"},
+	// Paraguay.
+	{PLMN: MustParse("74402"), Name: "Claro PY", ISO: "PY"},
+	{PLMN: MustParse("74404"), Name: "Tigo PY", ISO: "PY"},
+	{PLMN: MustParse("74405"), Name: "Personal PY", ISO: "PY"},
+	// Uruguay.
+	{PLMN: MustParse("74801"), Name: "Antel", ISO: "UY"},
+	{PLMN: MustParse("74807"), Name: "Movistar UY", ISO: "UY"},
+	{PLMN: MustParse("74810"), Name: "Claro UY", ISO: "UY"},
+}

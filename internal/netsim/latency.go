@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"whereroam/internal/geo"
+	"whereroam/internal/mccmnc"
+)
+
+// Latency estimation for the roaming architectures of Fig. 1. The
+// paper observes that home-routed roaming sends every user-plane
+// packet back to the home country's PGW — painful when a Spanish SIM
+// roams in Australia — and that the M2M platform mitigates far
+// destinations with IPX hub breakout (§3.2); quantifying that
+// trade-off was left outside the paper's scope, so this module is the
+// corresponding extension experiment's substrate.
+
+// LatencyModel parameterizes the user-plane RTT estimate.
+type LatencyModel struct {
+	// BaseMs is the fixed RAN+core processing RTT.
+	BaseMs float64
+	// MsPerKm is the round-trip propagation cost per kilometre of
+	// backhaul path (fibre ≈ 0.01 ms/km RTT).
+	MsPerKm float64
+	// HubPoPs are the IPX hub's breakout points; IHBO routes to the
+	// nearest one.
+	HubPoPs []geo.Point
+}
+
+// DefaultLatencyModel returns a model with the carrier's
+// Europe/LatAm-centric PoPs (§3: predominant presence in Europe and
+// Latin America).
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		BaseMs:  45,
+		MsPerKm: 0.01,
+		HubPoPs: []geo.Point{
+			{Lat: 40.4, Lon: -3.7},   // Madrid
+			{Lat: 50.1, Lon: 8.7},    // Frankfurt
+			{Lat: -23.6, Lon: -46.6}, // São Paulo
+			{Lat: 19.4, Lon: -99.1},  // Mexico City
+		},
+	}
+}
+
+// UserPlaneRTT estimates the round-trip time in milliseconds for a
+// device of home roaming on visited under the given architecture.
+func (m LatencyModel) UserPlaneRTT(home, visited mccmnc.PLMN, cfg RoamingConfig) float64 {
+	vc, okV := mccmnc.CountryByMCC(visited.MCC)
+	if !okV {
+		return m.BaseMs
+	}
+	vp := geo.Point{Lat: vc.Lat, Lon: vc.Lon}
+	switch cfg {
+	case ConfigLBO:
+		return m.BaseMs
+	case ConfigIHBO:
+		best := 0.0
+		for i, pop := range m.HubPoPs {
+			d := geo.DistanceKm(vp, pop)
+			if i == 0 || d < best {
+				best = d
+			}
+		}
+		return m.BaseMs + best*m.MsPerKm
+	default: // ConfigHR
+		hc, okH := mccmnc.CountryByMCC(home.MCC)
+		if !okH {
+			return m.BaseMs
+		}
+		hp := geo.Point{Lat: hc.Lat, Lon: hc.Lon}
+		return m.BaseMs + geo.DistanceKm(vp, hp)*m.MsPerKm
+	}
+}
+
+// RTTUnderPolicy estimates the RTT the platform achieves for the pair
+// using the world's architecture choice (HR by default, IHBO for far
+// destinations when both ends sit on the hub).
+func (m LatencyModel) RTTUnderPolicy(w *World, home, visited mccmnc.PLMN) float64 {
+	return m.UserPlaneRTT(home, visited, w.ConfigFor(home, visited))
+}

@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"testing"
+
+	"whereroam/internal/mccmnc"
+)
+
+func TestUserPlaneRTTOrdering(t *testing.T) {
+	m := DefaultLatencyModel()
+	es := mccmnc.MustParse("21407")
+	uk := mccmnc.MustParse("23410")
+	au := mccmnc.MustParse("50501")
+
+	lbo := m.UserPlaneRTT(es, au, ConfigLBO)
+	ihbo := m.UserPlaneRTT(es, au, ConfigIHBO)
+	hr := m.UserPlaneRTT(es, au, ConfigHR)
+	if !(lbo < ihbo && ihbo < hr) {
+		t.Errorf("ES roaming in AU: LBO %.0f < IHBO %.0f < HR %.0f expected", lbo, ihbo, hr)
+	}
+	// The Spain→Australia case the paper names: HR should cost
+	// hundreds of ms.
+	if hr < 150 || hr > 350 {
+		t.Errorf("ES->AU HR RTT = %.0f ms, want intercontinental scale", hr)
+	}
+	// Nearby roaming: HR is cheap.
+	esUK := m.UserPlaneRTT(es, uk, ConfigHR)
+	if esUK > 80 {
+		t.Errorf("ES->UK HR RTT = %.0f ms, want cheap intra-European", esUK)
+	}
+	// LBO is the base cost regardless of distance.
+	if lbo != m.BaseMs {
+		t.Errorf("LBO RTT = %.0f, want base %.0f", lbo, m.BaseMs)
+	}
+}
+
+func TestRTTUnderPolicy(t *testing.T) {
+	w := NewWorld(DefaultConfig())
+	m := DefaultLatencyModel()
+	es := mccmnc.MustParse("21407")
+	au := mccmnc.MustParse("50501")
+	uk := mccmnc.MustParse("23410")
+	// Far destination: the platform policy (IHBO) must beat raw HR.
+	if got, hr := m.RTTUnderPolicy(w, es, au), m.UserPlaneRTT(es, au, ConfigHR); got >= hr {
+		t.Errorf("policy RTT %.0f should beat HR %.0f for ES->AU", got, hr)
+	}
+	// Near destination: policy is HR, so they agree.
+	if got, hr := m.RTTUnderPolicy(w, es, uk), m.UserPlaneRTT(es, uk, ConfigHR); got != hr {
+		t.Errorf("policy RTT %.0f should equal HR %.0f for ES->UK", got, hr)
+	}
+}
+
+func TestUserPlaneRTTUnknownCountry(t *testing.T) {
+	m := DefaultLatencyModel()
+	bogus := mccmnc.PLMN{MCC: 999, MNC: 1, MNCLen: 2}
+	if got := m.UserPlaneRTT(bogus, bogus, ConfigHR); got != m.BaseMs {
+		t.Errorf("unknown-country RTT = %.0f, want base", got)
+	}
+}

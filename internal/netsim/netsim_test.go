@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+	"whereroam/internal/signaling"
+)
+
+func world(t testing.TB) *World {
+	t.Helper()
+	return NewWorld(DefaultConfig())
+}
+
+var (
+	es = mccmnc.MustParse("21407")
+	nl = mccmnc.MustParse("20404")
+	uk = mccmnc.MustParse("23410")
+	au = mccmnc.MustParse("50501")
+)
+
+func TestWorldDeterministic(t *testing.T) {
+	a, b := world(t), world(t)
+	for _, op := range mccmnc.AllOperators() {
+		if a.HubMember(op.PLMN) != b.HubMember(op.PLMN) {
+			t.Fatalf("hub membership of %v differs between identical worlds", op.PLMN)
+		}
+	}
+	if len(a.bilateral) != len(b.bilateral) {
+		t.Fatal("bilateral agreements differ")
+	}
+}
+
+func TestHubFootprintEuropeHeavy(t *testing.T) {
+	w := world(t)
+	share := func(r mccmnc.Region) float64 {
+		n, members := 0, 0
+		for _, op := range mccmnc.AllOperators() {
+			c, _ := mccmnc.CountryByISO(op.ISO)
+			if c.Region != r {
+				continue
+			}
+			n++
+			if w.HubMember(op.PLMN) {
+				members++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(members) / float64(n)
+	}
+	if eu := share(mccmnc.RegionEurope); eu < 0.85 {
+		t.Errorf("European hub share = %.2f, want >= 0.85", eu)
+	}
+	if latam := share(mccmnc.RegionLatAm); latam < 0.75 {
+		t.Errorf("LatAm hub share = %.2f, want >= 0.75", latam)
+	}
+}
+
+func TestRoamingAllowedSelf(t *testing.T) {
+	w := world(t)
+	if !w.RoamingAllowed(es, es) {
+		t.Error("home network must always admit its own SIMs")
+	}
+}
+
+func TestRoamingViaHub(t *testing.T) {
+	w := world(t)
+	// ES (Movistar) roams widely: across all countries it should find
+	// partners almost everywhere (the paper has ES devices in 77
+	// countries).
+	countries := 0
+	for _, c := range mccmnc.Countries() {
+		if c.ISO == "ES" {
+			continue
+		}
+		if len(w.PartnersOf(es, c.ISO)) > 0 {
+			countries++
+		}
+	}
+	if countries < 70 {
+		t.Errorf("ES SIM can roam in %d countries, want >= 70", countries)
+	}
+}
+
+func TestPartnersExcludeHome(t *testing.T) {
+	w := world(t)
+	for _, p := range w.PartnersOf(es, "ES") {
+		if p == es {
+			t.Fatal("PartnersOf must not include the home network itself")
+		}
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	w := world(t)
+	if got := w.ConfigFor(es, uk); got != ConfigHR {
+		t.Errorf("ES->UK config = %v, want HR (European default)", got)
+	}
+	if got := w.ConfigFor(es, au); got != ConfigIHBO {
+		t.Errorf("ES->AU config = %v, want IHBO (far destination)", got)
+	}
+	if got := w.ConfigFor(es, mccmnc.MustParse("21401")); got != ConfigLBO {
+		t.Errorf("national roaming config = %v, want LBO", got)
+	}
+}
+
+func TestSelectVMNOPolicies(t *testing.T) {
+	w := world(t)
+	src := rng.New(1)
+	// Strongest is deterministic.
+	a, ok := w.SelectVMNO(src, es, "GB", mccmnc.PLMN{}, PolicyStrongest, 0)
+	if !ok {
+		t.Fatal("no UK partner for ES SIM")
+	}
+	b, _ := w.SelectVMNO(src, es, "GB", mccmnc.PLMN{}, PolicyStrongest, 5)
+	if a != b {
+		t.Error("PolicyStrongest must be deterministic")
+	}
+	// Sticky keeps the previous choice.
+	got, _ := w.SelectVMNO(src, es, "GB", a, PolicySticky, 0)
+	if got != a {
+		t.Error("PolicySticky must keep the previous VMNO")
+	}
+	// Rotate cycles through partners.
+	partners := w.PartnersOf(es, "GB")
+	if len(partners) > 1 {
+		r0, _ := w.SelectVMNO(src, es, "GB", a, PolicyRotate, 0)
+		r1, _ := w.SelectVMNO(src, es, "GB", a, PolicyRotate, 1)
+		if r0 == r1 {
+			t.Error("PolicyRotate should move to the next partner")
+		}
+	}
+	// Unknown country yields nothing.
+	if _, ok := w.SelectVMNO(src, es, "XX", mccmnc.PLMN{}, PolicySticky, 0); ok {
+		t.Error("selection in unknown country should fail")
+	}
+}
+
+func TestHSSAdmission(t *testing.T) {
+	w := world(t)
+	h := NewHSS(w, es)
+	dev := identity.DeviceID(42)
+	if res := h.Admit(dev, uk); res != signaling.ResultOK {
+		t.Errorf("admission ES SIM on UK partner = %v", res)
+	}
+	h.Bar(dev, signaling.ResultUnknownSubscription)
+	if res := h.Admit(dev, uk); res != signaling.ResultUnknownSubscription {
+		t.Errorf("barred device admitted: %v", res)
+	}
+	// A network with no agreement at all: build an isolated world.
+	w2 := NewWorld(Config{HubShare: map[mccmnc.Region]float64{}, BilateralPerOperator: 0, Seed: 9})
+	h2 := NewHSS(w2, es)
+	if res := h2.Admit(identity.DeviceID(7), uk); res != signaling.ResultRoamingNotAllowed {
+		t.Errorf("agreement-free world admitted roamer: %v", res)
+	}
+}
+
+func TestAttachSequence(t *testing.T) {
+	dev := identity.DeviceID(1)
+	ts := time.Date(2018, 11, 19, 10, 0, 0, 0, time.UTC)
+	txs := AttachSequence(dev, ts, es, uk, radio.RAT4G, signaling.ResultOK)
+	if len(txs) != 2 {
+		t.Fatalf("attach = %d transactions, want 2", len(txs))
+	}
+	if txs[0].Procedure != signaling.ProcAuthentication || txs[1].Procedure != signaling.ProcUpdateLocation {
+		t.Errorf("procedures = %v, %v", txs[0].Procedure, txs[1].Procedure)
+	}
+	if !txs[1].Time.After(txs[0].Time) {
+		t.Error("update location must follow authentication")
+	}
+	for _, tx := range txs {
+		if !tx.Roaming() {
+			t.Error("ES->UK attach should be roaming")
+		}
+	}
+	// UnknownSubscription fails at authentication and stops there.
+	failed := AttachSequence(dev, ts, es, uk, radio.RAT4G, signaling.ResultUnknownSubscription)
+	if len(failed) != 1 || failed[0].Result != signaling.ResultUnknownSubscription {
+		t.Errorf("unknown subscription sequence = %+v", failed)
+	}
+	// RoamingNotAllowed authenticates OK then fails the UL.
+	rna := AttachSequence(dev, ts, es, uk, radio.RAT4G, signaling.ResultRoamingNotAllowed)
+	if len(rna) != 2 || rna[0].Result != signaling.ResultOK || rna[1].Result != signaling.ResultRoamingNotAllowed {
+		t.Errorf("roaming-not-allowed sequence = %+v", rna)
+	}
+}
+
+func TestSwitchSequence(t *testing.T) {
+	dev := identity.DeviceID(2)
+	ts := time.Date(2018, 11, 20, 0, 0, 0, 0, time.UTC)
+	old := uk
+	new_ := mccmnc.MustParse("23415")
+	txs := SwitchSequence(dev, ts, es, old, new_, radio.RAT4G, signaling.ResultOK)
+	if len(txs) != 3 {
+		t.Fatalf("switch = %d transactions, want 3", len(txs))
+	}
+	if txs[0].Procedure != signaling.ProcCancelLocation || txs[0].Visited != old {
+		t.Errorf("first tx = %+v, want CancelLocation on old VMNO", txs[0])
+	}
+	if txs[2].Visited != new_ {
+		t.Errorf("attach went to %v, want new VMNO", txs[2].Visited)
+	}
+	for i := 1; i < len(txs); i++ {
+		if txs[i].Time.Before(txs[i-1].Time) {
+			t.Fatal("switch transactions out of order")
+		}
+	}
+}
+
+func TestWorldString(t *testing.T) {
+	s := world(t).String()
+	if s == "" {
+		t.Error("String should describe the world")
+	}
+}
+
+func TestRoamingAllowedSymmetric(t *testing.T) {
+	// Property: agreements are undirected — if A's SIMs may use B,
+	// B's SIMs may use A (both the hub and bilateral mechanisms are
+	// symmetric).
+	w := world(t)
+	ops := mccmnc.AllOperators()
+	for i := 0; i < len(ops); i += 7 {
+		for j := 0; j < len(ops); j += 11 {
+			a, b := ops[i].PLMN, ops[j].PLMN
+			if w.RoamingAllowed(a, b) != w.RoamingAllowed(b, a) {
+				t.Fatalf("asymmetric agreement %v <-> %v", a, b)
+			}
+		}
+	}
+}
+
+func TestConfigForSymmetricDistance(t *testing.T) {
+	// The architecture choice keys on distance, which is symmetric;
+	// HR vs IHBO must agree for swapped endpoints (LBO requires same
+	// country and is trivially symmetric).
+	w := world(t)
+	pairs := [][2]mccmnc.PLMN{
+		{es, au}, {es, uk}, {nl, au}, {uk, au},
+	}
+	for _, p := range pairs {
+		if mccmnc.SameCountry(p[0], p[1]) {
+			continue
+		}
+		if w.ConfigFor(p[0], p[1]) != w.ConfigFor(p[1], p[0]) {
+			t.Errorf("asymmetric config for %v <-> %v", p[0], p[1])
+		}
+	}
+}
+
+func BenchmarkSelectVMNO(b *testing.B) {
+	w := world(b)
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_, _ = w.SelectVMNO(src, es, "GB", uk, PolicySticky, i)
+	}
+}
+
+func BenchmarkNewWorld(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_ = NewWorld(cfg)
+	}
+}

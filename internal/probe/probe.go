@@ -1,0 +1,132 @@
+// Package probe implements the passive monitoring layer both paper
+// datasets come from: taps placed on network elements (the MME, MSC
+// and SGSN pins in Fig. 4; the platform-side probes near the HMNOs in
+// §3.1) that observe a record stream, filter and optionally sample
+// it, and hand it to collectors.
+//
+// Taps are generic over the record type so the same machinery
+// captures signaling transactions, radio events and CDRs. The
+// streaming source follows the gopacket PacketSource idiom: a channel
+// the consumer ranges over, closed at end of capture.
+package probe
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"whereroam/internal/rng"
+)
+
+// Tap observes a stream of records of type T. The zero Tap forwards
+// everything; configure Filter and SampleRate to narrow the capture.
+// Offer is safe for concurrent producers when the sink is.
+type Tap[T any] struct {
+	// Name identifies the capture point ("MME", "MSC", "SGSN",
+	// "hmno-es", ...).
+	Name string
+	// Filter, when non-nil, keeps only records it returns true for.
+	Filter func(T) bool
+	// SampleRate keeps this fraction of post-filter records; 0 and 1
+	// both mean "keep all" (zero value is a complete capture).
+	SampleRate float64
+	// Sink receives accepted records.
+	Sink func(T)
+
+	mu       sync.Mutex
+	src      *rng.Source
+	offered  atomic.Int64
+	captured atomic.Int64
+}
+
+// NewTap builds a capturing tap; seed drives the sampling decisions.
+func NewTap[T any](name string, seed uint64, sink func(T)) *Tap[T] {
+	return &Tap[T]{Name: name, Sink: sink, src: rng.New(seed).Split("probe-" + name)}
+}
+
+// Offer presents one record to the tap.
+func (t *Tap[T]) Offer(rec T) {
+	t.offered.Add(1)
+	if t.Filter != nil && !t.Filter(rec) {
+		return
+	}
+	if t.SampleRate > 0 && t.SampleRate < 1 {
+		t.mu.Lock()
+		keep := t.src.Bool(t.SampleRate)
+		t.mu.Unlock()
+		if !keep {
+			return
+		}
+	}
+	t.captured.Add(1)
+	if t.Sink != nil {
+		t.Sink(rec)
+	}
+}
+
+// Stats returns how many records were offered to and captured by the
+// tap.
+func (t *Tap[T]) Stats() (offered, captured int64) {
+	return t.offered.Load(), t.captured.Load()
+}
+
+// Collector accumulates captured records in memory. It is safe for
+// concurrent use.
+type Collector[T any] struct {
+	mu   sync.Mutex
+	recs []T
+}
+
+// Add appends one record; it is a valid Tap sink.
+func (c *Collector[T]) Add(rec T) {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
+// Records returns the captured records. The returned slice is the
+// collector's own; callers must not mutate it while capture is
+// ongoing.
+func (c *Collector[T]) Records() []T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recs
+}
+
+// Len returns the number of captured records.
+func (c *Collector[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Stream is a channel-based record source (the PacketSource idiom):
+// consumers range over C; the producer closes it at end of capture.
+type Stream[T any] struct {
+	// C delivers captured records in capture order.
+	C <-chan T
+	c chan T
+}
+
+// NewStream returns a stream with the given buffer depth. Its Send
+// method is a valid Tap sink; call Close when capture ends.
+func NewStream[T any](buffer int) *Stream[T] {
+	ch := make(chan T, buffer)
+	return &Stream[T]{C: ch, c: ch}
+}
+
+// Send delivers one record to the consumer, blocking when the buffer
+// is full (capture back-pressure).
+func (s *Stream[T]) Send(rec T) { s.c <- rec }
+
+// Close ends the stream; consumers ranging over C terminate.
+func (s *Stream[T]) Close() { close(s.c) }
+
+// Fanout is a sink that forwards each record to several sinks in
+// order — e.g. persist to disk and feed the live catalog builder.
+func Fanout[T any](sinks ...func(T)) func(T) {
+	return func(rec T) {
+		for _, s := range sinks {
+			s(rec)
+		}
+	}
+}

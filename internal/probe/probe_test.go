@@ -1,0 +1,161 @@
+package probe
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTapForwardsAll(t *testing.T) {
+	var c Collector[int]
+	tap := NewTap("all", 1, c.Add)
+	for i := 0; i < 100; i++ {
+		tap.Offer(i)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("captured %d, want 100", c.Len())
+	}
+	offered, captured := tap.Stats()
+	if offered != 100 || captured != 100 {
+		t.Errorf("stats = %d/%d", offered, captured)
+	}
+}
+
+func TestTapFilter(t *testing.T) {
+	var c Collector[int]
+	tap := NewTap("even", 1, c.Add)
+	tap.Filter = func(v int) bool { return v%2 == 0 }
+	for i := 0; i < 100; i++ {
+		tap.Offer(i)
+	}
+	if c.Len() != 50 {
+		t.Fatalf("captured %d, want 50", c.Len())
+	}
+	for _, v := range c.Records() {
+		if v%2 != 0 {
+			t.Fatalf("odd value %d passed the filter", v)
+		}
+	}
+}
+
+func TestTapSampling(t *testing.T) {
+	var c Collector[int]
+	tap := NewTap("sampled", 7, c.Add)
+	tap.SampleRate = 0.25
+	const n = 40000
+	for i := 0; i < n; i++ {
+		tap.Offer(i)
+	}
+	got := float64(c.Len()) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("sample rate = %.3f, want ~0.25", got)
+	}
+}
+
+func TestTapSamplingDeterministic(t *testing.T) {
+	run := func() []int {
+		var c Collector[int]
+		tap := NewTap("s", 42, c.Add)
+		tap.SampleRate = 0.5
+		for i := 0; i < 1000; i++ {
+			tap.Offer(i)
+		}
+		return c.Records()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different capture sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different captures")
+		}
+	}
+}
+
+func TestTapZeroValueKeepsAll(t *testing.T) {
+	var c Collector[string]
+	tap := &Tap[string]{Sink: c.Add}
+	tap.Offer("x")
+	tap.Offer("y")
+	if c.Len() != 2 {
+		t.Fatalf("zero-config tap dropped records: %d", c.Len())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(g*1000 + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 8000 {
+		t.Fatalf("concurrent adds lost records: %d", c.Len())
+	}
+}
+
+func TestStream(t *testing.T) {
+	s := NewStream[int](8)
+	go func() {
+		for i := 0; i < 100; i++ {
+			s.Send(i)
+		}
+		s.Close()
+	}()
+	sum, count := 0, 0
+	for v := range s.C {
+		sum += v
+		count++
+	}
+	if count != 100 || sum != 4950 {
+		t.Fatalf("stream delivered %d records, sum %d", count, sum)
+	}
+}
+
+func TestStreamAsTapSink(t *testing.T) {
+	s := NewStream[int](4)
+	tap := NewTap("stream", 1, s.Send)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range s.C {
+			n++
+		}
+		done <- n
+	}()
+	for i := 0; i < 50; i++ {
+		tap.Offer(i)
+	}
+	s.Close()
+	if n := <-done; n != 50 {
+		t.Fatalf("stream sink got %d records", n)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	var a, b Collector[int]
+	sink := Fanout(a.Add, b.Add)
+	tap := NewTap("fan", 1, sink)
+	for i := 0; i < 10; i++ {
+		tap.Offer(i)
+	}
+	if a.Len() != 10 || b.Len() != 10 {
+		t.Fatalf("fanout delivered %d/%d, want 10/10", a.Len(), b.Len())
+	}
+}
+
+func BenchmarkTapOffer(b *testing.B) {
+	tap := NewTap("bench", 1, func(int) {})
+	tap.Filter = func(v int) bool { return v%2 == 0 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tap.Offer(i)
+	}
+}

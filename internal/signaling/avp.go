@@ -1,0 +1,303 @@
+package signaling
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+// AVP wire format
+//
+// The platform's probes sit on Diameter S6a links (the
+// Authentication / Update-Location / Cancel-Location procedures of
+// §3.1 are S6a commands), so this package also speaks an AVP-framed
+// encoding: each transaction is a message of attribute-value pairs
+// in the Diameter layout — 4-byte code, 1-byte flags, 3-byte length,
+// payload padded to 4 bytes. Unknown AVPs without the mandatory flag
+// are skipped, which is what lets the format evolve; unknown
+// mandatory AVPs reject the message, per RFC 6733 semantics.
+//
+//	message := msgHeader AVP*
+//	msgHeader := "WA" version(1) reserved(1) length(4, incl. header)
+//	AVP := code(4) flags(1) length(3, incl. 8-byte AVP header) data pad
+//
+// AVP codes used (vendor-private numbering):
+const (
+	avpDeviceID  = 1 // 8-byte device hash
+	avpTimestamp = 2 // 8-byte Unix nanoseconds
+	avpSIM       = 3 // 5-byte PLMN (MCC,MNC,len)
+	avpVisited   = 4 // 5-byte PLMN
+	avpProcedure = 5 // 1 byte
+	avpResult    = 6 // 1 byte
+	avpRAT       = 7 // 1 byte
+)
+
+// avpFlagMandatory mirrors Diameter's M-bit: a receiver that does not
+// understand a mandatory AVP must reject the message.
+const avpFlagMandatory = 0x40
+
+const (
+	avpMsgMagic   = "WA"
+	avpMsgVersion = 1
+	avpHeaderLen  = 8
+	msgHeaderLen  = 8
+)
+
+// AVP wire errors.
+var (
+	ErrAVPBadMagic   = errors.New("signaling: avp: bad message magic")
+	ErrAVPBadVersion = errors.New("signaling: avp: unsupported version")
+	ErrAVPTruncated  = errors.New("signaling: avp: truncated message")
+	ErrAVPMandatory  = errors.New("signaling: avp: unknown mandatory AVP")
+	ErrAVPMissing    = errors.New("signaling: avp: required AVP missing")
+	ErrAVPBadLength  = errors.New("signaling: avp: AVP length out of bounds")
+	ErrAVPOversize   = errors.New("signaling: avp: message too large")
+)
+
+// maxAVPMessage bounds a single message (a transaction encodes to
+// well under 100 bytes; anything larger is corruption).
+const maxAVPMessage = 512
+
+// AppendAVPMessage appends the AVP encoding of tx to dst and returns
+// the extended slice.
+func AppendAVPMessage(dst []byte, tx *Transaction) []byte {
+	start := len(dst)
+	// Message header placeholder; length patched at the end.
+	dst = append(dst, avpMsgMagic[0], avpMsgMagic[1], avpMsgVersion, 0, 0, 0, 0, 0)
+
+	appendAVP := func(dst []byte, code uint32, data ...byte) []byte {
+		ln := avpHeaderLen + len(data)
+		var hdr [avpHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], code)
+		hdr[4] = avpFlagMandatory
+		hdr[5] = byte(ln >> 16)
+		hdr[6] = byte(ln >> 8)
+		hdr[7] = byte(ln)
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, data...)
+		for len(data)%4 != 0 {
+			dst = append(dst, 0)
+			data = append(data, 0) // track padding length only
+		}
+		return dst
+	}
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(tx.Device))
+	dst = appendAVP(dst, avpDeviceID, u64[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(tx.Time.UnixNano()))
+	dst = appendAVP(dst, avpTimestamp, u64[:]...)
+	dst = appendAVP(dst, avpSIM, plmnBytes(tx.SIM)...)
+	dst = appendAVP(dst, avpVisited, plmnBytes(tx.Visited)...)
+	dst = appendAVP(dst, avpProcedure, byte(tx.Procedure))
+	dst = appendAVP(dst, avpResult, byte(tx.Result))
+	dst = appendAVP(dst, avpRAT, byte(tx.RAT))
+
+	total := len(dst) - start
+	binary.BigEndian.PutUint32(dst[start+4:start+8], uint32(total))
+	return dst
+}
+
+func plmnBytes(p mccmnc.PLMN) []byte {
+	var b [5]byte
+	binary.BigEndian.PutUint16(b[0:2], p.MCC)
+	binary.BigEndian.PutUint16(b[2:4], p.MNC)
+	b[4] = p.MNCLen
+	return b[:]
+}
+
+// DecodeAVPMessage decodes one message from buf into tx and returns
+// the number of bytes consumed. Unknown non-mandatory AVPs are
+// skipped; unknown mandatory AVPs reject the message.
+func DecodeAVPMessage(buf []byte, tx *Transaction) (int, error) {
+	if len(buf) < msgHeaderLen {
+		return 0, ErrAVPTruncated
+	}
+	if buf[0] != avpMsgMagic[0] || buf[1] != avpMsgMagic[1] {
+		return 0, ErrAVPBadMagic
+	}
+	if buf[2] != avpMsgVersion {
+		return 0, fmt.Errorf("%w: %d", ErrAVPBadVersion, buf[2])
+	}
+	total := int(binary.BigEndian.Uint32(buf[4:8]))
+	if total < msgHeaderLen || total > maxAVPMessage {
+		return 0, ErrAVPOversize
+	}
+	if len(buf) < total {
+		return 0, ErrAVPTruncated
+	}
+	var have uint8
+	const (
+		needDevice = 1 << iota
+		needTime
+		needSIM
+		needVisited
+		needProc
+	)
+	body := buf[msgHeaderLen:total]
+	for len(body) > 0 {
+		if len(body) < avpHeaderLen {
+			return 0, ErrAVPTruncated
+		}
+		code := binary.BigEndian.Uint32(body[0:4])
+		flags := body[4]
+		ln := int(body[5])<<16 | int(body[6])<<8 | int(body[7])
+		if ln < avpHeaderLen || ln > len(body) {
+			return 0, ErrAVPBadLength
+		}
+		data := body[avpHeaderLen:ln]
+		switch code {
+		case avpDeviceID:
+			if len(data) < 8 {
+				return 0, ErrAVPBadLength
+			}
+			tx.Device = identity.DeviceID(binary.BigEndian.Uint64(data[:8]))
+			have |= needDevice
+		case avpTimestamp:
+			if len(data) < 8 {
+				return 0, ErrAVPBadLength
+			}
+			tx.Time = time.Unix(0, int64(binary.BigEndian.Uint64(data[:8]))).UTC()
+			have |= needTime
+		case avpSIM:
+			if len(data) < 5 {
+				return 0, ErrAVPBadLength
+			}
+			tx.SIM = plmnFromBytes(data)
+			have |= needSIM
+		case avpVisited:
+			if len(data) < 5 {
+				return 0, ErrAVPBadLength
+			}
+			tx.Visited = plmnFromBytes(data)
+			have |= needVisited
+		case avpProcedure:
+			if len(data) < 1 {
+				return 0, ErrAVPBadLength
+			}
+			tx.Procedure = Procedure(data[0])
+			have |= needProc
+		case avpResult:
+			if len(data) < 1 {
+				return 0, ErrAVPBadLength
+			}
+			tx.Result = Result(data[0])
+		case avpRAT:
+			if len(data) < 1 {
+				return 0, ErrAVPBadLength
+			}
+			tx.RAT = radio.RAT(data[0])
+		default:
+			if flags&avpFlagMandatory != 0 {
+				return 0, fmt.Errorf("%w: code %d", ErrAVPMandatory, code)
+			}
+			// Non-mandatory unknown AVP: skip.
+		}
+		// Advance over the AVP plus its padding.
+		adv := ln
+		for adv%4 != 0 {
+			adv++
+		}
+		if adv > len(body) {
+			adv = len(body)
+		}
+		body = body[adv:]
+	}
+	const needAll = needDevice | needTime | needSIM | needVisited | needProc
+	if have&needAll != needAll {
+		return 0, ErrAVPMissing
+	}
+	return total, nil
+}
+
+func plmnFromBytes(b []byte) mccmnc.PLMN {
+	return mccmnc.PLMN{
+		MCC:    binary.BigEndian.Uint16(b[0:2]),
+		MNC:    binary.BigEndian.Uint16(b[2:4]),
+		MNCLen: b[4],
+	}
+}
+
+// AVPWriter streams transactions as back-to-back AVP messages.
+type AVPWriter struct {
+	w     io.Writer
+	buf   []byte
+	wrote int
+}
+
+// NewAVPWriter returns an AVPWriter targeting w.
+func NewAVPWriter(w io.Writer) *AVPWriter { return &AVPWriter{w: w} }
+
+// Write appends one transaction.
+func (w *AVPWriter) Write(tx *Transaction) error {
+	w.buf = AppendAVPMessage(w.buf[:0], tx)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("signaling: avp: writing message %d: %w", w.wrote, err)
+	}
+	w.wrote++
+	return nil
+}
+
+// Count returns the number of messages written.
+func (w *AVPWriter) Count() int { return w.wrote }
+
+// AVPReader streams transactions from back-to-back AVP messages.
+type AVPReader struct {
+	r    io.Reader
+	buf  []byte
+	n    int // valid bytes in buf
+	read int
+}
+
+// NewAVPReader returns an AVPReader consuming from r.
+func NewAVPReader(r io.Reader) *AVPReader {
+	return &AVPReader{r: r, buf: make([]byte, 4*maxAVPMessage)}
+}
+
+// Read decodes the next message into tx; io.EOF marks a clean end.
+func (r *AVPReader) Read(tx *Transaction) error {
+	for {
+		if r.n >= msgHeaderLen {
+			total := int(binary.BigEndian.Uint32(r.buf[4:8]))
+			if total >= msgHeaderLen && total <= maxAVPMessage && r.n >= total {
+				consumed, err := DecodeAVPMessage(r.buf[:r.n], tx)
+				if err != nil {
+					return fmt.Errorf("message %d: %w", r.read, err)
+				}
+				copy(r.buf, r.buf[consumed:r.n])
+				r.n -= consumed
+				r.read++
+				return nil
+			}
+			if total < msgHeaderLen || total > maxAVPMessage {
+				return fmt.Errorf("message %d: %w", r.read, ErrAVPOversize)
+			}
+		}
+		m, err := r.r.Read(r.buf[r.n:])
+		r.n += m
+		if err == io.EOF {
+			if r.n == 0 {
+				return io.EOF
+			}
+			if r.n < msgHeaderLen {
+				return ErrAVPTruncated
+			}
+			total := int(binary.BigEndian.Uint32(r.buf[4:8]))
+			if r.n < total {
+				return ErrAVPTruncated
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("signaling: avp: reading: %w", err)
+		}
+	}
+}
+
+// Count returns the number of messages successfully read.
+func (r *AVPReader) Count() int { return r.read }

@@ -1,0 +1,221 @@
+package signaling
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+func TestAVPRoundTrip(t *testing.T) {
+	var buf []byte
+	tx := sampleTx(7)
+	buf = AppendAVPMessage(buf, &tx)
+	if len(buf)%4 != 0 {
+		t.Errorf("message length %d not 4-byte aligned", len(buf))
+	}
+	var got Transaction
+	n, err := DecodeAVPMessage(buf, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	if !got.Time.Equal(tx.Time) {
+		t.Fatal("time mismatch")
+	}
+	got.Time = tx.Time
+	if got != tx {
+		t.Fatalf("round trip: %+v != %+v", got, tx)
+	}
+}
+
+func TestAVPRoundTripProperty(t *testing.T) {
+	f := func(dev uint64, nanos int64, proc, res, rat uint8) bool {
+		tx := Transaction{
+			Device:    identity.DeviceID(dev),
+			Time:      time.Unix(0, nanos%(1<<60)).UTC(),
+			SIM:       mccmnc.MustParse("334020"),
+			Visited:   mccmnc.MustParse("21407"),
+			Procedure: Procedure(proc % 7),
+			Result:    Result(res % 6),
+			RAT:       radio.RAT(rat % 5),
+		}
+		buf := AppendAVPMessage(nil, &tx)
+		var got Transaction
+		if _, err := DecodeAVPMessage(buf, &got); err != nil {
+			return false
+		}
+		return got.Device == tx.Device && got.Time.Equal(tx.Time) &&
+			got.SIM == tx.SIM && got.Visited == tx.Visited &&
+			got.Procedure == tx.Procedure && got.Result == tx.Result && got.RAT == tx.RAT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAVPStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAVPWriter(&buf)
+	txs := make([]Transaction, 500)
+	for i := range txs {
+		txs[i] = sampleTx(i)
+		txs[i].Procedure = Procedure(1 + i%6)
+		if err := w.Write(&txs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 500 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+	r := NewAVPReader(&buf)
+	for i := range txs {
+		var got Transaction
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Device != txs[i].Device || got.Procedure != txs[i].Procedure {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+	var tail Transaction
+	if err := r.Read(&tail); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if r.Count() != 500 {
+		t.Errorf("reader count = %d", r.Count())
+	}
+}
+
+// appendRawAVP builds one AVP by hand for the extension tests.
+func appendRawAVP(dst []byte, code uint32, flags byte, data []byte) []byte {
+	ln := avpHeaderLen + len(data)
+	var hdr [avpHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], code)
+	hdr[4] = flags
+	hdr[5] = byte(ln >> 16)
+	hdr[6] = byte(ln >> 8)
+	hdr[7] = byte(ln)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, data...)
+	for (len(data))%4 != 0 {
+		dst = append(dst, 0)
+		data = append(data, 0)
+	}
+	return dst
+}
+
+func patchLength(msg []byte) {
+	binary.BigEndian.PutUint32(msg[4:8], uint32(len(msg)))
+}
+
+func TestAVPSkipsUnknownOptional(t *testing.T) {
+	tx := sampleTx(1)
+	msg := AppendAVPMessage(nil, &tx)
+	// Graft an unknown, non-mandatory AVP into the body and re-patch
+	// the message length.
+	msg = appendRawAVP(msg, 9999, 0, []byte{0xde, 0xad})
+	patchLength(msg)
+	var got Transaction
+	if _, err := DecodeAVPMessage(msg, &got); err != nil {
+		t.Fatalf("unknown optional AVP should be skipped: %v", err)
+	}
+	if got.Device != tx.Device {
+		t.Error("payload lost around unknown AVP")
+	}
+}
+
+func TestAVPRejectsUnknownMandatory(t *testing.T) {
+	tx := sampleTx(1)
+	msg := AppendAVPMessage(nil, &tx)
+	msg = appendRawAVP(msg, 9999, avpFlagMandatory, []byte{1})
+	patchLength(msg)
+	var got Transaction
+	if _, err := DecodeAVPMessage(msg, &got); !errors.Is(err, ErrAVPMandatory) {
+		t.Fatalf("err = %v, want ErrAVPMandatory", err)
+	}
+}
+
+func TestAVPRejectsMissingRequired(t *testing.T) {
+	// A message with only a device AVP lacks the required set.
+	msg := []byte{avpMsgMagic[0], avpMsgMagic[1], avpMsgVersion, 0, 0, 0, 0, 0}
+	msg = appendRawAVP(msg, avpDeviceID, avpFlagMandatory, make([]byte, 8))
+	patchLength(msg)
+	var got Transaction
+	if _, err := DecodeAVPMessage(msg, &got); !errors.Is(err, ErrAVPMissing) {
+		t.Fatalf("err = %v, want ErrAVPMissing", err)
+	}
+}
+
+func TestAVPMalformedInputs(t *testing.T) {
+	var got Transaction
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("XX\x01\x00\x00\x00\x00\x10--------------"),
+		"bad version": []byte("WA\x09\x00\x00\x00\x00\x10--------------"),
+	}
+	for name, in := range cases {
+		if _, err := DecodeAVPMessage(in, &got); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Truncated body: declare more than present.
+	tx := sampleTx(0)
+	msg := AppendAVPMessage(nil, &tx)
+	binary.BigEndian.PutUint32(msg[4:8], 256) // claim 256 bytes
+	if _, err := DecodeAVPMessage(msg, &got); err == nil {
+		t.Error("truncated message accepted")
+	}
+	// AVP with absurd internal length.
+	msg = AppendAVPMessage(nil, &tx)
+	msg[msgHeaderLen+7] = 0xff // first AVP length byte
+	if _, err := DecodeAVPMessage(msg, &got); !errors.Is(err, ErrAVPBadLength) {
+		t.Errorf("bad AVP length: %v", err)
+	}
+}
+
+func TestAVPReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAVPWriter(&buf)
+	tx := sampleTx(0)
+	if err := w.Write(&tx); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-4]
+	r := NewAVPReader(bytes.NewReader(cut))
+	var got Transaction
+	if err := r.Read(&got); !errors.Is(err, ErrAVPTruncated) {
+		t.Fatalf("err = %v, want ErrAVPTruncated", err)
+	}
+}
+
+func BenchmarkAVPEncode(b *testing.B) {
+	tx := sampleTx(0)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendAVPMessage(buf[:0], &tx)
+	}
+}
+
+func BenchmarkAVPDecode(b *testing.B) {
+	tx := sampleTx(0)
+	msg := AppendAVPMessage(nil, &tx)
+	var got Transaction
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAVPMessage(msg, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package signaling
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/radio"
+)
+
+// csvHeader is the column layout of the CSV interchange form,
+// mirroring the field list of §3.1.
+var csvHeader = []string{"time", "device", "sim", "visited", "rat", "procedure", "result"}
+
+// CSVWriter streams transactions as CSV with a header row.
+type CSVWriter struct {
+	w      *csv.Writer
+	header bool
+	row    [7]string
+}
+
+// NewCSVWriter returns a CSVWriter targeting w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: csv.NewWriter(w)}
+}
+
+// Write appends one transaction.
+func (c *CSVWriter) Write(tx *Transaction) error {
+	if !c.header {
+		if err := c.w.Write(csvHeader); err != nil {
+			return fmt.Errorf("signaling: csv header: %w", err)
+		}
+		c.header = true
+	}
+	c.row[0] = tx.Time.UTC().Format(time.RFC3339Nano)
+	c.row[1] = tx.Device.String()
+	c.row[2] = tx.SIM.Concat()
+	c.row[3] = tx.Visited.Concat()
+	c.row[4] = strconv.Itoa(int(tx.RAT))
+	c.row[5] = tx.Procedure.String()
+	c.row[6] = tx.Result.String()
+	return c.w.Write(c.row[:])
+}
+
+// Flush drains buffered rows and reports any write error.
+func (c *CSVWriter) Flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// CSVReader streams transactions from the CSV interchange form.
+type CSVReader struct {
+	r      *csv.Reader
+	header bool
+	line   int
+}
+
+// NewCSVReader returns a CSVReader consuming from r.
+func NewCSVReader(r io.Reader) *CSVReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
+	return &CSVReader{r: cr}
+}
+
+// Read decodes the next row into tx; io.EOF marks the end.
+func (c *CSVReader) Read(tx *Transaction) error {
+	if !c.header {
+		if _, err := c.r.Read(); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	rec, err := c.r.Read()
+	if err != nil {
+		return err
+	}
+	c.line++
+	ts, err := time.Parse(time.RFC3339Nano, rec[0])
+	if err != nil {
+		return fmt.Errorf("signaling: csv line %d: time: %w", c.line, err)
+	}
+	dev, err := identity.ParseDeviceID(rec[1])
+	if err != nil {
+		return fmt.Errorf("signaling: csv line %d: %w", c.line, err)
+	}
+	sim, err := mccmnc.Parse(rec[2])
+	if err != nil {
+		return fmt.Errorf("signaling: csv line %d: sim: %w", c.line, err)
+	}
+	visited, err := mccmnc.Parse(rec[3])
+	if err != nil {
+		return fmt.Errorf("signaling: csv line %d: visited: %w", c.line, err)
+	}
+	rat, err := strconv.Atoi(rec[4])
+	if err != nil || rat < 0 || rat > int(radio.RATNB) {
+		return fmt.Errorf("signaling: csv line %d: rat %q", c.line, rec[4])
+	}
+	proc, err := ParseProcedure(rec[5])
+	if err != nil {
+		return fmt.Errorf("signaling: csv line %d: %w", c.line, err)
+	}
+	res, err := ParseResult(rec[6])
+	if err != nil {
+		return fmt.Errorf("signaling: csv line %d: %w", c.line, err)
+	}
+	tx.Time = ts
+	tx.Device = dev
+	tx.SIM = sim
+	tx.Visited = visited
+	tx.RAT = radio.RAT(rat)
+	tx.Procedure = proc
+	tx.Result = res
+	return nil
+}

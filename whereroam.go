@@ -1,0 +1,198 @@
+// Package whereroam reproduces the measurement system of "Where
+// Things Roam: Uncovering Cellular IoT/M2M Connectivity" (IMC 2020):
+// the roaming-label and M2M-classification pipeline a visited mobile
+// operator runs over its devices-catalog, the passive-measurement
+// substrate that builds the catalog, and — because the paper's
+// operator datasets are NDA-bound — a deterministic cellular roaming
+// simulator that regenerates both datasets at configurable scale.
+//
+// The package is a facade: it re-exports the stable API of the
+// internal packages so that applications interact with one import.
+//
+//	sess := whereroam.NewSession(1, 1.0)
+//	mno := sess.MNO()
+//	sums := mno.Catalog.Summaries(mno.GSMA)
+//	results := whereroam.NewClassifier().Classify(sums)
+//
+// The experiment runners regenerate every table and figure of the
+// paper's evaluation; see cmd/roamrepro and EXPERIMENTS.md.
+package whereroam
+
+import (
+	"whereroam/internal/analysis"
+	"whereroam/internal/apn"
+	"whereroam/internal/catalog"
+	"whereroam/internal/core"
+	"whereroam/internal/dataset"
+	"whereroam/internal/devices"
+	"whereroam/internal/experiments"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/netsim"
+	"whereroam/internal/settlement"
+	"whereroam/internal/signaling"
+)
+
+// Identity plane.
+type (
+	// PLMN identifies a mobile network (MCC + MNC).
+	PLMN = mccmnc.PLMN
+	// IMSI is a subscriber identity.
+	IMSI = identity.IMSI
+	// IMEI is an equipment identity with Luhn check digit.
+	IMEI = identity.IMEI
+	// TAC is the 8-digit type allocation code prefix of an IMEI.
+	TAC = identity.TAC
+	// DeviceID is the one-way-hashed device identifier used in traces.
+	DeviceID = identity.DeviceID
+	// APN is a parsed access point name.
+	APN = apn.APN
+)
+
+// ParsePLMN parses "21407" / "334020"-style concatenated codes.
+func ParsePLMN(s string) (PLMN, error) { return mccmnc.Parse(s) }
+
+// ParseAPN parses an access point name, with or without the operator
+// identifier suffix.
+func ParseAPN(s string) (APN, error) { return apn.Parse(s) }
+
+// Measurement plane.
+type (
+	// Transaction is one control-plane signaling record (§3.1 schema).
+	Transaction = signaling.Transaction
+	// DailyRecord is one device-day of the devices-catalog (§4.1).
+	DailyRecord = catalog.DailyRecord
+	// Catalog is a full observation window of daily records.
+	Catalog = catalog.Catalog
+	// Summary is a device aggregated across the window.
+	Summary = catalog.Summary
+	// GSMADB is the TAC device database.
+	GSMADB = gsma.DB
+)
+
+// The paper's contribution: labels and classification.
+type (
+	// Label is a roaming label <X:Y> (§4.2).
+	Label = core.Label
+	// Labeler assigns roaming labels for one observing MNO.
+	Labeler = core.Labeler
+	// Classifier is the multi-step M2M classifier (§4.3).
+	Classifier = core.Classifier
+	// Class is the classifier output (smart/feat/m2m/m2m-maybe).
+	Class = core.Class
+	// ClassResult is one device's classification with its evidence.
+	ClassResult = core.Result
+	// Validation holds classifier-vs-ground-truth metrics.
+	Validation = core.Validation
+)
+
+// Classifier output classes.
+const (
+	ClassSmart    = core.ClassSmart
+	ClassFeat     = core.ClassFeat
+	ClassM2M      = core.ClassM2M
+	ClassM2MMaybe = core.ClassM2MMaybe
+)
+
+// NewClassifier returns the standard classification pipeline.
+func NewClassifier() *Classifier { return core.NewClassifier() }
+
+// NewLabeler returns a labeler for the host MNO and its MVNOs.
+func NewLabeler(host PLMN, mvnos ...PLMN) *Labeler { return core.NewLabeler(host, mvnos...) }
+
+// Validate compares classification results against simulator ground
+// truth.
+func Validate(results []ClassResult, truth map[DeviceID]devices.Class) (*Validation, error) {
+	return core.Validate(results, truth)
+}
+
+// Breakdown counts classification results per class.
+func Breakdown(results []ClassResult) map[Class]int { return core.Breakdown(results) }
+
+// Simulation plane.
+type (
+	// M2MConfig parameterizes the §3 platform dataset generator.
+	M2MConfig = dataset.M2MConfig
+	// MNOConfig parameterizes the §4 visited-MNO dataset generator.
+	MNOConfig = dataset.MNOConfig
+	// SMIPConfig parameterizes the §7 smart-meter dataset generator.
+	SMIPConfig = dataset.SMIPConfig
+	// M2MDataset is the platform signaling dataset.
+	M2MDataset = dataset.M2MDataset
+	// MNODataset is the visited-MNO dataset.
+	MNODataset = dataset.MNODataset
+	// SMIPDataset is the smart-meter dataset.
+	SMIPDataset = dataset.SMIPDataset
+	// World is the operator/agreement topology.
+	World = netsim.World
+	// DeviceClass is the generator-side ground-truth vertical.
+	DeviceClass = devices.Class
+)
+
+// Dataset generators with the paper's default shapes.
+var (
+	DefaultM2MConfig  = dataset.DefaultM2MConfig
+	DefaultMNOConfig  = dataset.DefaultMNOConfig
+	DefaultSMIPConfig = dataset.DefaultSMIPConfig
+	GenerateM2M       = dataset.GenerateM2M
+	GenerateMNO       = dataset.GenerateMNO
+	GenerateSMIP      = dataset.GenerateSMIP
+	SynthesizeGSMA    = gsma.Synthesize
+	NewWorld          = netsim.NewWorld
+	DefaultWorld      = netsim.DefaultConfig
+)
+
+// Experiments.
+type (
+	// Session shares datasets between experiment runners.
+	Session = experiments.Session
+	// Experiment is a registered table/figure runner.
+	Experiment = experiments.Runner
+	// Report is an experiment outcome.
+	Report = experiments.Report
+	// ResultTable is an aligned plain-text table.
+	ResultTable = analysis.Table
+	// ECDF is an empirical CDF.
+	ECDF = analysis.ECDF
+)
+
+// Extensions beyond the paper's evaluation (§8 directions).
+type (
+	// TransparencyRegistry holds IR.88-style M2M declarations.
+	TransparencyRegistry = core.Registry
+	// TransparencyDeclaration is one home operator's published data.
+	TransparencyDeclaration = core.Declaration
+	// RateCard is a wholesale inter-operator tariff.
+	RateCard = settlement.RateCard
+	// SettlementStatement is an inbound-roaming settlement run.
+	SettlementStatement = settlement.Statement
+	// LatencyModel estimates user-plane RTT per roaming architecture.
+	LatencyModel = netsim.LatencyModel
+	// RoamingConfig is a roaming architecture (HR / LBO / IHBO).
+	RoamingConfig = netsim.RoamingConfig
+)
+
+// Extension constructors.
+var (
+	NewTransparencyRegistry = core.NewRegistry
+	DefaultRates            = settlement.DefaultRates
+	Settle                  = settlement.Settle
+	DefaultLatencyModel     = netsim.DefaultLatencyModel
+)
+
+// NewSession returns an experiment session at the given seed and
+// scale factor (1.0 ≈ one tenth of paper scale).
+func NewSession(seed uint64, factor float64) *Session {
+	return experiments.NewSession(seed, factor)
+}
+
+// Experiments returns every registered table/figure runner in paper
+// order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns one runner ("t1", "fig2", ..., "abl-policy").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// NewECDF builds an empirical CDF from samples.
+func NewECDF(samples []float64) *ECDF { return analysis.NewECDF(samples) }

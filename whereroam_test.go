@@ -1,0 +1,85 @@
+package whereroam
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API end to end the way the
+// README quickstart does.
+
+func TestFacadeQuickstart(t *testing.T) {
+	sess := NewSession(1, 0.05)
+	mno := sess.MNO()
+	sums := mno.Catalog.Summaries(mno.GSMA)
+	if len(sums) == 0 {
+		t.Fatal("no summaries")
+	}
+	results := NewClassifier().Classify(sums)
+	if len(results) != len(sums) {
+		t.Fatalf("results = %d, summaries = %d", len(results), len(sums))
+	}
+	b := Breakdown(results)
+	if b[ClassSmart] == 0 || b[ClassM2M] == 0 {
+		t.Errorf("breakdown missing classes: %v", b)
+	}
+	v, err := Validate(results, mno.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accuracy() < 0.9 {
+		t.Errorf("accuracy = %.3f", v.Accuracy())
+	}
+}
+
+func TestFacadeLabeler(t *testing.T) {
+	host, err := ParsePLMN("23410")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, _ := ParsePLMN("20404")
+	lb := NewLabeler(host)
+	if got := lb.Label(nl, host).String(); got != "I:H" {
+		t.Errorf("label = %s", got)
+	}
+}
+
+func TestFacadeAPN(t *testing.T) {
+	a, err := ParseAPN("smhp.centricaplc.com.mnc004.mcc204.gprs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NetworkID != "smhp.centricaplc.com" {
+		t.Errorf("NetworkID = %q", a.NetworkID)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 15 {
+		t.Fatalf("registered experiments = %d", len(Experiments()))
+	}
+	if _, ok := ExperimentByID("fig11"); !ok {
+		t.Fatal("fig11 missing")
+	}
+}
+
+func TestFacadeECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3})
+	if e.Median() != 2 {
+		t.Errorf("median = %f", e.Median())
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	cfg := DefaultM2MConfig()
+	cfg.Devices = 200
+	ds := GenerateM2M(cfg)
+	if len(ds.Transactions) == 0 {
+		t.Fatal("no transactions")
+	}
+	scfg := DefaultSMIPConfig()
+	scfg.NativeMeters, scfg.RoamingMeters = 100, 100
+	smip := GenerateSMIP(scfg)
+	if len(smip.Devices) != 200 {
+		t.Fatalf("smip devices = %d", len(smip.Devices))
+	}
+}
