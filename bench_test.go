@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"whereroam/internal/core"
+	"whereroam/internal/dataset"
 	"whereroam/internal/experiments"
 	"whereroam/internal/geo"
 	"whereroam/internal/mccmnc"
@@ -159,6 +161,51 @@ func BenchmarkAblationGyrationMetric(b *testing.B) {
 		}
 	})
 }
+
+// benchPipeline measures the synthesis → catalog → classification
+// chain at a fixed worker count. The serial/parallel pair quantifies
+// the sharded engine's speedup instead of asserting it; both paths
+// run the same chunked code over the same shard boundaries, so the
+// comparison isolates parallelism itself.
+func benchPipeline(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := dataset.DefaultMNOConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.Devices = int(float64(cfg.Devices) * benchScale * 4)
+		cfg.Workers = workers
+		ds := dataset.GenerateMNO(cfg)
+		sums := ds.Catalog.SummariesWorkers(ds.GSMA, workers)
+		results := core.NewClassifier().ClassifyWorkers(sums, workers)
+		if len(results) != len(sums) || len(sums) == 0 {
+			b.Fatalf("pipeline produced %d results for %d summaries", len(results), len(sums))
+		}
+	}
+}
+
+func BenchmarkPipelineSerial(b *testing.B)   { benchPipeline(b, 1) }
+func BenchmarkPipelineParallel(b *testing.B) { benchPipeline(b, 0) }
+
+// The raw-capture path (per-event synthesis through probe taps into
+// the sharded catalog builder) is the heaviest per-device workload;
+// its pair tracks the builder sharding.
+func benchRawCapture(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := dataset.DefaultSMIPConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.NativeMeters = 1200
+		cfg.RoamingMeters = 800
+		cfg.Workers = workers
+		ds, _ := dataset.GenerateSMIPRaw(cfg)
+		if len(ds.Catalog.Records) == 0 {
+			b.Fatal("raw capture built an empty catalog")
+		}
+	}
+}
+
+func BenchmarkRawCaptureSerial(b *testing.B)   { benchRawCapture(b, 1) }
+func BenchmarkRawCaptureParallel(b *testing.B) { benchRawCapture(b, 0) }
 
 // BenchmarkEndToEnd runs every registered experiment once per
 // iteration over a shared session — the cost of `roamrepro all`.

@@ -1,0 +1,129 @@
+// Command benchpipe measures the serial-vs-parallel pipeline pair
+// (synthesis → catalog → classification, plus the raw per-event
+// capture path) and writes the results as BENCH_pipeline.json, the
+// perf-trajectory artefact future changes compare against.
+//
+// Usage:
+//
+//	benchpipe                       # defaults: scale 0.32, all cores
+//	benchpipe -scale 1.0 -out BENCH_pipeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"whereroam/internal/core"
+	"whereroam/internal/dataset"
+)
+
+// Artefact is one measured benchmark configuration.
+type Artefact struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	Seconds     float64 `json:"seconds_per_op"`
+}
+
+// Report is the BENCH_pipeline.json schema.
+type Report struct {
+	GoMaxProcs int                 `json:"go_maxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Scale      float64             `json:"scale"`
+	Artefacts  map[string]Artefact `json:"artefacts"`
+	// Speedups maps pair names to parallel-over-serial throughput
+	// ratios (1.0 = parity; > 1 means the sharded path wins).
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func measure(workers int, fn func(workers int)) Artefact {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn(workers)
+		}
+	})
+	return Artefact{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Workers:     workers,
+		Iterations:  r.N,
+		Seconds:     float64(r.NsPerOp()) / 1e9,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchpipe: ")
+	var (
+		scale = flag.Float64("scale", 0.32, "population scale factor per iteration")
+		out   = flag.String("out", "BENCH_pipeline.json", "output path")
+	)
+	flag.Parse()
+
+	mnoPipeline := func(workers int) {
+		cfg := dataset.DefaultMNOConfig()
+		cfg.Devices = int(float64(cfg.Devices) * *scale)
+		cfg.Workers = workers
+		ds := dataset.GenerateMNO(cfg)
+		sums := ds.Catalog.SummariesWorkers(ds.GSMA, workers)
+		if res := core.NewClassifier().ClassifyWorkers(sums, workers); len(res) == 0 {
+			log.Fatal("pipeline produced no results")
+		}
+	}
+	rawCapture := func(workers int) {
+		cfg := dataset.DefaultSMIPConfig()
+		cfg.NativeMeters = int(float64(cfg.NativeMeters) * *scale / 4)
+		cfg.RoamingMeters = int(float64(cfg.RoamingMeters) * *scale / 4)
+		cfg.Workers = workers
+		if ds, _ := dataset.GenerateSMIPRaw(cfg); len(ds.Catalog.Records) == 0 {
+			log.Fatal("raw capture built an empty catalog")
+		}
+	}
+
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      *scale,
+		Artefacts:  map[string]Artefact{},
+		Speedups:   map[string]float64{},
+	}
+	for _, pair := range []struct {
+		name string
+		fn   func(int)
+	}{
+		{"pipeline", mnoPipeline},
+		{"raw_capture", rawCapture},
+	} {
+		serial := measure(1, pair.fn)
+		parallel := measure(0, pair.fn)
+		parallel.Workers = rep.GoMaxProcs
+		rep.Artefacts[pair.name+"_serial"] = serial
+		rep.Artefacts[pair.name+"_parallel"] = parallel
+		rep.Speedups[pair.name] = float64(serial.NsPerOp) / float64(parallel.NsPerOp)
+		log.Printf("%s: serial %v ns/op, parallel(%d) %v ns/op, speedup %.2fx",
+			pair.name, serial.NsPerOp, rep.GoMaxProcs, parallel.NsPerOp, rep.Speedups[pair.name])
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, rep.GoMaxProcs)
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"whereroam/internal/dataset"
@@ -27,6 +28,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		sample  = flag.Float64("sample", 1, "probe sampling rate (0,1]")
 		policy  = flag.String("policy", "sticky", "VMNO selection policy: sticky|strongest|rotate")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker pool size (output is identical for any value)")
 		out     = flag.String("out", "m2m.bin", "output path")
 		asCSV   = flag.Bool("csv", false, "write CSV instead of the binary wire format")
 	)
@@ -37,6 +39,7 @@ func main() {
 	cfg.Days = *days
 	cfg.Seed = *seed
 	cfg.SampleRate = *sample
+	cfg.Workers = *workers
 	switch *policy {
 	case "sticky":
 		cfg.Policy = netsim.PolicySticky

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"whereroam/internal/dataset"
@@ -25,6 +26,7 @@ func main() {
 		devices = flag.Int("devices", 30000, "distinct devices across the window")
 		days    = flag.Int("days", 22, "observation window in days")
 		seed    = flag.Uint64("seed", 1, "generator seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker pool size (output is identical for any value)")
 		out     = flag.String("out", "catalog.csv", "devices-catalog output path")
 		truth   = flag.String("truth", "", "optional ground-truth class CSV output path")
 	)
@@ -34,6 +36,7 @@ func main() {
 	cfg.Devices = *devices
 	cfg.Days = *days
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	start := time.Now()
 	ds := dataset.GenerateMNO(cfg)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"whereroam/internal/experiments"
@@ -23,10 +24,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("roamrepro: ")
 	var (
-		id    = flag.String("experiment", "all", "experiment id or 'all'")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		scale = flag.Float64("scale", 0.5, "population scale factor (1.0 ≈ a tenth of paper scale)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		id      = flag.String("experiment", "all", "experiment id or 'all'")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		scale   = flag.Float64("scale", 0.5, "population scale factor (1.0 ≈ a tenth of paper scale)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker pool size (results are identical for any value)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 		return
 	}
 
-	sess := experiments.NewSession(*seed, *scale)
+	sess := experiments.NewSessionWorkers(*seed, *scale, *workers)
 	runners := experiments.All()
 	if *id != "all" {
 		r, ok := experiments.ByID(*id)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"whereroam/internal/dataset"
@@ -31,6 +32,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		nbiot   = flag.Float64("nbiot", 0, "fraction of roaming meters migrated to NB-IoT")
 		raw     = flag.Bool("raw", false, "generate via the per-event probe+builder pipeline")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "raw-capture worker pool size (output is identical for any value)")
 		out     = flag.String("out", "smip.csv", "devices-catalog output path")
 	)
 	flag.Parse()
@@ -41,6 +43,7 @@ func main() {
 	cfg.Days = *days
 	cfg.Seed = *seed
 	cfg.NBIoTMigration = *nbiot
+	cfg.Workers = *workers
 
 	start := time.Now()
 	var ds *dataset.SMIPDataset

@@ -1,0 +1,102 @@
+// Determinism under parallelism: the sharded pipeline must produce
+// bit-identical artefacts at every worker count — same catalog
+// records, same summary ordering and contents, same classification
+// breakdown. These tests pin the contract the engine is built on
+// (per-entity RNG substreams, worker-count-independent shard
+// boundaries, shard-ordered merges) for the synthesis → catalog →
+// classification chain.
+package whereroam
+
+import (
+	"reflect"
+	"testing"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/core"
+	"whereroam/internal/dataset"
+)
+
+// detMNO generates a small MNO dataset at the given seed and worker
+// count and runs the full downstream pipeline at that worker count.
+func detMNO(seed uint64, workers int) (*dataset.MNODataset, []catalog.Summary, []core.Result) {
+	cfg := dataset.DefaultMNOConfig()
+	cfg.Seed = seed
+	cfg.Devices = 1500
+	cfg.Workers = workers
+	ds := dataset.GenerateMNO(cfg)
+	sums := ds.Catalog.SummariesWorkers(ds.GSMA, workers)
+	results := core.NewClassifier().ClassifyWorkers(sums, workers)
+	return ds, sums, results
+}
+
+func TestPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		serial, serialSums, serialRes := detMNO(seed, 1)
+		for _, workers := range []int{4, 0} {
+			par, parSums, parRes := detMNO(seed, workers)
+
+			if len(par.Catalog.Records) != len(serial.Catalog.Records) {
+				t.Fatalf("seed %d workers %d: %d records, serial has %d",
+					seed, workers, len(par.Catalog.Records), len(serial.Catalog.Records))
+			}
+			if !reflect.DeepEqual(par.Catalog.Records, serial.Catalog.Records) {
+				t.Errorf("seed %d workers %d: catalog records differ from serial", seed, workers)
+			}
+			if !reflect.DeepEqual(parSums, serialSums) {
+				t.Errorf("seed %d workers %d: summaries differ from serial (ordering or contents)", seed, workers)
+			}
+			if !reflect.DeepEqual(par.Truth, serial.Truth) {
+				t.Errorf("seed %d workers %d: ground truth differs from serial", seed, workers)
+			}
+			if !reflect.DeepEqual(par.Declared, serial.Declared) {
+				t.Errorf("seed %d workers %d: IR.88 verdicts differ from serial", seed, workers)
+			}
+			if !reflect.DeepEqual(parRes, serialRes) {
+				t.Errorf("seed %d workers %d: classification results differ from serial", seed, workers)
+			}
+			sb, pb := core.Breakdown(serialRes), core.Breakdown(parRes)
+			if !reflect.DeepEqual(sb, pb) {
+				t.Errorf("seed %d workers %d: breakdown %v, serial %v", seed, workers, pb, sb)
+			}
+		}
+	}
+}
+
+// The M2M platform capture concatenates shard-local probe streams in
+// shard order, so the transaction stream is also worker-count
+// invariant.
+func TestM2MDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := dataset.DefaultM2MConfig()
+	cfg.Devices = 800
+	cfg.Workers = 1
+	serial := dataset.GenerateM2M(cfg)
+	cfg.Workers = 4
+	par := dataset.GenerateM2M(cfg)
+	if !reflect.DeepEqual(serial.Transactions, par.Transactions) {
+		t.Error("workers=4 transaction stream differs from serial")
+	}
+	if !reflect.DeepEqual(serial.Truth, par.Truth) {
+		t.Error("workers=4 ground truth differs from serial")
+	}
+}
+
+// The raw SMIP capture exercises the sharded catalog builder: device
+// streams route to shard-local builders whose outputs merge into one
+// sorted catalog.
+func TestSMIPRawDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := dataset.DefaultSMIPConfig()
+	cfg.NativeMeters, cfg.RoamingMeters = 300, 200
+	cfg.Workers = 1
+	serial, serialRaw := dataset.GenerateSMIPRaw(cfg)
+	cfg.Workers = 4
+	par, parRaw := dataset.GenerateSMIPRaw(cfg)
+	if !reflect.DeepEqual(serialRaw.Radio, parRaw.Radio) {
+		t.Error("workers=4 radio stream differs from serial")
+	}
+	if !reflect.DeepEqual(serialRaw.Records, parRaw.Records) {
+		t.Error("workers=4 CDR stream differs from serial")
+	}
+	if !reflect.DeepEqual(serial.Catalog.Records, par.Catalog.Records) {
+		t.Error("workers=4 built catalog differs from serial")
+	}
+}

@@ -1,0 +1,3 @@
+module whereroam
+
+go 1.24

@@ -8,6 +8,7 @@ import (
 	"whereroam/internal/geo"
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/radio"
 )
 
@@ -142,6 +143,16 @@ func (b *Builder) AddRecord(rec cdrs.Record) {
 // Build finalizes the catalog: it computes the mobility metrics and
 // returns records sorted by (device, day).
 func (b *Builder) Build() *Catalog {
+	out := &Catalog{Host: b.host, Days: b.days, Records: b.finalize()}
+	sortRecords(out.Records)
+	return out
+}
+
+// finalize flushes trailing dwell, computes each record's mobility
+// metrics and returns the records unsorted. It is the shard-local
+// half of a build; Build and ShardedBuilder.Build add the global
+// sort.
+func (b *Builder) finalize() []DailyRecord {
 	// Flush trailing dwell: the final event of each device gets a
 	// nominal one-minute dwell so single-event days still have a
 	// location.
@@ -155,7 +166,7 @@ func (b *Builder) Build() *Catalog {
 			}
 		}
 	}
-	out := &Catalog{Host: b.host, Days: b.days, Records: make([]DailyRecord, 0, len(b.recs))}
+	recs := make([]DailyRecord, 0, len(b.recs))
 	for k, r := range b.recs {
 		if vs := b.visits[k]; len(vs) > 0 {
 			if c, ok := geo.Centroid(vs); ok {
@@ -164,14 +175,134 @@ func (b *Builder) Build() *Catalog {
 				r.HasLocation = true
 			}
 		}
-		out.Records = append(out.Records, *r)
+		recs = append(recs, *r)
 	}
-	sort.Slice(out.Records, func(i, j int) bool {
-		a, c := &out.Records[i], &out.Records[j]
+	return recs
+}
+
+// sortRecords orders records by (device, day) — a total order, since
+// the pair is unique per record, so the result is deterministic
+// whatever permutation the shards delivered.
+func sortRecords(recs []DailyRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, c := &recs[i], &recs[j]
 		if a.Device != c.Device {
 			return a.Device < c.Device
 		}
 		return a.Day < c.Day
 	})
+}
+
+// Merge folds another builder's accumulated state into b, combining
+// catalogs built from separate capture feeds (e.g. one builder per
+// probe site). Per-day records combine field-wise (counts and flags
+// add, visited networks and APNs union in b-then-o order, an unknown
+// TAC backfills). Dwell state merges by keeping the later last-seen
+// event per device; the dwell chain *across* the two builders is not
+// reconstructed, so for exact parity with a single builder keep the
+// feeds device-disjoint — which is why ShardedBuilder routes events
+// by device and merges finalized shard outputs instead.
+func (b *Builder) Merge(o *Builder) {
+	for k, ro := range o.recs {
+		r := b.recs[k]
+		if r == nil {
+			b.recs[k] = ro
+			continue
+		}
+		if r.TAC == 0 && ro.TAC != 0 {
+			r.TAC = ro.TAC
+		}
+		r.Events += ro.Events
+		r.FailedEvents += ro.FailedEvents
+		r.Calls += ro.Calls
+		r.CallSeconds += ro.CallSeconds
+		r.Bytes += ro.Bytes
+		r.RadioFlags |= ro.RadioFlags
+		r.DataRATs |= ro.DataRATs
+		r.VoiceRATs |= ro.VoiceRATs
+		for _, v := range ro.Visited {
+			r.AddVisited(v)
+		}
+		for _, a := range ro.APNs {
+			r.AddAPN(a)
+		}
+	}
+	for k, vs := range o.visits {
+		b.visits[k] = append(b.visits[k], vs...)
+	}
+	for dev, seen := range o.last {
+		if prev, ok := b.last[dev]; !ok || seen.t.After(prev.t) {
+			b.last[dev] = seen
+		}
+	}
+}
+
+// ShardedBuilder partitions catalog construction by device: events
+// route to one of several shard-local Builders (device ID modulo
+// shard count), so ingestion can run on one goroutine per shard and
+// the build still attributes dwell correctly — every event of a
+// device lands in the same shard. The zero worker-count convention
+// of internal/pipeline applies throughout.
+type ShardedBuilder struct {
+	shards []*Builder
+}
+
+// NewShardedBuilder returns a builder sharded count ways; count
+// values below one collapse to a single shard.
+func NewShardedBuilder(host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid, count int) *ShardedBuilder {
+	if count < 1 {
+		count = 1
+	}
+	sb := &ShardedBuilder{shards: make([]*Builder, count)}
+	for i := range sb.shards {
+		sb.shards[i] = NewBuilder(host, start, days, grid)
+	}
+	return sb
+}
+
+// Shards returns the shard count.
+func (sb *ShardedBuilder) Shards() int { return len(sb.shards) }
+
+// ShardFor returns the shard index owning the device.
+func (sb *ShardedBuilder) ShardFor(dev identity.DeviceID) int {
+	return int(uint64(dev) % uint64(len(sb.shards)))
+}
+
+// Builder returns the shard-local builder; feed each from at most
+// one goroutine at a time.
+func (sb *ShardedBuilder) Builder(i int) *Builder { return sb.shards[i] }
+
+// AddRadioEvent routes one radio event to its shard. Not safe for
+// concurrent callers; for parallel ingestion partition the stream
+// with ShardFor and feed each shard's Builder directly.
+func (sb *ShardedBuilder) AddRadioEvent(ev radio.Event) {
+	sb.shards[sb.ShardFor(ev.Device)].AddRadioEvent(ev)
+}
+
+// AddRecord routes one CDR/xDR to its shard; same concurrency
+// contract as AddRadioEvent.
+func (sb *ShardedBuilder) AddRecord(rec cdrs.Record) {
+	sb.shards[sb.ShardFor(rec.Device)].AddRecord(rec)
+}
+
+// Build finalizes every shard concurrently on workers goroutines and
+// merges the shard outputs into one sorted catalog. Shards own
+// device-disjoint record sets and (device, day) is a total order, so
+// the merged catalog is identical to a serial single-builder run for
+// any shard or worker count.
+func (sb *ShardedBuilder) Build(workers int) *Catalog {
+	parts := pipeline.Map(len(sb.shards), workers, func(sh pipeline.Shard) []DailyRecord {
+		var recs []DailyRecord
+		for i := sh.Lo; i < sh.Hi; i++ {
+			recs = append(recs, sb.shards[i].finalize()...)
+		}
+		return recs
+	})
+	first := sb.shards[0]
+	out := &Catalog{Host: first.host, Days: first.days}
+	for _, recs := range parts {
+		out.Records = append(out.Records, recs...)
+	}
+	sortRecords(out.Records)
 	return out
 }

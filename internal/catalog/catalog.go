@@ -18,6 +18,7 @@ import (
 	"whereroam/internal/gsma"
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/radio"
 )
 
@@ -135,16 +136,71 @@ func (s *Summary) UsesVoice() bool { return !s.VoiceRATs.Empty() }
 
 // Summaries aggregates the catalog per device and joins the GSMA
 // database. The result is sorted by device ID for determinism.
-func (c *Catalog) Summaries(db *gsma.DB) []Summary {
-	byDev := map[identity.DeviceID]*Summary{}
-	gyrSum := map[identity.DeviceID]float64{}
-	gyrN := map[identity.DeviceID]int{}
-	for i := range c.Records {
+// Aggregation is chunk-parallel over the record slice with one worker
+// per CPU; see SummariesWorkers for the worker-count contract.
+func (c *Catalog) Summaries(db *gsma.DB) []Summary { return c.SummariesWorkers(db, 0) }
+
+// SummariesWorkers is Summaries with an explicit worker count (below
+// one = one worker per CPU, one = serial). Record chunks are
+// aggregated concurrently into partial per-device summaries and
+// merged in chunk order; chunk boundaries depend only on the record
+// count, so the result — including float accumulation order — is
+// identical for every worker count. (The chunked grouping is the
+// reproducibility contract; it regroups float additions relative to
+// the pre-chunking single pass, so CallSeconds/MeanGyrationKm may
+// differ in the last bits from catalogs summarized by older
+// versions.)
+func (c *Catalog) SummariesWorkers(db *gsma.DB, workers int) []Summary {
+	parts := pipeline.Map(len(c.Records), workers, func(sh pipeline.Shard) *summaryPartial {
+		return c.summarizeChunk(sh.Lo, sh.Hi)
+	})
+	if len(parts) == 0 {
+		return nil
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc.merge(p)
+	}
+
+	out := make([]Summary, 0, len(acc.byDev))
+	for id, s := range acc.byDev {
+		if n := acc.gyrN[id]; n > 0 {
+			s.MeanGyrationKm = acc.gyrSum[id] / float64(n)
+			s.HasLocation = true
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	if db != nil {
+		pipeline.Run(len(out), workers, func(sh pipeline.Shard) {
+			for i := sh.Lo; i < sh.Hi; i++ {
+				out[i].Info, out[i].InfoOK = db.Lookup(out[i].TAC)
+			}
+		})
+	}
+	return out
+}
+
+// summaryPartial is one chunk's per-device aggregation state.
+type summaryPartial struct {
+	byDev  map[identity.DeviceID]*Summary
+	gyrSum map[identity.DeviceID]float64
+	gyrN   map[identity.DeviceID]int
+}
+
+// summarizeChunk aggregates the record range [lo, hi).
+func (c *Catalog) summarizeChunk(lo, hi int) *summaryPartial {
+	p := &summaryPartial{
+		byDev:  map[identity.DeviceID]*Summary{},
+		gyrSum: map[identity.DeviceID]float64{},
+		gyrN:   map[identity.DeviceID]int{},
+	}
+	for i := lo; i < hi; i++ {
 		r := &c.Records[i]
-		s := byDev[r.Device]
+		s := p.byDev[r.Device]
 		if s == nil {
 			s = &Summary{Device: r.Device, SIM: r.SIM, TAC: r.TAC, FirstDay: r.Day, LastDay: r.Day}
-			byDev[r.Device] = s
+			p.byDev[r.Device] = s
 		}
 		s.ActiveDays++
 		if r.Day < s.FirstDay {
@@ -168,25 +224,51 @@ func (c *Catalog) Summaries(db *gsma.DB) []Summary {
 			s.addVisited(v)
 		}
 		if r.HasLocation {
-			gyrSum[r.Device] += r.GyrationKm
-			gyrN[r.Device]++
+			p.gyrSum[r.Device] += r.GyrationKm
+			p.gyrN[r.Device]++
 		}
 	}
-	out := make([]Summary, 0, len(byDev))
-	for id, s := range byDev {
-		if n := gyrN[id]; n > 0 {
-			s.MeanGyrationKm = gyrSum[id] / float64(n)
-			s.HasLocation = true
+	return p
+}
+
+// merge folds a later chunk's partials into p. p's chunk precedes
+// o's, so p's first-seen fields (SIM, TAC, APN/Visited order) win —
+// the same outcome a single pass over the concatenated chunks gives.
+func (p *summaryPartial) merge(o *summaryPartial) {
+	for id, so := range o.byDev {
+		s := p.byDev[id]
+		if s == nil {
+			p.byDev[id] = so
+			continue
 		}
-		out = append(out, *s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
-	if db != nil {
-		for i := range out {
-			out[i].Info, out[i].InfoOK = db.Lookup(out[i].TAC)
+		s.ActiveDays += so.ActiveDays
+		if so.FirstDay < s.FirstDay {
+			s.FirstDay = so.FirstDay
+		}
+		if so.LastDay > s.LastDay {
+			s.LastDay = so.LastDay
+		}
+		s.Events += so.Events
+		s.FailedEvents += so.FailedEvents
+		s.Calls += so.Calls
+		s.CallSeconds += so.CallSeconds
+		s.Bytes += so.Bytes
+		s.RadioFlags |= so.RadioFlags
+		s.DataRATs |= so.DataRATs
+		s.VoiceRATs |= so.VoiceRATs
+		for _, a := range so.APNs {
+			s.addAPN(a)
+		}
+		for _, v := range so.Visited {
+			s.addVisited(v)
 		}
 	}
-	return out
+	for id, g := range o.gyrSum {
+		p.gyrSum[id] += g
+	}
+	for id, n := range o.gyrN {
+		p.gyrN[id] += n
+	}
 }
 
 func (s *Summary) addAPN(a apn.APN) {

@@ -8,6 +8,7 @@ import (
 	"whereroam/internal/catalog"
 	"whereroam/internal/gsma"
 	"whereroam/internal/identity"
+	"whereroam/internal/pipeline"
 )
 
 // Class is the classifier's output (§4.3).
@@ -119,33 +120,72 @@ type Result struct {
 }
 
 // Classify runs the pipeline over device summaries. It returns one
-// Result per summary, in the same order.
+// Result per summary, in the same order. Summary chunks are processed
+// concurrently with one worker per CPU; see ClassifyWorkers for the
+// worker-count contract.
 func (c *Classifier) Classify(sums []catalog.Summary) []Result {
-	// Step 1: collect validated APNs — APN strings used in the
-	// population that match an M2M vertical keyword.
-	validated := map[apn.APN]bool{}
-	for i := range sums {
-		for _, a := range sums[i].APNs {
-			if c.matchesM2M(a) {
-				validated[a] = true
+	return c.ClassifyWorkers(sums, 0)
+}
+
+// ClassifyWorkers is Classify with an explicit worker count (below
+// one = one worker per CPU, one = serial). The population-level
+// steps are two parallel sweeps separated by barriers: chunk workers
+// first collect validated APNs, which merge into one set every
+// worker then reads to collect m2m TACs, and only after both sets
+// are complete does the per-device pass run. Sets are consulted by
+// membership only, so the results are identical for every worker
+// count.
+func (c *Classifier) ClassifyWorkers(sums []catalog.Summary, workers int) []Result {
+	// Step 1 (fan-out + barrier): collect validated APNs — APN
+	// strings used in the population that match an M2M vertical
+	// keyword.
+	validated := mergeSets(pipeline.Map(len(sums), workers, func(sh pipeline.Shard) map[apn.APN]bool {
+		part := map[apn.APN]bool{}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			for _, a := range sums[i].APNs {
+				if c.matchesM2M(a) {
+					part[a] = true
+				}
 			}
 		}
-	}
+		return part
+	}))
 
-	// Step 2: devices using validated APNs are m2m; remember their
-	// device properties (TAC) for the closure.
+	// Step 2 (fan-out + barrier): devices using validated APNs are
+	// m2m; remember their device properties (TAC) for the closure.
+	// Needs the complete validated set, hence the second pass.
 	m2mTACs := map[identity.TAC]bool{}
 	if c.Steps.ValidateAPNs {
-		for i := range sums {
-			if c.usesValidated(&sums[i], validated) && sums[i].TAC != 0 {
-				m2mTACs[sums[i].TAC] = true
+		m2mTACs = mergeSets(pipeline.Map(len(sums), workers, func(sh pipeline.Shard) map[identity.TAC]bool {
+			part := map[identity.TAC]bool{}
+			for i := sh.Lo; i < sh.Hi; i++ {
+				if c.usesValidated(&sums[i], validated) && sums[i].TAC != 0 {
+					part[sums[i].TAC] = true
+				}
 			}
-		}
+			return part
+		}))
 	}
 
 	out := make([]Result, len(sums))
-	for i := range sums {
-		out[i] = c.classifyOne(&sums[i], validated, m2mTACs)
+	pipeline.Run(len(sums), workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			out[i] = c.classifyOne(&sums[i], validated, m2mTACs)
+		}
+	})
+	return out
+}
+
+// mergeSets unions per-chunk membership sets.
+func mergeSets[K comparable](parts []map[K]bool) map[K]bool {
+	if len(parts) == 0 {
+		return map[K]bool{}
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		for k := range p {
+			out[k] = true
+		}
 	}
 	return out
 }

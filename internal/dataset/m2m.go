@@ -17,6 +17,7 @@ import (
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/netsim"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/probe"
 	"whereroam/internal/radio"
 	"whereroam/internal/rng"
@@ -32,6 +33,12 @@ type M2MConfig struct {
 	Policy  netsim.SelectionPolicy
 	// SampleRate thins the probe capture (1 = keep everything).
 	SampleRate float64
+	// Workers bounds the synthesis worker pool; values below one mean
+	// one worker per CPU. Complete captures (SampleRate 0 or 1) are
+	// bit-identical for every worker count; a thinning probe draws its
+	// sampling decisions from one sequential stream, so sampled
+	// captures fall back to a single worker to stay deterministic.
+	Workers int
 }
 
 // DefaultM2MConfig returns the standard scaled-down configuration.
@@ -114,10 +121,6 @@ func GenerateM2M(cfg M2MConfig) *M2MDataset {
 	root := rng.New(cfg.Seed).Split("m2m")
 	specs := platformHMNOs()
 
-	var collector probe.Collector[signaling.Transaction]
-	tap := probe.NewTap("hmno-probe", cfg.Seed, collector.Add)
-	tap.SampleRate = cfg.SampleRate
-
 	ds := &M2MDataset{
 		Start: cfg.Start,
 		Days:  cfg.Days,
@@ -131,18 +134,75 @@ func GenerateM2M(cfg M2MConfig) *M2MDataset {
 	}
 	hmnoPick := rng.NewWeighted(root.Split("hmno"), weights)
 
-	for i := 0; i < cfg.Devices; i++ {
-		src := root.SplitN("device", uint64(i))
-		spec := specs[hmnoPick.DrawFrom(src)]
-		imsi := alloc.Next(spec.plmn, 7_000_000_000)
-		dev := identity.HashDevice(imsi)
-		roaming := src.Bool(spec.roamShare)
-		prof := devices.NewPlatformIoT(src.Split("profile"), roaming, cfg.Days)
-		ds.Truth[dev] = M2MDeviceTruth{Home: spec.plmn, Roaming: roaming, FailOnly: prof.FailOnly, Profile: prof}
-		emitPlatformDevice(tap, world, src, cfg, spec, dev, prof)
+	// A thinning probe consumes one sequential sampling stream, so a
+	// sampled capture must be walked by a single worker — and through
+	// a single tap whose stream spans every shard — to keep the
+	// kept-set deterministic.
+	sampled := cfg.SampleRate > 0 && cfg.SampleRate < 1
+	workers := cfg.Workers
+	var sampleTap *probe.Tap[signaling.Transaction]
+	if sampled {
+		workers = 1
+		sampleTap = probe.NewTap[signaling.Transaction]("hmno-probe", cfg.Seed, nil)
+		sampleTap.SampleRate = cfg.SampleRate
 	}
 
-	ds.Transactions = collector.Records()
+	// Pass 1 (parallel): home-operator draw per device — the draft
+	// the IMSI allocator needs.
+	type m2mDraft struct {
+		spec int
+		src  *rng.Source
+	}
+	drafts := make([]m2mDraft, cfg.Devices)
+	pipeline.Run(cfg.Devices, workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			src := root.SplitN("device", uint64(i))
+			drafts[i] = m2mDraft{spec: hmnoPick.DrawFrom(src), src: src}
+		}
+	})
+
+	// Pass 2 (serial): IMSI allocation in device order.
+	devIDs := make([]identity.DeviceID, cfg.Devices)
+	for i := range drafts {
+		devIDs[i] = identity.HashDevice(alloc.Next(specs[drafts[i].spec].plmn, 7_000_000_000))
+	}
+
+	// Pass 3 (parallel): walk each device's schedule through the
+	// roaming machinery into a shard-local probe + collector;
+	// shard-ordered concatenation reproduces the serial capture order,
+	// so the final time sort sees the identical permutation.
+	type shardOut struct {
+		collector probe.Collector[signaling.Transaction]
+		truths    []M2MDeviceTruth
+	}
+	outs := pipeline.Map(cfg.Devices, workers, func(sh pipeline.Shard) *shardOut {
+		out := &shardOut{truths: make([]M2MDeviceTruth, 0, sh.Len())}
+		tap := sampleTap
+		if tap != nil {
+			// Serial sampled path: keep the tap's sampling stream
+			// continuous across shards, collecting shard-locally.
+			tap.Sink = out.collector.Add
+		} else {
+			tap = probe.NewTap("hmno-probe", cfg.Seed, out.collector.Add)
+		}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			src := drafts[i].src
+			spec := specs[drafts[i].spec]
+			roaming := src.Bool(spec.roamShare)
+			prof := devices.NewPlatformIoT(src.Split("profile"), roaming, cfg.Days)
+			out.truths = append(out.truths, M2MDeviceTruth{Home: spec.plmn, Roaming: roaming, FailOnly: prof.FailOnly, Profile: prof})
+			emitPlatformDevice(tap, world, src, cfg, spec, devIDs[i], prof)
+		}
+		return out
+	})
+	i := 0
+	for _, o := range outs {
+		for _, truth := range o.truths {
+			ds.Truth[devIDs[i]] = truth
+			i++
+		}
+		ds.Transactions = append(ds.Transactions, o.collector.Records()...)
+	}
 	sort.Slice(ds.Transactions, func(i, j int) bool {
 		return ds.Transactions[i].Time.Before(ds.Transactions[j].Time)
 	})

@@ -11,6 +11,7 @@ import (
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/mobility"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/rng"
 )
 
@@ -24,6 +25,11 @@ type MNOConfig struct {
 	// GSMASeed seeds the synthetic TAC catalog (kept separate so the
 	// same catalog can be shared across datasets).
 	GSMASeed uint64
+	// Workers bounds the synthesis worker pool; values below one mean
+	// one worker per CPU. The generated dataset is bit-identical for
+	// every worker count (per-device RNG substreams, shard-ordered
+	// merge).
+	Workers int
 	// TransparencyAdoption is the probability that a home operator
 	// publishes IR.88 declarations for its M2M IMSI ranges (§1: the
 	// GSMA PRD is binding but adoption in the wild is partial). Zero
@@ -157,6 +163,16 @@ func drawHome(src *rng.Source, table []countryWeight) mccmnc.PLMN {
 }
 
 // GenerateMNO synthesizes the visited-MNO dataset.
+//
+// Synthesis is sharded over cfg.Workers goroutines in three passes:
+// a parallel draft pass draws each device's class and home network
+// from its own RNG substream, a serial pass allocates IMSIs in device
+// order (MSIN blocks hand out sequential numbers, the one inherently
+// order-dependent step), and a parallel finish pass builds profiles
+// and emits the daily catalog records into shard-local slices that
+// are concatenated in shard order. Because every random draw comes
+// from a per-device substream and all merges are shard-ordered, the
+// output is bit-identical for any worker count.
 func GenerateMNO(cfg MNOConfig) *MNODataset {
 	if cfg.Devices <= 0 || cfg.Days <= 0 {
 		panic("dataset: MNO config needs positive Devices and Days")
@@ -183,21 +199,51 @@ func GenerateMNO(cfg MNOConfig) *MNODataset {
 	}
 	m2mPick := rng.NewWeighted(root.Split("m2m"), m2mWeights)
 
-	for i := 0; i < cfg.Devices; i++ {
-		src := root.SplitN("device", uint64(i))
-		var class devices.Class
-		switch classPick.DrawFrom(src) {
-		case 0:
-			class = devices.ClassSmartphone
-		case 1:
-			class = devices.ClassFeaturePhone
-		default:
-			class = m2mMix[m2mPick.DrawFrom(src)].class
+	// Pass 1 (parallel): class and home draws per device.
+	drafts := make([]deviceDraft, cfg.Devices)
+	pipeline.Run(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			src := root.SplitN("device", uint64(i))
+			var class devices.Class
+			switch classPick.DrawFrom(src) {
+			case 0:
+				class = devices.ClassSmartphone
+			case 1:
+				class = devices.ClassFeaturePhone
+			default:
+				class = m2mMix[m2mPick.DrawFrom(src)].class
+			}
+			drafts[i] = draftDevice(src, cfg, class)
 		}
-		dev := buildDevice(src, cfg, db, alloc, centre, class)
-		ds.Devices = append(ds.Devices, dev)
-		ds.Truth[dev.ID] = class
-		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, cat, &dev)
+	})
+
+	// Pass 2 (serial): IMSI allocation in device order.
+	imsis := make([]identity.IMSI, cfg.Devices)
+	for i := range drafts {
+		imsis[i] = alloc.Next(drafts[i].home, drafts[i].base)
+	}
+
+	// Pass 3 (parallel): profiles, mobility and daily activity. Each
+	// device's substream resumes exactly where pass 1 left it.
+	type shardOut struct {
+		devs []devices.Device
+		recs []catalog.DailyRecord
+	}
+	outs := pipeline.Map(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) shardOut {
+		out := shardOut{devs: make([]devices.Device, 0, sh.Len())}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			dev := finishDevice(&drafts[i], imsis[i], cfg, db, centre)
+			out.devs = append(out.devs, dev)
+			emitDeviceDays(drafts[i].src.Split("days"), cfg.Host, cfg.Start, cfg.Days, &out.recs, &dev)
+		}
+		return out
+	})
+	for _, o := range outs {
+		ds.Devices = append(ds.Devices, o.devs...)
+		cat.Records = append(cat.Records, o.recs...)
+	}
+	for i := range ds.Devices {
+		ds.Truth[ds.Devices[i].ID] = ds.Devices[i].Class
 	}
 	ds.Catalog = cat
 	ds.buildTransparency(cfg, alloc, root.Split("ir88"))
@@ -241,11 +287,23 @@ func (ds *MNODataset) buildTransparency(cfg MNOConfig, alloc *devices.IMSIAlloca
 	}
 }
 
-// buildDevice draws one device: roaming status, home network,
-// identity, profile and mobility.
-func buildDevice(src *rng.Source, cfg MNOConfig, db *gsma.DB, alloc *devices.IMSIAllocator,
-	centre geo.Point, class devices.Class) devices.Device {
+// deviceDraft is the outcome of the parallel draft pass: everything
+// needed to allocate the device's IMSI, plus its RNG substream
+// positioned after the home-network draws so the finish pass resumes
+// the exact draw sequence of a serial build.
+type deviceDraft struct {
+	class   devices.Class
+	inbound bool
+	home    mccmnc.PLMN
+	mvno    bool
+	base    uint64
+	src     *rng.Source
+}
 
+// draftDevice draws one device's roaming status, home network and
+// IMSI block — the slice of device construction that precedes the
+// order-dependent IMSI allocation.
+func draftDevice(src *rng.Source, cfg MNOConfig, class devices.Class) deviceDraft {
 	inboundShare := inboundM2M
 	switch class {
 	case devices.ClassSmartphone:
@@ -299,7 +357,13 @@ func buildDevice(src *rng.Source, cfg MNOConfig, db *gsma.DB, alloc *devices.IMS
 	case class.IsM2M() && inbound:
 		base = M2MBlockBase
 	}
-	imsi := alloc.Next(home, base)
+	return deviceDraft{class: class, inbound: inbound, home: home, mvno: mvno, base: base, src: src}
+}
+
+// finishDevice builds the drafted device's profile, catalog identity
+// and mobility model once its IMSI is known.
+func finishDevice(d *deviceDraft, imsi identity.IMSI, cfg MNOConfig, db *gsma.DB, centre geo.Point) devices.Device {
+	src, class, home, inbound, mvno := d.src, d.class, d.home, d.inbound, d.mvno
 
 	// Profile + catalog identity per class.
 	var (
@@ -358,8 +422,9 @@ func SMIPNativeRange(host mccmnc.PLMN, count uint64) identity.IMSIRange {
 }
 
 // emitDeviceDays samples the device's daily activity and appends the
-// resulting catalog records.
-func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, cat *catalog.Catalog, dev *devices.Device) {
+// resulting catalog records to *recs (a shard-local slice under the
+// parallel generators; shards concatenate in shard order).
+func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, recs *[]catalog.DailyRecord, dev *devices.Device) {
 	p := dev.Profile
 	// Native smartphones occasionally travel abroad (H:A days,
 	// captured via CDRs only — no radio events).
@@ -457,6 +522,6 @@ func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int
 				rec.HasLocation = true
 			}
 		}
-		cat.Records = append(cat.Records, rec)
+		*recs = append(*recs, rec)
 	}
 }

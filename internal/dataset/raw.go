@@ -12,6 +12,7 @@ import (
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/mobility"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/probe"
 	"whereroam/internal/radio"
 	"whereroam/internal/rng"
@@ -51,52 +52,111 @@ func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
 		Native: make(map[identity.DeviceID]bool, cfg.NativeMeters+cfg.RoamingMeters),
 		NBIoT:  map[identity.DeviceID]bool{},
 	}
-
-	// Probe taps into in-memory collectors, exactly the capture
-	// arrangement of Fig. 4.
-	var radioCol probe.Collector[radio.Event]
-	var cdrCol probe.Collector[cdrs.Record]
-	radioTap := probe.NewTap("mme-msc-sgsn", cfg.Seed, radioCol.Add)
-	cdrTap := probe.NewTap("mediation", cfg.Seed, cdrCol.Add)
-
 	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
-	for i := 0; i < cfg.NativeMeters; i++ {
-		src := root.SplitN("native", uint64(i))
-		imsi := alloc.Next(cfg.Host, SMIPNativeBase)
-		prof := devices.SmartMeterNativeProfile(src.Split("profile"), cfg.Days, cfg.Host)
-		info := db.Pick(src.Split("tac"), gsma.ArchM2MModule)
-		mob := mobility.NewStationary(src.Split("mob"), centre, 40)
-		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
-		ds.Devices = append(ds.Devices, dev)
-		ds.Native[dev.ID] = true
-		emitDeviceDaysRaw(src.Split("days"), cfg, grid, radioTap, cdrTap, &dev)
+
+	// Both cohorts draw their IMSIs from dedicated sequential blocks,
+	// so allocation stays a serial index-order pass; the expensive
+	// per-event emission then fans out over shard-local probe taps and
+	// collectors (the capture arrangement of Fig. 4, one tap pair per
+	// shard) whose streams concatenate in shard order — the exact
+	// emission order of a serial run.
+	type cohort struct {
+		label  string
+		count  int
+		native bool
 	}
-	for i := 0; i < cfg.RoamingMeters; i++ {
-		src := root.SplitN("roaming", uint64(i))
-		imsi := alloc.Next(nlHome, 4_000_000_000)
-		prof := devices.SmartMeterRoamingProfile(src.Split("profile"), cfg.Days)
-		info := db.PickFromVendors(src.Split("tac"), gsma.ArchM2MModule, "Gemalto", "Telit")
-		mob := mobility.NewStationary(src.Split("mob"), centre, 40)
-		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
-		ds.Devices = append(ds.Devices, dev)
-		ds.Native[dev.ID] = false
-		emitDeviceDaysRaw(src.Split("days"), cfg, grid, radioTap, cdrTap, &dev)
+	emit := func(co cohort, imsis []identity.IMSI) ([]devices.Device, *RawStreams) {
+		type shardOut struct {
+			devs     []devices.Device
+			radioCol probe.Collector[radio.Event]
+			cdrCol   probe.Collector[cdrs.Record]
+		}
+		outs := pipeline.Map(co.count, cfg.Workers, func(sh pipeline.Shard) *shardOut {
+			out := &shardOut{devs: make([]devices.Device, 0, sh.Len())}
+			radioTap := probe.NewTap("mme-msc-sgsn", cfg.Seed, out.radioCol.Add)
+			cdrTap := probe.NewTap("mediation", cfg.Seed, out.cdrCol.Add)
+			for i := sh.Lo; i < sh.Hi; i++ {
+				src := root.SplitN(co.label, uint64(i))
+				var prof devices.Profile
+				var info gsma.DeviceInfo
+				if co.native {
+					prof = devices.SmartMeterNativeProfile(src.Split("profile"), cfg.Days, cfg.Host)
+					info = db.Pick(src.Split("tac"), gsma.ArchM2MModule)
+				} else {
+					prof = devices.SmartMeterRoamingProfile(src.Split("profile"), cfg.Days)
+					info = db.PickFromVendors(src.Split("tac"), gsma.ArchM2MModule, "Gemalto", "Telit")
+				}
+				mob := mobility.NewStationary(src.Split("mob"), centre, 40)
+				dev := devices.Assemble(devices.ClassSmartMeter, imsis[i], info, prof, mob, false)
+				out.devs = append(out.devs, dev)
+				emitDeviceDaysRaw(src.Split("days"), cfg, grid, radioTap, cdrTap, &dev)
+			}
+			return out
+		})
+		var devs []devices.Device
+		streams := &RawStreams{}
+		for _, o := range outs {
+			devs = append(devs, o.devs...)
+			streams.Radio = append(streams.Radio, o.radioCol.Records()...)
+			streams.Records = append(streams.Records, o.cdrCol.Records()...)
+		}
+		return devs, streams
+	}
+
+	raw := &RawStreams{}
+	for _, co := range []cohort{
+		{label: "native", count: cfg.NativeMeters, native: true},
+		{label: "roaming", count: cfg.RoamingMeters, native: false},
+	} {
+		imsis := make([]identity.IMSI, co.count)
+		for i := range imsis {
+			if co.native {
+				imsis[i] = alloc.Next(cfg.Host, SMIPNativeBase)
+			} else {
+				imsis[i] = alloc.Next(nlHome, 4_000_000_000)
+			}
+		}
+		devs, streams := emit(co, imsis)
+		for i := range devs {
+			ds.Native[devs[i].ID] = co.native
+		}
+		ds.Devices = append(ds.Devices, devs...)
+		raw.Radio = append(raw.Radio, streams.Radio...)
+		raw.Records = append(raw.Records, streams.Records...)
 	}
 
 	// Time-order the streams (probes interleave by capture point) and
-	// run the aggregation pipeline.
-	raw := &RawStreams{Radio: radioCol.Records(), Records: cdrCol.Records()}
+	// run the aggregation pipeline: events partition by device onto
+	// shard-local builders (so dwell attribution sees each device's
+	// full event chain), shards ingest concurrently, and the merge
+	// restores the catalog's (device, day) order.
 	sort.Slice(raw.Radio, func(i, j int) bool { return raw.Radio[i].Time.Before(raw.Radio[j].Time) })
 	sort.Slice(raw.Records, func(i, j int) bool { return raw.Records[i].Time.Before(raw.Records[j].Time) })
 
-	builder := catalog.NewBuilder(cfg.Host, cfg.Start, cfg.Days, grid)
+	workers := pipeline.Workers(cfg.Workers)
+	sb := catalog.NewShardedBuilder(cfg.Host, cfg.Start, cfg.Days, grid, workers)
+	radioByShard := make([][]radio.Event, sb.Shards())
 	for i := range raw.Radio {
-		builder.AddRadioEvent(raw.Radio[i])
+		s := sb.ShardFor(raw.Radio[i].Device)
+		radioByShard[s] = append(radioByShard[s], raw.Radio[i])
 	}
+	cdrsByShard := make([][]cdrs.Record, sb.Shards())
 	for i := range raw.Records {
-		builder.AddRecord(raw.Records[i])
+		s := sb.ShardFor(raw.Records[i].Device)
+		cdrsByShard[s] = append(cdrsByShard[s], raw.Records[i])
 	}
-	ds.Catalog = builder.Build()
+	pipeline.Run(sb.Shards(), cfg.Workers, func(sh pipeline.Shard) {
+		for s := sh.Lo; s < sh.Hi; s++ {
+			b := sb.Builder(s)
+			for i := range radioByShard[s] {
+				b.AddRadioEvent(radioByShard[s][i])
+			}
+			for i := range cdrsByShard[s] {
+				b.AddRecord(cdrsByShard[s][i])
+			}
+		}
+	})
+	ds.Catalog = sb.Build(cfg.Workers)
 	ds.NativeRange = SMIPNativeRange(cfg.Host, alloc.Allocated(cfg.Host, SMIPNativeBase))
 	return ds, raw
 }

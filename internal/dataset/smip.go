@@ -26,6 +26,10 @@ type SMIPConfig struct {
 	// NBIoTMigration is the fraction of roaming meters migrated to
 	// NB-IoT (the §8 scenario). Zero reproduces the paper's 2G fleet.
 	NBIoTMigration float64
+	// Workers bounds the raw-capture worker pool (GenerateSMIPRaw);
+	// values below one mean one worker per CPU. The capture and the
+	// built catalog are identical for every worker count.
+	Workers int
 }
 
 // DefaultSMIPConfig returns the standard scaled-down configuration
@@ -90,7 +94,7 @@ func GenerateSMIP(cfg SMIPConfig) *SMIPDataset {
 		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
 		ds.Devices = append(ds.Devices, dev)
 		ds.Native[dev.ID] = true
-		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, cat, &dev)
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, &cat.Records, &dev)
 	}
 	for i := 0; i < cfg.RoamingMeters; i++ {
 		src := root.SplitN("roaming", uint64(i))
@@ -111,7 +115,7 @@ func GenerateSMIP(cfg SMIPConfig) *SMIPDataset {
 		if migrated {
 			ds.NBIoT[dev.ID] = true
 		}
-		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, cat, &dev)
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, &cat.Records, &dev)
 	}
 	ds.Catalog = cat
 	ds.NativeRange = SMIPNativeRange(cfg.Host, alloc.Allocated(cfg.Host, SMIPNativeBase))

@@ -41,7 +41,7 @@ func runAblationClassifier(s *Session) *Report {
 	for _, cfgCase := range configs {
 		c := core.NewClassifier()
 		c.Steps = cfgCase.steps
-		res := c.Classify(v.sums)
+		res := c.ClassifyWorkers(v.sums, s.Workers)
 		val, err := core.Validate(res, v.ds.Truth)
 		if err != nil {
 			r.Notes = append(r.Notes, "validation failed: "+err.Error())

@@ -84,6 +84,11 @@ type Session struct {
 	// Factor scales the default device counts (1.0 ≈ a tenth of
 	// paper scale; tests use less, cmd/roamrepro -scale more).
 	Factor float64
+	// Workers bounds the pipeline worker pools of every generator
+	// and analysis stage the session drives; values below one mean
+	// one worker per CPU. Results are identical for every worker
+	// count.
+	Workers int
 
 	mu   sync.Mutex
 	m2m  *dataset.M2MDataset
@@ -91,12 +96,19 @@ type Session struct {
 	smip *dataset.SMIPDataset
 }
 
-// NewSession returns a session with the given seed and scale factor.
+// NewSession returns a session with the given seed and scale factor,
+// running its pipelines with one worker per CPU.
 func NewSession(seed uint64, factor float64) *Session {
+	return NewSessionWorkers(seed, factor, 0)
+}
+
+// NewSessionWorkers returns a session with an explicit pipeline
+// worker count (below one = one worker per CPU, one = serial).
+func NewSessionWorkers(seed uint64, factor float64, workers int) *Session {
 	if factor <= 0 {
 		factor = 1
 	}
-	return &Session{Seed: seed, Factor: factor}
+	return &Session{Seed: seed, Factor: factor, Workers: workers}
 }
 
 func (s *Session) scaled(n int) int {
@@ -115,6 +127,7 @@ func (s *Session) M2M() *dataset.M2MDataset {
 		cfg := dataset.DefaultM2MConfig()
 		cfg.Seed = s.Seed
 		cfg.Devices = s.scaled(cfg.Devices)
+		cfg.Workers = s.Workers
 		s.m2m = dataset.GenerateM2M(cfg)
 	}
 	return s.m2m
@@ -128,6 +141,7 @@ func (s *Session) MNO() *dataset.MNODataset {
 		cfg := dataset.DefaultMNOConfig()
 		cfg.Seed = s.Seed
 		cfg.Devices = s.scaled(cfg.Devices)
+		cfg.Workers = s.Workers
 		s.mno = dataset.GenerateMNO(cfg)
 	}
 	return s.mno
@@ -142,6 +156,7 @@ func (s *Session) SMIP() *dataset.SMIPDataset {
 		cfg.Seed = s.Seed
 		cfg.NativeMeters = s.scaled(cfg.NativeMeters)
 		cfg.RoamingMeters = s.scaled(cfg.RoamingMeters)
+		cfg.Workers = s.Workers
 		s.smip = dataset.GenerateSMIP(cfg)
 	}
 	return s.smip

@@ -89,8 +89,8 @@ func runExtTransparency(s *Session) *Report {
 	// Classifier with and without the declarations.
 	plain := core.NewClassifier()
 	withDecl := plain.WithDeclarations(ds.Declared)
-	vPlain, _ := core.Validate(plain.Classify(v.sums), ds.Truth)
-	vDecl, _ := core.Validate(withDecl.Classify(v.sums), ds.Truth)
+	vPlain, _ := core.Validate(plain.ClassifyWorkers(v.sums, s.Workers), ds.Truth)
+	vDecl, _ := core.Validate(withDecl.ClassifyWorkers(v.sums, s.Workers), ds.Truth)
 
 	tbl := analysis.NewTable("config", "m2m recall", "m2m precision", "abstained")
 	tbl.AddRow("declarations-only(coverage)", coverage, 1.0, 1-coverage)

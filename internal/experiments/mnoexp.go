@@ -56,13 +56,13 @@ func (c *syncifiedViewCache) get(s *Session) *mnoView {
 	ds := s.MNO()
 	v := &mnoView{
 		ds:      ds,
-		sums:    ds.Catalog.Summaries(ds.GSMA),
+		sums:    ds.Catalog.SummariesWorkers(ds.GSMA, s.Workers),
 		labeler: core.NewLabeler(ds.Host, dataset.MVNO1, dataset.MVNO2),
 		classOf: map[identity.DeviceID]core.Class{},
 		labelOf: map[identity.DeviceID]core.Label{},
 		sumOf:   map[identity.DeviceID]*catalog.Summary{},
 	}
-	v.results = core.NewClassifier().Classify(v.sums)
+	v.results = core.NewClassifier().ClassifyWorkers(v.sums, s.Workers)
 	for i := range v.sums {
 		sum := &v.sums[i]
 		v.classOf[sum.Device] = v.results[i].Class

@@ -30,6 +30,7 @@ import (
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/netsim"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/settlement"
 	"whereroam/internal/signaling"
 )
@@ -182,10 +183,24 @@ var (
 )
 
 // NewSession returns an experiment session at the given seed and
-// scale factor (1.0 ≈ one tenth of paper scale).
+// scale factor (1.0 ≈ one tenth of paper scale). Pipelines run with
+// one worker per CPU; results are identical for every worker count.
 func NewSession(seed uint64, factor float64) *Session {
 	return experiments.NewSession(seed, factor)
 }
+
+// NewSessionWorkers is NewSession with an explicit pipeline worker
+// count (below one = one worker per CPU, one = serial). Same seed and
+// factor produce bit-identical datasets, summaries and classification
+// results at every worker count.
+func NewSessionWorkers(seed uint64, factor float64, workers int) *Session {
+	return experiments.NewSessionWorkers(seed, factor, workers)
+}
+
+// PipelineWorkers normalizes a worker count the way every Workers
+// config field and -workers flag does: values below one mean one
+// worker per available CPU.
+func PipelineWorkers(n int) int { return pipeline.Workers(n) }
 
 // Experiments returns every registered table/figure runner in paper
 // order.
