@@ -207,6 +207,29 @@ func benchRawCapture(b *testing.B, workers int) {
 func BenchmarkRawCaptureSerial(b *testing.B)   { benchRawCapture(b, 1) }
 func BenchmarkRawCaptureParallel(b *testing.B) { benchRawCapture(b, 0) }
 
+// The streaming twin of the raw-capture pair: the same per-event
+// synthesis, but events flow through the ingest router into
+// shard-local builders instead of materializing. Run with -benchmem:
+// the bytes/op gap against BenchmarkRawCapture* is the materialized
+// capture the streaming path never allocates; cmd/benchpipe
+// additionally records the heap high-water marks.
+func benchStreamCapture(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := dataset.DefaultSMIPConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.NativeMeters = 1200
+		cfg.RoamingMeters = 800
+		cfg.Workers = workers
+		if ds := dataset.GenerateSMIPStreaming(cfg); len(ds.Catalog.Records) == 0 {
+			b.Fatal("streaming capture built an empty catalog")
+		}
+	}
+}
+
+func BenchmarkStreamCaptureSerial(b *testing.B)   { benchStreamCapture(b, 1) }
+func BenchmarkStreamCaptureParallel(b *testing.B) { benchStreamCapture(b, 0) }
+
 // BenchmarkEndToEnd runs every registered experiment once per
 // iteration over a shared session — the cost of `roamrepro all`.
 func BenchmarkEndToEnd(b *testing.B) {

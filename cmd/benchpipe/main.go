@@ -1,7 +1,11 @@
-// Command benchpipe measures the serial-vs-parallel pipeline pair
-// (synthesis → catalog → classification, plus the raw per-event
-// capture path) and writes the results as BENCH_pipeline.json, the
-// perf-trajectory artefact future changes compare against.
+// Command benchpipe measures the serial-vs-parallel pipeline pairs
+// (synthesis → catalog → classification, the raw per-event capture
+// path, and its streaming-ingest twin) and writes the results as
+// BENCH_pipeline.json, the perf-trajectory artefact future changes
+// compare against. Besides ns/op it records each configuration's heap
+// high-water mark, which is where the streaming path earns its keep:
+// the batch capture's peak grows linearly with the capture while the
+// streaming ingest stays flat at the router's channel windows.
 //
 // Usage:
 //
@@ -16,7 +20,9 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
@@ -30,6 +36,10 @@ type Artefact struct {
 	Workers     int     `json:"workers"`
 	Iterations  int     `json:"iterations"`
 	Seconds     float64 `json:"seconds_per_op"`
+	// HeapPeakBytes is the heap high-water mark of one run: the
+	// maximum live-heap sample observed while the configuration
+	// executed once, minus the pre-run baseline.
+	HeapPeakBytes int64 `json:"heap_peak_bytes"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -41,6 +51,51 @@ type Report struct {
 	// Speedups maps pair names to parallel-over-serial throughput
 	// ratios (1.0 = parity; > 1 means the sharded path wins).
 	Speedups map[string]float64 `json:"speedups"`
+	// MemRatios maps comparison names to peak-heap ratios; for
+	// "raw_capture_stream_vs_batch" a value below 1 means the
+	// streaming ingest path peaked below the materialized capture.
+	MemRatios map[string]float64 `json:"mem_ratios"`
+}
+
+// heapPeak runs fn once and returns the peak heap growth it caused: a
+// sampler goroutine polls HeapAlloc while fn executes and the pre-run
+// baseline (taken after a forced GC) is subtracted. Polling
+// undershoots very short spikes, but the structures that matter here
+// — materialized event slices versus bounded channel windows — live
+// for most of the run.
+func heapPeak(fn func()) int64 {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-sampled
+	p := int64(peak.Load()) - int64(base.HeapAlloc)
+	if p < 0 {
+		p = 0
+	}
+	return p
 }
 
 func measure(workers int, fn func(workers int)) Artefact {
@@ -51,12 +106,13 @@ func measure(workers int, fn func(workers int)) Artefact {
 		}
 	})
 	return Artefact{
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		Workers:     workers,
-		Iterations:  r.N,
-		Seconds:     float64(r.NsPerOp()) / 1e9,
+		NsPerOp:       r.NsPerOp(),
+		AllocsPerOp:   r.AllocsPerOp(),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		Workers:       workers,
+		Iterations:    r.N,
+		Seconds:       float64(r.NsPerOp()) / 1e9,
+		HeapPeakBytes: heapPeak(func() { fn(workers) }),
 	}
 }
 
@@ -79,13 +135,21 @@ func main() {
 			log.Fatal("pipeline produced no results")
 		}
 	}
-	rawCapture := func(workers int) {
+	rawSMIP := func(workers int) dataset.SMIPConfig {
 		cfg := dataset.DefaultSMIPConfig()
 		cfg.NativeMeters = int(float64(cfg.NativeMeters) * *scale / 4)
 		cfg.RoamingMeters = int(float64(cfg.RoamingMeters) * *scale / 4)
 		cfg.Workers = workers
-		if ds, _ := dataset.GenerateSMIPRaw(cfg); len(ds.Catalog.Records) == 0 {
+		return cfg
+	}
+	rawCapture := func(workers int) {
+		if ds, _ := dataset.GenerateSMIPRaw(rawSMIP(workers)); len(ds.Catalog.Records) == 0 {
 			log.Fatal("raw capture built an empty catalog")
+		}
+	}
+	streamCapture := func(workers int) {
+		if ds := dataset.GenerateSMIPStreaming(rawSMIP(workers)); len(ds.Catalog.Records) == 0 {
+			log.Fatal("streaming capture built an empty catalog")
 		}
 	}
 
@@ -95,6 +159,7 @@ func main() {
 		Scale:      *scale,
 		Artefacts:  map[string]Artefact{},
 		Speedups:   map[string]float64{},
+		MemRatios:  map[string]float64{},
 	}
 	for _, pair := range []struct {
 		name string
@@ -102,6 +167,7 @@ func main() {
 	}{
 		{"pipeline", mnoPipeline},
 		{"raw_capture", rawCapture},
+		{"raw_capture_stream", streamCapture},
 	} {
 		serial := measure(1, pair.fn)
 		parallel := measure(0, pair.fn)
@@ -109,8 +175,21 @@ func main() {
 		rep.Artefacts[pair.name+"_serial"] = serial
 		rep.Artefacts[pair.name+"_parallel"] = parallel
 		rep.Speedups[pair.name] = float64(serial.NsPerOp) / float64(parallel.NsPerOp)
-		log.Printf("%s: serial %v ns/op, parallel(%d) %v ns/op, speedup %.2fx",
-			pair.name, serial.NsPerOp, rep.GoMaxProcs, parallel.NsPerOp, rep.Speedups[pair.name])
+		log.Printf("%s: serial %v ns/op (peak %d MiB), parallel(%d) %v ns/op (peak %d MiB), speedup %.2fx",
+			pair.name, serial.NsPerOp, serial.HeapPeakBytes>>20,
+			rep.GoMaxProcs, parallel.NsPerOp, parallel.HeapPeakBytes>>20,
+			rep.Speedups[pair.name])
+	}
+
+	// The headline memory comparison: the streaming ingest's peak
+	// against the materialized capture's, both at full parallelism.
+	batch := rep.Artefacts["raw_capture_parallel"]
+	stream := rep.Artefacts["raw_capture_stream_parallel"]
+	if batch.HeapPeakBytes > 0 {
+		rep.MemRatios["raw_capture_stream_vs_batch"] = float64(stream.HeapPeakBytes) / float64(batch.HeapPeakBytes)
+		log.Printf("streaming peak / batch peak = %.3f (%d MiB vs %d MiB)",
+			rep.MemRatios["raw_capture_stream_vs_batch"],
+			stream.HeapPeakBytes>>20, batch.HeapPeakBytes>>20)
 	}
 
 	f, err := os.Create(*out)

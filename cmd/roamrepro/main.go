@@ -6,6 +6,7 @@
 //	roamrepro                       # run every experiment
 //	roamrepro -experiment fig11     # one experiment
 //	roamrepro -scale 1.0 -seed 7    # bigger population, other seed
+//	roamrepro -stream               # bounded-memory streaming dataset builds
 //	roamrepro -list                 # show experiment ids
 package main
 
@@ -28,6 +29,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		scale   = flag.Float64("scale", 0.5, "population scale factor (1.0 ≈ a tenth of paper scale)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker pool size (results are identical for any value)")
+		stream  = flag.Bool("stream", false, "build datasets through the bounded-memory streaming ingestion paths")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -40,6 +42,7 @@ func main() {
 	}
 
 	sess := experiments.NewSessionWorkers(*seed, *scale, *workers)
+	sess.Streaming = *stream
 	runners := experiments.All()
 	if *id != "all" {
 		r, ok := experiments.ByID(*id)

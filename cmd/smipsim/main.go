@@ -2,12 +2,16 @@
 // writes its devices-catalog as CSV. With -raw it exercises the full
 // per-event measurement path (radio events and CDRs through probe
 // taps into the catalog builder) instead of the direct aggregate
-// generator.
+// generator; -stream runs the same measurement path through the
+// bounded-memory ingest router, building the catalog while the
+// capture is generated — bit-identical to -raw, without ever holding
+// the event streams.
 //
 // Usage:
 //
 //	smipsim -native 20000 -roaming 12000 -out smip.csv
 //	smipsim -native 2000 -roaming 1500 -raw -out smip.csv
+//	smipsim -native 50000 -roaming 30000 -stream -out smip.csv
 //	smipsim -nbiot 0.5    # §8: half the roaming fleet on NB-IoT
 package main
 
@@ -31,7 +35,8 @@ func main() {
 		days    = flag.Int("days", 26, "observation window in days")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		nbiot   = flag.Float64("nbiot", 0, "fraction of roaming meters migrated to NB-IoT")
-		raw     = flag.Bool("raw", false, "generate via the per-event probe+builder pipeline")
+		raw     = flag.Bool("raw", false, "generate via the per-event probe+builder pipeline (materialized capture)")
+		stream  = flag.Bool("stream", false, "generate via the bounded-memory streaming ingest path (implies the per-event pipeline)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "raw-capture worker pool size (output is identical for any value)")
 		out     = flag.String("out", "smip.csv", "devices-catalog output path")
 	)
@@ -47,12 +52,16 @@ func main() {
 
 	start := time.Now()
 	var ds *dataset.SMIPDataset
-	if *raw {
+	switch {
+	case *stream:
+		ds = dataset.GenerateSMIPStreaming(cfg)
+		log.Printf("streaming pipeline: catalog built with no materialized capture")
+	case *raw:
 		var streams *dataset.RawStreams
 		ds, streams = dataset.GenerateSMIPRaw(cfg)
 		log.Printf("raw pipeline: %d radio events, %d CDRs/xDRs",
 			len(streams.Radio), len(streams.Records))
-	} else {
+	default:
 		ds = dataset.GenerateSMIP(cfg)
 	}
 	log.Printf("generated %d catalog records for %d meters in %v",

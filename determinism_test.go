@@ -9,11 +9,13 @@ package whereroam
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"whereroam/internal/catalog"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
+	"whereroam/internal/signaling"
 )
 
 // detMNO generates a small MNO dataset at the given seed and worker
@@ -98,5 +100,89 @@ func TestSMIPRawDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial.Catalog.Records, par.Catalog.Records) {
 		t.Error("workers=4 built catalog differs from serial")
+	}
+}
+
+// The streaming ingest path — taps feeding the device-hash router
+// into shard-local builders, no event slice ever materialized — must
+// produce the batch path's catalog bit for bit, at every worker
+// count. This is the contract the whole ingest subsystem is built on:
+// the builder's output depends only on per-device record order, and
+// both paths deliver the same per-device time-sorted sequences.
+func TestSMIPStreamingMatchesBatch(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := dataset.DefaultSMIPConfig()
+		cfg.Seed = seed
+		cfg.NativeMeters, cfg.RoamingMeters = 300, 200
+		cfg.Workers = 1
+		batch, _ := dataset.GenerateSMIPRaw(cfg)
+
+		for _, workers := range []int{1, 4, 0} {
+			scfg := cfg
+			scfg.Workers = workers
+			stream := dataset.GenerateSMIPStreaming(scfg)
+			if !reflect.DeepEqual(batch.Catalog.Records, stream.Catalog.Records) {
+				t.Errorf("seed %d workers %d: streaming catalog differs from batch", seed, workers)
+			}
+			if !reflect.DeepEqual(batch.Native, stream.Native) {
+				t.Errorf("seed %d workers %d: native cohort map differs", seed, workers)
+			}
+			if batch.NativeRange != stream.NativeRange {
+				t.Errorf("seed %d workers %d: native IMSI range differs", seed, workers)
+			}
+		}
+	}
+}
+
+// StreamM2M's ordered fan-in delivers the exact serial emission order
+// at any worker count, so sorting the streamed records by time must
+// reproduce GenerateM2M's materialized transaction stream bit for
+// bit.
+func TestStreamM2MMatchesGenerate(t *testing.T) {
+	cfg := dataset.DefaultM2MConfig()
+	cfg.Devices = 800
+	cfg.Workers = 1
+	batch := dataset.GenerateM2M(cfg)
+
+	for _, workers := range []int{1, 4} {
+		scfg := cfg
+		scfg.Workers = workers
+		var txs []signaling.Transaction
+		stream := dataset.StreamM2M(scfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
+		sort.Slice(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+		if !reflect.DeepEqual(batch.Transactions, txs) {
+			t.Errorf("workers %d: streamed+sorted transactions differ from batch", workers)
+		}
+		if !reflect.DeepEqual(batch.Truth, stream.Truth) {
+			t.Errorf("workers %d: ground truth differs from batch", workers)
+		}
+	}
+}
+
+// Per-record hash sampling makes a thinned capture worker-count
+// invariant: the kept set depends on record identities, never on the
+// order sampling decisions are drawn in — the property that lets
+// sampled captures fan out instead of falling back to one worker.
+func TestSampledM2MDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := dataset.DefaultM2MConfig()
+	cfg.Devices = 800
+	cfg.SampleRate = 0.5
+	cfg.Workers = 1
+	serial := dataset.GenerateM2M(cfg)
+	if len(serial.Transactions) == 0 {
+		t.Fatal("sampled capture is empty")
+	}
+	cfg.Workers = 4
+	par := dataset.GenerateM2M(cfg)
+	if !reflect.DeepEqual(serial.Transactions, par.Transactions) {
+		t.Error("workers=4 sampled capture differs from serial")
+	}
+
+	// The streaming path thins through the same per-record verdicts.
+	var txs []signaling.Transaction
+	dataset.StreamM2M(cfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
+	sort.Slice(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+	if !reflect.DeepEqual(serial.Transactions, txs) {
+		t.Error("streamed sampled capture differs from materialized serial")
 	}
 }

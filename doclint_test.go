@@ -1,0 +1,162 @@
+// Doc lint: every package in the module must carry a package-level
+// doc comment, and the pipeline-facing packages — the ones external
+// code composes streaming ingestion from — must document every
+// exported declaration. This is the enforcement half of the
+// documentation contract in docs/ARCHITECTURE.md: prose that a test
+// does not walk rots.
+package whereroam
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// strictGodoc lists the packages whose exported API must be fully
+// documented: the streaming ingest subsystem and the layers it is
+// built from.
+var strictGodoc = map[string]bool{
+	"internal/ingest":   true,
+	"internal/pipeline": true,
+	"internal/probe":    true,
+	"internal/catalog":  true,
+}
+
+// packageDirs returns every directory under the module root that
+// holds non-test Go files.
+func packageDirs(t *testing.T) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "docs") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.ToSlash(filepath.Dir(path))
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+func parseDir(t *testing.T, dir string) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	return pkgs
+}
+
+// TestPackagesHaveDocComments walks every package and requires a
+// `// Package ...` (or `// Command ...`) doc comment on at least one
+// file.
+func TestPackagesHaveDocComments(t *testing.T) {
+	for _, dir := range packageDirs(t) {
+		for name, pkg := range parseDir(t, dir) {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package-level doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestExportedAPIDocumented requires godoc on every exported
+// top-level declaration — functions, methods on exported receivers,
+// types, and var/const specs — in the strict-godoc packages.
+func TestExportedAPIDocumented(t *testing.T) {
+	for dir := range strictGodoc {
+		for _, pkg := range parseDir(t, dir) {
+			for file, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					checkDeclDocumented(t, file, decl)
+				}
+			}
+		}
+	}
+}
+
+func checkDeclDocumented(t *testing.T, file string, decl ast.Decl) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		if d.Doc == nil {
+			t.Errorf("%s: exported func %s has no doc comment", file, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+			return
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					t.Errorf("%s: exported type %s has no doc comment", file, s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					// A doc comment on the grouped decl covers its
+					// specs (the const-block idiom).
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						t.Errorf("%s: exported %s %s has no doc comment", file, d.Tok, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported (methods on unexported types are not part of the API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/identity"
+	"whereroam/internal/radio"
+)
+
+// Merging several device-disjoint probe-site feeds — the multi-feed
+// deployment Merge exists for — must equal one builder that saw every
+// stream, for any number of sites and any merge order.
+func TestBuilderMergeManyDisjointFeeds(t *testing.T) {
+	grid := ukGrid(t)
+	evs, recs := synthStreams(60, 25)
+
+	serial := NewBuilder(host, start, 22, grid)
+	ingestAll(serial, evs, recs)
+	want := serial.Build()
+
+	for _, sites := range []int{2, 3, 5} {
+		feeds := make([]*Builder, sites)
+		for i := range feeds {
+			feeds[i] = NewBuilder(host, start, 22, grid)
+		}
+		for i := range evs {
+			feeds[int(evs[i].Device)%sites].AddRadioEvent(evs[i])
+		}
+		for i := range recs {
+			feeds[int(recs[i].Device)%sites].AddRecord(recs[i])
+		}
+		// Merge back-to-front so the accumulating builder is never the
+		// one that saw the lowest devices first.
+		acc := feeds[sites-1]
+		for i := sites - 2; i >= 0; i-- {
+			acc.Merge(feeds[i])
+		}
+		got := acc.Build()
+		if !reflect.DeepEqual(want.Records, got.Records) {
+			t.Errorf("sites=%d: merged feeds differ from a single builder", sites)
+		}
+	}
+}
+
+// Merge into a fresh builder adopts the other builder's records
+// wholesale — the degenerate overlap where every key is new.
+func TestBuilderMergeIntoEmpty(t *testing.T) {
+	grid := ukGrid(t)
+	evs, recs := synthStreams(30, 15)
+	full := NewBuilder(host, start, 22, grid)
+	ingestAll(full, evs, recs)
+	want := full.Build()
+
+	fed := NewBuilder(host, start, 22, grid)
+	ingestAll(fed, evs, recs)
+	empty := NewBuilder(host, start, 22, grid)
+	empty.Merge(fed)
+	if got := empty.Build(); !reflect.DeepEqual(want.Records, got.Records) {
+		t.Error("merge into an empty builder differs from the fed builder")
+	}
+}
+
+// Overlapping feeds combine field-wise. This pins each rule of the
+// combination: counts and bytes add, RAT flags and visited networks
+// union, APNs union in b-then-o first-seen order, an unknown TAC
+// backfills from the other feed, and the later last-seen event wins
+// the dwell state.
+func TestBuilderMergeOverlappingFieldRules(t *testing.T) {
+	dev := identity.DeviceID(11)
+	at := start.Add(3 * time.Hour)
+	mustAPN := func(s string) apn.APN {
+		a, err := apn.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	a := NewBuilder(host, start, 22, nil)
+	b := NewBuilder(host, start, 22, nil)
+
+	// Feed a: one OK radio event without TAC knowledge, one data xDR.
+	a.AddRadioEvent(radio.Event{Device: dev, Time: at, SIM: nlSIM, Interface: radio.IfGb, Result: radio.ResultOK})
+	a.AddRecord(cdrs.Record{Device: dev, Time: at, SIM: nlSIM, Visited: host, Kind: cdrs.KindData,
+		RAT: radio.RAT2G, Bytes: 100, APN: mustAPN("smip.gb")})
+	// Feed b: a failed event carrying the TAC, a voice CDR from a
+	// foreign visited network, and a second APN.
+	b.AddRadioEvent(radio.Event{Device: dev, Time: at.Add(time.Hour), SIM: nlSIM, TAC: 35600001,
+		Interface: radio.IfGb, Result: radio.ResultFail})
+	b.AddRecord(cdrs.Record{Device: dev, Time: at.Add(time.Hour), SIM: nlSIM, Visited: nlSIM,
+		Kind: cdrs.KindVoice, RAT: radio.RAT2G, Duration: 30 * time.Second})
+	b.AddRecord(cdrs.Record{Device: dev, Time: at.Add(2 * time.Hour), SIM: nlSIM, Visited: host,
+		Kind: cdrs.KindData, RAT: radio.RAT3G, Bytes: 50, APN: mustAPN("iot.nl")})
+
+	a.Merge(b)
+	cat := a.Build()
+	if len(cat.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(cat.Records))
+	}
+	r := cat.Records[0]
+	if r.Events != 2 || r.FailedEvents != 1 {
+		t.Errorf("events = %d/%d, want 2/1", r.Events, r.FailedEvents)
+	}
+	if r.Bytes != 150 || r.Calls != 1 || r.CallSeconds != 30 {
+		t.Errorf("usage = %d bytes / %d calls / %.0fs, want 150/1/30", r.Bytes, r.Calls, r.CallSeconds)
+	}
+	if r.TAC != 35600001 {
+		t.Errorf("TAC = %d, want backfilled 35600001", r.TAC)
+	}
+	if len(r.Visited) != 2 {
+		t.Errorf("visited = %v, want host and NL", r.Visited)
+	}
+	if !r.DataRATs.Has(radio.RAT2G) || !r.DataRATs.Has(radio.RAT3G) || !r.VoiceRATs.Has(radio.RAT2G) {
+		t.Errorf("RAT sets data=%v voice=%v, want unioned", r.DataRATs, r.VoiceRATs)
+	}
+	if len(r.APNs) != 2 || r.APNs[0].String() != "smip.gb" || r.APNs[1].String() != "iot.nl" {
+		t.Errorf("APNs = %v, want [smip.gb iot.nl] in b-then-o order", r.APNs)
+	}
+}
+
+// Merge keeps the later last-seen event per device, so trailing-dwell
+// flush after a merge attributes the nominal final visit to the
+// chronologically last sector across both feeds.
+func TestBuilderMergeLastSeenKeepsLater(t *testing.T) {
+	grid := ukGrid(t)
+	dev := identity.DeviceID(3)
+	early := start.Add(2 * time.Hour)
+	late := start.Add(5 * time.Hour)
+
+	build := func(aFirst bool) *Catalog {
+		a := NewBuilder(host, start, 22, grid)
+		b := NewBuilder(host, start, 22, grid)
+		a.AddRadioEvent(radio.Event{Device: dev, Time: early, SIM: nlSIM, Sector: 1, Interface: radio.IfGb, Result: radio.ResultOK})
+		b.AddRadioEvent(radio.Event{Device: dev, Time: late, SIM: nlSIM, Sector: 700, Interface: radio.IfGb, Result: radio.ResultOK})
+		if aFirst {
+			a.Merge(b)
+			return a.Build()
+		}
+		b.Merge(a)
+		return b.Build()
+	}
+	want := build(true)
+	got := build(false)
+	if len(want.Records) != 1 || len(got.Records) != 1 {
+		t.Fatalf("records = %d/%d, want 1/1", len(want.Records), len(got.Records))
+	}
+	// Whichever direction the merge ran, the surviving last-seen event
+	// is the later one, so the flushed centroid must agree.
+	if want.Records[0].Centroid != got.Records[0].Centroid {
+		t.Errorf("merge direction changed the flushed centroid: %v vs %v",
+			want.Records[0].Centroid, got.Records[0].Centroid)
+	}
+	if !want.Records[0].HasLocation {
+		t.Error("merged record lost its location")
+	}
+}
+
+// Overlapping feeds that cover disjoint day ranges of the same device
+// merge per (device, day): no cross-day bleeding, every day present.
+func TestBuilderMergeOverlappingDeviceDisjointDays(t *testing.T) {
+	dev := identity.DeviceID(9)
+	a := NewBuilder(host, start, 22, nil)
+	b := NewBuilder(host, start, 22, nil)
+	for day := 0; day < 4; day++ {
+		ev := radio.Event{Device: dev, Time: start.Add(time.Duration(day*24+1) * time.Hour),
+			SIM: nlSIM, Interface: radio.IfGb, Result: radio.ResultOK}
+		if day < 2 {
+			a.AddRadioEvent(ev)
+		} else {
+			b.AddRadioEvent(ev)
+		}
+	}
+	a.Merge(b)
+	cat := a.Build()
+	if len(cat.Records) != 4 {
+		t.Fatalf("records = %d, want 4 device-days", len(cat.Records))
+	}
+	for i, r := range cat.Records {
+		if r.Day != i || r.Events != 1 {
+			t.Errorf("record %d: day %d events %d, want day %d events 1", i, r.Day, r.Events, i)
+		}
+	}
+}

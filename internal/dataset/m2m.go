@@ -31,13 +31,14 @@ type M2MConfig struct {
 	Days    int       // observation window (paper: 11)
 	Start   time.Time // window start (paper: 2018-11-19)
 	Policy  netsim.SelectionPolicy
-	// SampleRate thins the probe capture (1 = keep everything).
+	// SampleRate thins the probe capture (1 = keep everything). A
+	// fractional rate samples per record by identity hash — every
+	// record's verdict depends only on (seed, record), never on draw
+	// order — so sampled captures parallelize like complete ones.
 	SampleRate float64
 	// Workers bounds the synthesis worker pool; values below one mean
-	// one worker per CPU. Complete captures (SampleRate 0 or 1) are
-	// bit-identical for every worker count; a thinning probe draws its
-	// sampling decisions from one sequential stream, so sampled
-	// captures fall back to a single worker to stay deterministic.
+	// one worker per CPU. Captures — complete and sampled alike — are
+	// bit-identical for every worker count.
 	Workers int
 }
 
@@ -109,22 +110,35 @@ func platformHMNOs() []hmnoSpec {
 	}
 }
 
-// GenerateM2M synthesizes the platform dataset: it builds the world,
-// draws the device population, walks each device's attach/switch
-// schedule through the roaming machinery and captures the resulting
-// transactions with a platform-side probe.
-func GenerateM2M(cfg M2MConfig) *M2MDataset {
+// m2mSetup carries the population state the emission pass needs,
+// shared by the materialized (GenerateM2M) and streaming (StreamM2M)
+// paths.
+type m2mSetup struct {
+	*M2MDataset
+	world *netsim.World
+}
+
+// m2mDraft is the pass-1 output for one device: its home-operator
+// draw plus the per-device RNG substream the later passes resume.
+type m2mDraft struct {
+	spec int
+	src  *rng.Source
+}
+
+// m2mPopulation runs the population passes every M2M path shares:
+// building the world, the parallel per-device home-operator draft
+// (pass 1) and the serial index-order IMSI allocation (pass 2). The
+// expensive schedule walk (pass 3) is left to the caller, which
+// chooses where the probe output goes.
+func m2mPopulation(cfg M2MConfig) (setup m2mSetup, specs []hmnoSpec, drafts []m2mDraft, devIDs []identity.DeviceID) {
 	if cfg.Devices <= 0 || cfg.Days <= 0 {
 		panic("dataset: M2M config needs positive Devices and Days")
 	}
-	world := netsim.NewWorld(netsim.DefaultConfig())
 	root := rng.New(cfg.Seed).Split("m2m")
-	specs := platformHMNOs()
-
-	ds := &M2MDataset{
-		Start: cfg.Start,
-		Days:  cfg.Days,
-		Truth: make(map[identity.DeviceID]M2MDeviceTruth, cfg.Devices),
+	specs = platformHMNOs()
+	setup = m2mSetup{
+		M2MDataset: &M2MDataset{Start: cfg.Start, Days: cfg.Days},
+		world:      netsim.NewWorld(netsim.DefaultConfig()),
 	}
 	alloc := devices.NewIMSIAllocator()
 
@@ -134,57 +148,68 @@ func GenerateM2M(cfg M2MConfig) *M2MDataset {
 	}
 	hmnoPick := rng.NewWeighted(root.Split("hmno"), weights)
 
-	// A thinning probe consumes one sequential sampling stream, so a
-	// sampled capture must be walked by a single worker — and through
-	// a single tap whose stream spans every shard — to keep the
-	// kept-set deterministic.
-	sampled := cfg.SampleRate > 0 && cfg.SampleRate < 1
-	workers := cfg.Workers
-	var sampleTap *probe.Tap[signaling.Transaction]
-	if sampled {
-		workers = 1
-		sampleTap = probe.NewTap[signaling.Transaction]("hmno-probe", cfg.Seed, nil)
-		sampleTap.SampleRate = cfg.SampleRate
-	}
-
-	// Pass 1 (parallel): home-operator draw per device — the draft
-	// the IMSI allocator needs.
-	type m2mDraft struct {
-		spec int
-		src  *rng.Source
-	}
-	drafts := make([]m2mDraft, cfg.Devices)
-	pipeline.Run(cfg.Devices, workers, func(sh pipeline.Shard) {
+	drafts = make([]m2mDraft, cfg.Devices)
+	pipeline.Run(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) {
 		for i := sh.Lo; i < sh.Hi; i++ {
 			src := root.SplitN("device", uint64(i))
 			drafts[i] = m2mDraft{spec: hmnoPick.DrawFrom(src), src: src}
 		}
 	})
 
-	// Pass 2 (serial): IMSI allocation in device order.
-	devIDs := make([]identity.DeviceID, cfg.Devices)
+	devIDs = make([]identity.DeviceID, cfg.Devices)
 	for i := range drafts {
 		devIDs[i] = identity.HashDevice(alloc.Next(specs[drafts[i].spec].plmn, 7_000_000_000))
 	}
+	return setup, specs, drafts, devIDs
+}
+
+// txSampleKey is the per-record identity a thinning platform probe
+// hashes its sampling verdict from. It folds in every field that
+// distinguishes transactions of one device at one instant (a switch
+// sequence emits three procedures on the same timestamp), so
+// distinct records draw independent verdicts while the verdict for a
+// given record never depends on arrival order or worker count.
+func txSampleKey(tx signaling.Transaction) uint64 {
+	k := uint64(tx.Device)*0x9e3779b97f4a7c15 ^ uint64(tx.Time.UnixNano())
+	k = k*0x100000001b3 ^ uint64(tx.Procedure)
+	return k ^ uint64(tx.Visited.MCC)<<24 ^ uint64(tx.Visited.MNC)<<40
+}
+
+// newM2MTap builds the platform-side probe for one emission shard:
+// plain for a complete capture, hash-thinning for a sampled one. All
+// shard taps share (name, seed), so their per-record verdicts agree.
+func newM2MTap(cfg M2MConfig, sink func(signaling.Transaction)) *probe.Tap[signaling.Transaction] {
+	tap := probe.NewTap("hmno-probe", cfg.Seed, sink)
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		tap.SampleRate = cfg.SampleRate
+		tap.SampleKey = txSampleKey
+	}
+	return tap
+}
+
+// GenerateM2M synthesizes the platform dataset: it builds the world,
+// draws the device population, walks each device's attach/switch
+// schedule through the roaming machinery and captures the resulting
+// transactions with a platform-side probe. StreamM2M is its
+// bounded-memory twin for consumers that want the stream itself.
+func GenerateM2M(cfg M2MConfig) *M2MDataset {
+	setup, specs, drafts, devIDs := m2mPopulation(cfg)
+	ds, world := setup.M2MDataset, setup.world
+	ds.Truth = make(map[identity.DeviceID]M2MDeviceTruth, cfg.Devices)
 
 	// Pass 3 (parallel): walk each device's schedule through the
 	// roaming machinery into a shard-local probe + collector;
 	// shard-ordered concatenation reproduces the serial capture order,
-	// so the final time sort sees the identical permutation.
+	// so the final time sort sees the identical permutation. Sampled
+	// captures thin per record by identity hash, so they fan out over
+	// the same shard-local taps as complete ones.
 	type shardOut struct {
 		collector probe.Collector[signaling.Transaction]
 		truths    []M2MDeviceTruth
 	}
-	outs := pipeline.Map(cfg.Devices, workers, func(sh pipeline.Shard) *shardOut {
+	outs := pipeline.Map(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) *shardOut {
 		out := &shardOut{truths: make([]M2MDeviceTruth, 0, sh.Len())}
-		tap := sampleTap
-		if tap != nil {
-			// Serial sampled path: keep the tap's sampling stream
-			// continuous across shards, collecting shard-locally.
-			tap.Sink = out.collector.Add
-		} else {
-			tap = probe.NewTap("hmno-probe", cfg.Seed, out.collector.Add)
-		}
+		tap := newM2MTap(cfg, out.collector.Add)
 		for i := sh.Lo; i < sh.Hi; i++ {
 			src := drafts[i].src
 			spec := specs[drafts[i].spec]

@@ -25,116 +25,167 @@ type RawStreams struct {
 	Records []cdrs.Record
 }
 
-// GenerateSMIPRaw builds the same SMIP population as GenerateSMIP but
-// materializes the §4.1 measurement path end to end: it synthesizes
-// individual radio events and CDRs/xDRs, runs them through probe
-// taps, and aggregates the devices-catalog with catalog.Builder —
-// dwell-based mobility metrics included. It is an order of magnitude
-// more expensive per device than the direct generator and exists to
-// exercise (and cross-validate) the real pipeline; keep cohorts in
-// the thousands.
-func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
+// smipEmission is the shared synthesis core behind GenerateSMIPRaw
+// and GenerateSMIPStreaming: the population setup plus the per-event
+// emission walk. The two paths differ only in where the probe taps
+// point — shard-local collectors (batch) or the ingest router
+// (streaming).
+type smipEmission struct {
+	cfg    SMIPConfig
+	db     *gsma.DB
+	root   *rng.Source
+	grid   *radio.Grid
+	alloc  *devices.IMSIAllocator
+	ds     *SMIPDataset
+	centre geo.Point
+	nlHome mccmnc.PLMN
+}
+
+// smipCohort describes one of the two meter cohorts.
+type smipCohort struct {
+	label  string
+	count  int
+	native bool
+}
+
+func smipCohorts(cfg SMIPConfig) []smipCohort {
+	return []smipCohort{
+		{label: "native", count: cfg.NativeMeters, native: true},
+		{label: "roaming", count: cfg.RoamingMeters, native: false},
+	}
+}
+
+func newSMIPEmission(cfg SMIPConfig) *smipEmission {
 	if cfg.NativeMeters < 0 || cfg.RoamingMeters < 0 || cfg.Days <= 0 {
 		panic("dataset: SMIP config needs non-negative cohorts and positive Days")
 	}
-	db := gsma.Synthesize(cfg.GSMASeed)
-	root := rng.New(cfg.Seed).Split("smipraw")
 	hostCountry, _ := mccmnc.CountryByMCC(cfg.Host.MCC)
-	grid := radio.NewGrid(hostCountry, 60, 60, radio.DefaultSpacingDeg)
-	alloc := devices.NewIMSIAllocator()
-	nlHome := mccmnc.MustParse("20404")
-
-	ds := &SMIPDataset{
-		Host:   cfg.Host,
-		Start:  cfg.Start,
-		Days:   cfg.Days,
-		GSMA:   db,
-		Native: make(map[identity.DeviceID]bool, cfg.NativeMeters+cfg.RoamingMeters),
-		NBIoT:  map[identity.DeviceID]bool{},
+	return &smipEmission{
+		cfg:   cfg,
+		db:    gsma.Synthesize(cfg.GSMASeed),
+		root:  rng.New(cfg.Seed).Split("smipraw"),
+		grid:  radio.NewGrid(hostCountry, 60, 60, radio.DefaultSpacingDeg),
+		alloc: devices.NewIMSIAllocator(),
+		ds: &SMIPDataset{
+			Host:   cfg.Host,
+			Start:  cfg.Start,
+			Days:   cfg.Days,
+			Native: make(map[identity.DeviceID]bool, cfg.NativeMeters+cfg.RoamingMeters),
+			NBIoT:  map[identity.DeviceID]bool{},
+		},
+		centre: geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon},
+		nlHome: mccmnc.MustParse("20404"),
 	}
-	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+}
 
-	// Both cohorts draw their IMSIs from dedicated sequential blocks,
-	// so allocation stays a serial index-order pass; the expensive
-	// per-event emission then fans out over shard-local probe taps and
-	// collectors (the capture arrangement of Fig. 4, one tap pair per
-	// shard) whose streams concatenate in shard order — the exact
-	// emission order of a serial run.
-	type cohort struct {
-		label  string
-		count  int
-		native bool
-	}
-	emit := func(co cohort, imsis []identity.IMSI) ([]devices.Device, *RawStreams) {
-		type shardOut struct {
-			devs     []devices.Device
-			radioCol probe.Collector[radio.Event]
-			cdrCol   probe.Collector[cdrs.Record]
-		}
-		outs := pipeline.Map(co.count, cfg.Workers, func(sh pipeline.Shard) *shardOut {
-			out := &shardOut{devs: make([]devices.Device, 0, sh.Len())}
-			radioTap := probe.NewTap("mme-msc-sgsn", cfg.Seed, out.radioCol.Add)
-			cdrTap := probe.NewTap("mediation", cfg.Seed, out.cdrCol.Add)
-			for i := sh.Lo; i < sh.Hi; i++ {
-				src := root.SplitN(co.label, uint64(i))
-				var prof devices.Profile
-				var info gsma.DeviceInfo
-				if co.native {
-					prof = devices.SmartMeterNativeProfile(src.Split("profile"), cfg.Days, cfg.Host)
-					info = db.Pick(src.Split("tac"), gsma.ArchM2MModule)
-				} else {
-					prof = devices.SmartMeterRoamingProfile(src.Split("profile"), cfg.Days)
-					info = db.PickFromVendors(src.Split("tac"), gsma.ArchM2MModule, "Gemalto", "Telit")
-				}
-				mob := mobility.NewStationary(src.Split("mob"), centre, 40)
-				dev := devices.Assemble(devices.ClassSmartMeter, imsis[i], info, prof, mob, false)
-				out.devs = append(out.devs, dev)
-				emitDeviceDaysRaw(src.Split("days"), cfg, grid, radioTap, cdrTap, &dev)
-			}
-			return out
-		})
-		var devs []devices.Device
-		streams := &RawStreams{}
-		for _, o := range outs {
-			devs = append(devs, o.devs...)
-			streams.Radio = append(streams.Radio, o.radioCol.Records()...)
-			streams.Records = append(streams.Records, o.cdrCol.Records()...)
-		}
-		return devs, streams
-	}
-
-	raw := &RawStreams{}
-	for _, co := range []cohort{
-		{label: "native", count: cfg.NativeMeters, native: true},
-		{label: "roaming", count: cfg.RoamingMeters, native: false},
-	} {
+// emitCohorts walks both cohorts through the §4.1 measurement path.
+// Each cohort draws its IMSIs from a dedicated sequential block (a
+// serial index-order pass), then the expensive per-event emission
+// fans out over pipeline shards: taps is called once per emission
+// shard, from worker goroutines, and returns the probe pair that
+// shard's devices feed. Shard boundaries depend only on the cohort
+// size, and every device's events flow through exactly one tap pair
+// in a per-device time-sorted order — the invariants that make the
+// batch and streaming captures interchangeable.
+func (g *smipEmission) emitCohorts(taps func(label string, sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record])) {
+	g.ds.GSMA = g.db
+	for _, co := range smipCohorts(g.cfg) {
 		imsis := make([]identity.IMSI, co.count)
 		for i := range imsis {
 			if co.native {
-				imsis[i] = alloc.Next(cfg.Host, SMIPNativeBase)
+				imsis[i] = g.alloc.Next(g.cfg.Host, SMIPNativeBase)
 			} else {
-				imsis[i] = alloc.Next(nlHome, 4_000_000_000)
+				imsis[i] = g.alloc.Next(g.nlHome, 4_000_000_000)
 			}
 		}
-		devs, streams := emit(co, imsis)
-		for i := range devs {
-			ds.Native[devs[i].ID] = co.native
+		co := co
+		outs := pipeline.Map(co.count, g.cfg.Workers, func(sh pipeline.Shard) []devices.Device {
+			radioTap, cdrTap := taps(co.label, sh)
+			devs := make([]devices.Device, 0, sh.Len())
+			for i := sh.Lo; i < sh.Hi; i++ {
+				src := g.root.SplitN(co.label, uint64(i))
+				var prof devices.Profile
+				var info gsma.DeviceInfo
+				if co.native {
+					prof = devices.SmartMeterNativeProfile(src.Split("profile"), g.cfg.Days, g.cfg.Host)
+					info = g.db.Pick(src.Split("tac"), gsma.ArchM2MModule)
+				} else {
+					prof = devices.SmartMeterRoamingProfile(src.Split("profile"), g.cfg.Days)
+					info = g.db.PickFromVendors(src.Split("tac"), gsma.ArchM2MModule, "Gemalto", "Telit")
+				}
+				mob := mobility.NewStationary(src.Split("mob"), g.centre, 40)
+				dev := devices.Assemble(devices.ClassSmartMeter, imsis[i], info, prof, mob, false)
+				devs = append(devs, dev)
+				emitDeviceDaysRaw(src.Split("days"), g.cfg, g.grid, radioTap, cdrTap, &dev)
+			}
+			return devs
+		})
+		for _, devs := range outs {
+			for i := range devs {
+				g.ds.Native[devs[i].ID] = co.native
+			}
+			g.ds.Devices = append(g.ds.Devices, devs...)
 		}
-		ds.Devices = append(ds.Devices, devs...)
-		raw.Radio = append(raw.Radio, streams.Radio...)
-		raw.Records = append(raw.Records, streams.Records...)
+	}
+	g.ds.NativeRange = SMIPNativeRange(g.cfg.Host, g.alloc.Allocated(g.cfg.Host, SMIPNativeBase))
+}
+
+// GenerateSMIPRaw builds the same SMIP population as GenerateSMIP but
+// materializes the §4.1 measurement path end to end: it synthesizes
+// individual radio events and CDRs/xDRs, runs them through probe
+// taps into shard-local collectors, and aggregates the
+// devices-catalog with catalog.ShardedBuilder — dwell-based mobility
+// metrics included. It is an order of magnitude more expensive per
+// device than the direct generator and exists to exercise (and
+// cross-validate) the real pipeline; keep cohorts in the thousands,
+// or use GenerateSMIPStreaming when the materialized capture itself
+// is the problem.
+func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
+	g := newSMIPEmission(cfg)
+
+	// Batch capture: one collector pair per emission shard (the
+	// capture arrangement of Fig. 4, one tap pair per shard), gathered
+	// in (cohort, shard) order afterwards — the exact emission order
+	// of a serial run. Shard counts are a function of the cohort size
+	// alone (pipeline.ShardCount), so the slices pre-size up front and
+	// the worker callbacks write disjoint indices with no locking.
+	type shardCols struct {
+		radio probe.Collector[radio.Event]
+		cdr   probe.Collector[cdrs.Record]
+	}
+	byCohort := map[string][]*shardCols{}
+	for _, co := range smipCohorts(cfg) {
+		byCohort[co.label] = make([]*shardCols, pipeline.ShardCount(co.count))
+	}
+	g.emitCohorts(func(label string, sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
+		cols := &shardCols{}
+		byCohort[label][sh.Index] = cols
+		return probe.NewTap("mme-msc-sgsn", cfg.Seed, cols.radio.Add),
+			probe.NewTap("mediation", cfg.Seed, cols.cdr.Add)
+	})
+
+	raw := &RawStreams{}
+	for _, co := range smipCohorts(cfg) {
+		for _, cols := range byCohort[co.label] {
+			raw.Radio = append(raw.Radio, cols.radio.Records()...)
+			raw.Records = append(raw.Records, cols.cdr.Records()...)
+		}
 	}
 
 	// Time-order the streams (probes interleave by capture point) and
 	// run the aggregation pipeline: events partition by device onto
 	// shard-local builders (so dwell attribution sees each device's
 	// full event chain), shards ingest concurrently, and the merge
-	// restores the catalog's (device, day) order.
-	sort.Slice(raw.Radio, func(i, j int) bool { return raw.Radio[i].Time.Before(raw.Radio[j].Time) })
-	sort.Slice(raw.Records, func(i, j int) bool { return raw.Records[i].Time.Before(raw.Records[j].Time) })
+	// restores the catalog's (device, day) order. The sort is stable:
+	// each device's emission is already time-sorted, so stability
+	// keeps every device's relative order equal to its emission order
+	// — the same per-device sequences the streaming ingest path
+	// delivers, which is what makes the two catalogs bit-identical.
+	sort.SliceStable(raw.Radio, func(i, j int) bool { return raw.Radio[i].Time.Before(raw.Radio[j].Time) })
+	sort.SliceStable(raw.Records, func(i, j int) bool { return raw.Records[i].Time.Before(raw.Records[j].Time) })
 
 	workers := pipeline.Workers(cfg.Workers)
-	sb := catalog.NewShardedBuilder(cfg.Host, cfg.Start, cfg.Days, grid, workers)
+	sb := catalog.NewShardedBuilder(cfg.Host, cfg.Start, cfg.Days, g.grid, workers)
 	radioByShard := make([][]radio.Event, sb.Shards())
 	for i := range raw.Radio {
 		s := sb.ShardFor(raw.Radio[i].Device)
@@ -156,21 +207,28 @@ func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
 			}
 		}
 	})
-	ds.Catalog = sb.Build(cfg.Workers)
-	ds.NativeRange = SMIPNativeRange(cfg.Host, alloc.Allocated(cfg.Host, SMIPNativeBase))
-	return ds, raw
+	g.ds.Catalog = sb.Build(cfg.Workers)
+	return g.ds, raw
 }
 
-// emitDeviceDaysRaw synthesizes per-event streams for one device.
+// emitDeviceDaysRaw synthesizes per-event streams for one device. A
+// day's events are generated first and offered time-sorted (stable,
+// so generation order breaks timestamp ties): each device's stream is
+// then time-ordered end to end, which both the batch path's stable
+// global sort and the streaming ingest router preserve — the
+// per-device order contract the catalogs' bit-identity rests on.
 func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device) {
 
 	p := dev.Profile
 	daySeconds := int64(24 * 3600)
+	var dayEvs []radio.Event
+	var dayRecs []cdrs.Record
 	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < cfg.Days; day++ {
 		if !src.Bool(p.DailyActiveProb) {
 			continue
 		}
+		dayEvs, dayRecs = dayEvs[:0], dayRecs[:0]
 		dayStart := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
 		at := func() time.Time {
 			return dayStart.Add(time.Duration(src.Int63n(daySeconds)) * time.Second)
@@ -205,7 +263,7 @@ func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 			if p.FailProb > 0 && src.Bool(p.FailProb) {
 				res = radio.ResultFail
 			}
-			radioTap.Offer(radio.Event{
+			dayEvs = append(dayEvs, radio.Event{
 				Device:    dev.ID,
 				Time:      t,
 				SIM:       dev.Home,
@@ -220,7 +278,7 @@ func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 		if p.UsesData {
 			sessions := src.Poisson(p.DataSessionsPerDay)
 			for sNum := 0; sNum < sessions; sNum++ {
-				cdrTap.Offer(cdrs.Record{
+				dayRecs = append(dayRecs, cdrs.Record{
 					Device:   dev.ID,
 					Time:     at(),
 					SIM:      dev.Home,
@@ -237,7 +295,7 @@ func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 		if p.UsesVoice {
 			calls := src.Poisson(p.CallsPerDay)
 			for cNum := 0; cNum < calls; cNum++ {
-				cdrTap.Offer(cdrs.Record{
+				dayRecs = append(dayRecs, cdrs.Record{
 					Device:   dev.ID,
 					Time:     at(),
 					SIM:      dev.Home,
@@ -247,6 +305,15 @@ func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 					Duration: time.Duration(src.Exp(p.CallDurMeanS)) * time.Second,
 				})
 			}
+		}
+
+		sort.SliceStable(dayEvs, func(i, j int) bool { return dayEvs[i].Time.Before(dayEvs[j].Time) })
+		for i := range dayEvs {
+			radioTap.Offer(dayEvs[i])
+		}
+		sort.SliceStable(dayRecs, func(i, j int) bool { return dayRecs[i].Time.Before(dayRecs[j].Time) })
+		for i := range dayRecs {
+			cdrTap.Offer(dayRecs[i])
 		}
 	}
 }

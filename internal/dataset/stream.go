@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/devices"
+	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
+	"whereroam/internal/pipeline"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+	"whereroam/internal/signaling"
+)
+
+// GenerateSMIPStreaming is the bounded-memory twin of
+// GenerateSMIPRaw: the same population, the same per-event synthesis
+// through probe taps, but the radio events and CDRs/xDRs flow
+// straight from the taps into an ingest.CatalogIngester — the
+// device-hash router over shard-local catalog builders — while the
+// capture is still being generated. No event slice is ever
+// materialized; in-flight memory is capped at the router's channel
+// windows, so peak allocation stays flat where the batch path grows
+// linearly with the capture.
+//
+// The built catalog is bit-identical to GenerateSMIPRaw's at any
+// worker count: both paths deliver each device's records in the same
+// per-device time-sorted order, which is the only order the builder's
+// output depends on (see internal/ingest and docs/ARCHITECTURE.md).
+func GenerateSMIPStreaming(cfg SMIPConfig) *SMIPDataset {
+	g := newSMIPEmission(cfg)
+	workers := pipeline.Workers(cfg.Workers)
+	sb := catalog.NewShardedBuilder(cfg.Host, cfg.Start, cfg.Days, g.grid, workers)
+	in := ingest.NewCatalogIngester(sb, 0)
+	// Build closes on the happy path (Close is idempotent); the defer
+	// covers an emission panic, so a caller that recovers it does not
+	// leak the per-shard consumer goroutines and their channel windows.
+	defer in.Close()
+	g.emitCohorts(func(label string, sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
+		return probe.NewTap("mme-msc-sgsn", cfg.Seed, in.OfferRadio),
+			probe.NewTap("mediation", cfg.Seed, in.OfferRecord)
+	})
+	g.ds.Catalog = in.Build(cfg.Workers)
+	return g.ds
+}
+
+// StreamM2M generates the same platform dataset as GenerateM2M but
+// delivers the transaction stream to sink record by record instead of
+// materializing it: emission shards run ahead of the consumer on a
+// bounded per-shard window (ingest.Ordered), and the sink observes
+// the exact serial emission order at any worker count. The returned
+// dataset carries the ground truth with a nil Transactions slice;
+// sorting the streamed records by time with sort.Slice reproduces
+// GenerateM2M's Transactions bit for bit. Sampled captures
+// (0 < SampleRate < 1) thin by per-record hash, exactly as
+// GenerateM2M does.
+//
+// sink runs on the calling goroutine and blocks the producers through
+// the windows when it stalls — backpressure, not buffering.
+func StreamM2M(cfg M2MConfig, sink func(signaling.Transaction)) *M2MDataset {
+	ds, specs, drafts, devIDs := m2mPopulation(cfg)
+
+	truths := make([]M2MDeviceTruth, cfg.Devices)
+	ord := ingest.NewOrdered[signaling.Transaction](pipeline.ShardCount(cfg.Devices), 0)
+	world := ds.world
+
+	// The emission fan-out runs beside the drain; a shard's stream
+	// closes as its producer finishes, and a producer panic closes
+	// every stream so the drain unblocks before the panic is
+	// re-raised on the caller.
+	done := make(chan any, 1)
+	go func() {
+		defer func() {
+			p := recover()
+			ord.CloseAll()
+			done <- p
+		}()
+		pipeline.Run(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) {
+			// Close in a defer: a shard that panics mid-emission must
+			// still end its stream, or the drain would block on it
+			// forever while sibling producers sit on full windows and
+			// the panic never surfaces.
+			defer ord.CloseShard(sh.Index)
+			tap := newM2MTap(cfg, ord.Sink(sh.Index))
+			for i := sh.Lo; i < sh.Hi; i++ {
+				src := drafts[i].src
+				spec := specs[drafts[i].spec]
+				roaming := src.Bool(spec.roamShare)
+				prof := devices.NewPlatformIoT(src.Split("profile"), roaming, cfg.Days)
+				truths[i] = M2MDeviceTruth{Home: spec.plmn, Roaming: roaming, FailOnly: prof.FailOnly, Profile: prof}
+				emitPlatformDevice(tap, world, src, cfg, spec, devIDs[i], prof)
+			}
+		})
+	}()
+	ord.Drain(sink)
+	if p := <-done; p != nil {
+		panic(p)
+	}
+
+	ds.Truth = make(map[identity.DeviceID]M2MDeviceTruth, cfg.Devices)
+	for i := range truths {
+		ds.Truth[devIDs[i]] = truths[i]
+	}
+	return ds.M2MDataset
+}

@@ -15,6 +15,7 @@ import (
 
 	"whereroam/internal/analysis"
 	"whereroam/internal/dataset"
+	"whereroam/internal/signaling"
 )
 
 // Report is the outcome of one experiment.
@@ -89,6 +90,16 @@ type Session struct {
 	// one worker per CPU. Results are identical for every worker
 	// count.
 	Workers int
+	// Streaming switches dataset construction to the bounded-memory
+	// ingestion paths: the SMIP catalog builds from per-event probe
+	// streams through the ingest router (GenerateSMIPStreaming — note
+	// this is the raw measurement path, richer than the direct
+	// aggregate generator the batch session uses), and the M2M
+	// transaction stream flows through the ordered fan-in (StreamM2M)
+	// before the runners materialize it — producing a dataset
+	// bit-identical to the batch one. The MNO dataset has no
+	// per-event form and always builds directly.
+	Streaming bool
 
 	mu   sync.Mutex
 	m2m  *dataset.M2MDataset
@@ -111,6 +122,15 @@ func NewSessionWorkers(seed uint64, factor float64, workers int) *Session {
 	return &Session{Seed: seed, Factor: factor, Workers: workers}
 }
 
+// NewStreamingSession returns a session whose datasets build through
+// the bounded-memory streaming ingestion paths (see the Streaming
+// field).
+func NewStreamingSession(seed uint64, factor float64, workers int) *Session {
+	s := NewSessionWorkers(seed, factor, workers)
+	s.Streaming = true
+	return s
+}
+
 func (s *Session) scaled(n int) int {
 	v := int(float64(n) * s.Factor)
 	if v < 100 {
@@ -119,7 +139,9 @@ func (s *Session) scaled(n int) int {
 	return v
 }
 
-// M2M lazily builds the platform dataset.
+// M2M lazily builds the platform dataset. A streaming session
+// produces it through the ordered streaming fan-in and materializes
+// the result for the runners — bit-identical to the batch build.
 func (s *Session) M2M() *dataset.M2MDataset {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -128,7 +150,15 @@ func (s *Session) M2M() *dataset.M2MDataset {
 		cfg.Seed = s.Seed
 		cfg.Devices = s.scaled(cfg.Devices)
 		cfg.Workers = s.Workers
-		s.m2m = dataset.GenerateM2M(cfg)
+		if s.Streaming {
+			var txs []signaling.Transaction
+			ds := dataset.StreamM2M(cfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
+			sort.Slice(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+			ds.Transactions = txs
+			s.m2m = ds
+		} else {
+			s.m2m = dataset.GenerateM2M(cfg)
+		}
 	}
 	return s.m2m
 }
@@ -147,7 +177,10 @@ func (s *Session) MNO() *dataset.MNODataset {
 	return s.mno
 }
 
-// SMIP lazily builds the smart-meter dataset.
+// SMIP lazily builds the smart-meter dataset. A streaming session
+// builds the catalog through the full per-event measurement path —
+// probe taps into the ingest router — without ever materializing the
+// event streams.
 func (s *Session) SMIP() *dataset.SMIPDataset {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -157,7 +190,11 @@ func (s *Session) SMIP() *dataset.SMIPDataset {
 		cfg.NativeMeters = s.scaled(cfg.NativeMeters)
 		cfg.RoamingMeters = s.scaled(cfg.RoamingMeters)
 		cfg.Workers = s.Workers
-		s.smip = dataset.GenerateSMIP(cfg)
+		if s.Streaming {
+			s.smip = dataset.GenerateSMIPStreaming(cfg)
+		} else {
+			s.smip = dataset.GenerateSMIP(cfg)
+		}
 	}
 	return s.smip
 }

@@ -1,0 +1,187 @@
+// Package ingest implements bounded-memory streaming ingestion: the
+// path from live record streams — probe taps, [probe.Stream] sources,
+// or the binary codecs of internal/cdrs — into the sharded
+// devices-catalog builder, so a catalog builds while the capture is
+// still being generated and no full event slice is ever held.
+//
+// The core is a device-hash router ([CatalogIngester]): producers
+// offer records from any goroutine, each record routes to the
+// shard-local [catalog.Builder] owning its device (the
+// [catalog.ShardedBuilder.ShardFor] partition), and travels over a
+// bounded channel drained by one goroutine per shard. A full channel
+// blocks the producer — backpressure, not buffering — so the in-flight
+// memory is capped at shards × depth records no matter how large the
+// capture grows.
+//
+// Determinism contract: the catalog builder's output depends only on
+// each device's own record order (dwell chains, visited-network and
+// APN first-seen orders are all per-device state; cross-device
+// interleaving never reaches it). The router preserves per-producer
+// send order, and every record of a given device comes from exactly
+// one producer, so a streaming build is bit-identical to a batch
+// build that ingests the same per-device sequences — at any worker
+// count, shard count or channel depth. docs/ARCHITECTURE.md derives
+// the full argument; the root determinism tests pin it.
+package ingest
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+)
+
+// DefaultDepth is the per-shard channel depth used when a caller
+// passes a non-positive depth: deep enough to ride out scheduling
+// jitter between producers and shard consumers, shallow enough that
+// the in-flight window stays a rounding error next to the builder
+// state itself.
+const DefaultDepth = 1024
+
+// item is the mixed record type a shard queue carries. Radio events
+// and CDRs/xDRs share one queue per shard so that a producer's
+// radio-then-records emission order for a device survives end to end;
+// separate queues would let the shard consumer interleave the two
+// classes nondeterministically.
+type item struct {
+	ev    radio.Event
+	rec   cdrs.Record
+	isCDR bool
+}
+
+// CatalogIngester streams records into a [catalog.ShardedBuilder]
+// under a bounded memory envelope. Construct with
+// [NewCatalogIngester], feed it from any number of producer
+// goroutines via [CatalogIngester.OfferRadio] and
+// [CatalogIngester.OfferRecord] (or the stream and codec bridges),
+// then call [CatalogIngester.Build] once every producer is done.
+type CatalogIngester struct {
+	sb     *catalog.ShardedBuilder
+	queues []chan item
+	wg     sync.WaitGroup
+
+	radioIn  atomic.Int64
+	recordIn atomic.Int64
+	closed   bool
+}
+
+// NewCatalogIngester starts one consumer goroutine per shard of sb,
+// each draining a bounded queue of depth records (non-positive depth
+// means [DefaultDepth]) into its shard-local builder. The caller must
+// eventually call Close or Build to stop the consumers.
+func NewCatalogIngester(sb *catalog.ShardedBuilder, depth int) *CatalogIngester {
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	in := &CatalogIngester{sb: sb, queues: make([]chan item, sb.Shards())}
+	for i := range in.queues {
+		in.queues[i] = make(chan item, depth)
+		in.wg.Add(1)
+		go func(i int) {
+			defer in.wg.Done()
+			b := sb.Builder(i)
+			for it := range in.queues[i] {
+				if it.isCDR {
+					b.AddRecord(it.rec)
+				} else {
+					b.AddRadioEvent(it.ev)
+				}
+			}
+		}(i)
+	}
+	return in
+}
+
+// OfferRadio routes one radio event to its device's shard, blocking
+// while that shard's queue is full. Safe for concurrent producers; a
+// device's events must all come from one producer for its ingestion
+// order to be well defined.
+func (in *CatalogIngester) OfferRadio(ev radio.Event) {
+	in.radioIn.Add(1)
+	in.queues[in.sb.ShardFor(ev.Device)] <- item{ev: ev}
+}
+
+// OfferRecord routes one CDR/xDR to its device's shard; same blocking
+// and concurrency contract as OfferRadio.
+func (in *CatalogIngester) OfferRecord(rec cdrs.Record) {
+	in.recordIn.Add(1)
+	in.queues[in.sb.ShardFor(rec.Device)] <- item{rec: rec, isCDR: true}
+}
+
+// DrainRadio consumes a radio-event stream into the ingester until
+// the stream closes, returning how many events it forwarded. It
+// blocks the calling goroutine; run one drain per stream.
+func (in *CatalogIngester) DrainRadio(s *probe.Stream[radio.Event]) int64 {
+	var n int64
+	for ev := range s.C {
+		in.OfferRadio(ev)
+		n++
+	}
+	return n
+}
+
+// DrainRecords consumes a CDR/xDR stream into the ingester until the
+// stream closes, returning how many records it forwarded.
+func (in *CatalogIngester) DrainRecords(s *probe.Stream[cdrs.Record]) int64 {
+	var n int64
+	for rec := range s.C {
+		in.OfferRecord(rec)
+		n++
+	}
+	return n
+}
+
+// ReadRecords decodes a binary CDR/xDR wire stream (the internal/cdrs
+// codec) straight into the ingester — the shape of a national feed
+// arriving from a mediation system: records decode into caller-owned
+// memory one at a time and route to their shard, so the stream never
+// materializes. It returns the number of records ingested and the
+// first decode error, if any.
+func (in *CatalogIngester) ReadRecords(r io.Reader) (int, error) {
+	rd := cdrs.NewReader(r)
+	var rec cdrs.Record
+	for {
+		err := rd.Read(&rec)
+		if err == io.EOF {
+			return rd.Count(), nil
+		}
+		if err != nil {
+			return rd.Count(), err
+		}
+		in.OfferRecord(rec)
+	}
+}
+
+// Stats returns how many radio events and CDRs/xDRs the ingester has
+// accepted so far.
+func (in *CatalogIngester) Stats() (radioEvents, records int64) {
+	return in.radioIn.Load(), in.recordIn.Load()
+}
+
+// Close ends ingestion: it closes every shard queue and waits for the
+// consumers to drain. Every producer must have finished offering
+// before Close is called, and Close itself must come from a single
+// goroutine (Build calls it for you). Idempotent.
+func (in *CatalogIngester) Close() {
+	if in.closed {
+		return
+	}
+	in.closed = true
+	for _, q := range in.queues {
+		close(q)
+	}
+	in.wg.Wait()
+}
+
+// Build closes the ingester (if still open) and finalizes the sharded
+// catalog on workers goroutines, returning records in (device, day)
+// order — bit-identical to a batch build over the same per-device
+// sequences.
+func (in *CatalogIngester) Build(workers int) *catalog.Catalog {
+	in.Close()
+	return in.sb.Build(workers)
+}

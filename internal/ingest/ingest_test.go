@@ -1,0 +1,234 @@
+package ingest
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+)
+
+var (
+	host  = mccmnc.MustParse("23410")
+	nlSIM = mccmnc.MustParse("20404")
+	start = time.Date(2019, 4, 5, 0, 0, 0, 0, time.UTC)
+)
+
+func ukGrid(t testing.TB) *radio.Grid {
+	t.Helper()
+	c, _ := mccmnc.CountryByISO("GB")
+	return radio.NewGrid(c, 30, 30, radio.DefaultSpacingDeg)
+}
+
+// synthStreams builds a deterministic mixed load: per device the
+// events are time-ordered, which is the per-device order contract
+// every ingestion path preserves.
+func synthStreams(devs, hours int) ([]radio.Event, []cdrs.Record) {
+	var evs []radio.Event
+	var recs []cdrs.Record
+	for h := 0; h < hours; h++ {
+		at := start.Add(time.Duration(h) * time.Hour)
+		for d := 0; d < devs; d++ {
+			dev := identity.DeviceID(d)
+			res := radio.ResultOK
+			if (d+h)%5 == 0 {
+				res = radio.ResultFail
+			}
+			evs = append(evs, radio.Event{
+				Device: dev, Time: at.Add(time.Duration(d) * time.Second),
+				SIM: nlSIM, TAC: identity.TAC(35600000 + d%3), Sector: radio.SectorID(d % 40),
+				Interface: radio.IfGb, Result: res,
+			})
+			if d%3 == 0 {
+				recs = append(recs, cdrs.Record{
+					Device: dev, Time: at.Add(time.Duration(d) * time.Second),
+					SIM: nlSIM, Visited: host, Kind: cdrs.KindData,
+					RAT: radio.RAT2G, Bytes: uint64(100 + d),
+				})
+			}
+		}
+	}
+	return evs, recs
+}
+
+func serialCatalog(t testing.TB, evs []radio.Event, recs []cdrs.Record) *catalog.Catalog {
+	t.Helper()
+	b := catalog.NewBuilder(host, start, 22, ukGrid(t))
+	for i := range evs {
+		b.AddRadioEvent(evs[i])
+	}
+	for i := range recs {
+		b.AddRecord(recs[i])
+	}
+	return b.Build()
+}
+
+// A streaming build from concurrent producers must equal a serial
+// batch build record for record, for any shard count and depth —
+// including depth 1, where every send exercises backpressure.
+func TestCatalogIngesterMatchesSerial(t *testing.T) {
+	evs, recs := synthStreams(50, 30)
+	want := serialCatalog(t, evs, recs)
+
+	for _, tc := range []struct{ shards, depth, producers int }{
+		{1, 0, 1},
+		{4, 0, 3},
+		{8, 1, 4},
+		{3, 7, 2},
+	} {
+		sb := catalog.NewShardedBuilder(host, start, 22, ukGrid(t), tc.shards)
+		in := NewCatalogIngester(sb, tc.depth)
+		// Partition by device across producers: each device's chain
+		// stays with one producer, as the contract requires.
+		var wg sync.WaitGroup
+		for p := 0; p < tc.producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := range evs {
+					if int(evs[i].Device)%tc.producers == p {
+						in.OfferRadio(evs[i])
+					}
+				}
+				for i := range recs {
+					if int(recs[i].Device)%tc.producers == p {
+						in.OfferRecord(recs[i])
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		got := in.Build(0)
+		if !reflect.DeepEqual(want.Records, got.Records) {
+			t.Errorf("shards=%d depth=%d producers=%d: streaming catalog differs from serial",
+				tc.shards, tc.depth, tc.producers)
+		}
+		nr, nc := in.Stats()
+		if nr != int64(len(evs)) || nc != int64(len(recs)) {
+			t.Errorf("stats = %d/%d, want %d/%d", nr, nc, len(evs), len(recs))
+		}
+	}
+}
+
+// Close is idempotent and Build after Close reuses the drained state.
+func TestCatalogIngesterCloseIdempotent(t *testing.T) {
+	sb := catalog.NewShardedBuilder(host, start, 22, nil, 2)
+	in := NewCatalogIngester(sb, 4)
+	in.OfferRadio(radio.Event{Device: 1, Time: start.Add(time.Hour), SIM: nlSIM, Interface: radio.IfGb})
+	in.Close()
+	in.Close()
+	if got := in.Build(1); len(got.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(got.Records))
+	}
+}
+
+// The probe.Stream bridges drain channel sources into the router.
+func TestCatalogIngesterDrainStreams(t *testing.T) {
+	evs, recs := synthStreams(20, 10)
+	want := serialCatalog(t, evs, recs)
+
+	sb := catalog.NewShardedBuilder(host, start, 22, ukGrid(t), 3)
+	in := NewCatalogIngester(sb, 16)
+	rs := probe.NewStream[radio.Event](8)
+	cs := probe.NewStream[cdrs.Record](8)
+	go func() {
+		for i := range evs {
+			rs.Send(evs[i])
+		}
+		rs.Close()
+	}()
+	if n := in.DrainRadio(rs); n != int64(len(evs)) {
+		t.Fatalf("drained %d radio events, want %d", n, len(evs))
+	}
+	go func() {
+		for i := range recs {
+			cs.Send(recs[i])
+		}
+		cs.Close()
+	}()
+	if n := in.DrainRecords(cs); n != int64(len(recs)) {
+		t.Fatalf("drained %d records, want %d", n, len(recs))
+	}
+	if got := in.Build(0); !reflect.DeepEqual(want.Records, got.Records) {
+		t.Error("stream-drained catalog differs from serial")
+	}
+}
+
+// ReadRecords decodes the binary CDR wire format straight into the
+// router: the national-feed shape, no slice ever materialized.
+func TestCatalogIngesterReadRecords(t *testing.T) {
+	_, recs := synthStreams(30, 12)
+	var buf bytes.Buffer
+	if err := cdrs.WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	want := serialCatalog(t, nil, recs)
+
+	sb := catalog.NewShardedBuilder(host, start, 22, nil, 4)
+	in := NewCatalogIngester(sb, 8)
+	n, err := in.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("ingested %d records, want %d", n, len(recs))
+	}
+	if got := in.Build(0); !reflect.DeepEqual(want.Records, got.Records) {
+		t.Error("codec-fed catalog differs from serial")
+	}
+}
+
+// Ordered must deliver the exact shard-order concatenation whatever
+// order the producers run in, with depth 1 forcing full backpressure.
+func TestOrderedDrainOrder(t *testing.T) {
+	const shards, perShard = 7, 50
+	for _, depth := range []int{1, 8} {
+		o := NewOrdered[int](shards, depth)
+		var wg sync.WaitGroup
+		// Launch producers in reverse shard order to stress the
+		// consumer's ordering, not the launch order.
+		for i := shards - 1; i >= 0; i-- {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < perShard; j++ {
+					o.Send(i, i*perShard+j)
+				}
+				o.CloseShard(i)
+			}(i)
+		}
+		var got []int
+		if n := o.Drain(func(v int) { got = append(got, v) }); n != shards*perShard {
+			t.Fatalf("depth=%d: drained %d, want %d", depth, n, shards*perShard)
+		}
+		wg.Wait()
+		for k, v := range got {
+			if v != k {
+				t.Fatalf("depth=%d: position %d holds %d; fan-in is not shard-ordered", depth, k, v)
+			}
+		}
+	}
+}
+
+// CloseShard and CloseAll tolerate repeated closes, so failure paths
+// can release a blocked consumer unconditionally.
+func TestOrderedCloseIdempotent(t *testing.T) {
+	o := NewOrdered[int](3, 2)
+	o.Send(1, 42)
+	o.CloseShard(1)
+	o.CloseShard(1)
+	o.CloseAll()
+	o.CloseAll()
+	var got []int
+	o.Drain(func(v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("drained %v, want [42]", got)
+	}
+}

@@ -94,6 +94,14 @@ func numShards(n int) int {
 	return maxShards
 }
 
+// ShardCount returns the canonical shard count Run and Map use for n
+// items. It is a function of the item count alone — never of the
+// worker count — which is what keeps shard-indexed artefacts (ordered
+// fan-in streams, per-shard accumulators) worker-count-invariant.
+// Callers that pre-size per-shard structures for Run/Map must use
+// this count.
+func ShardCount(n int) int { return numShards(n) }
+
 // Run partitions n items into the canonical shards and fans them out
 // over a pool of Workers(workers) goroutines, blocking until every
 // shard completed (the fan-in barrier). fn is called once per shard;
@@ -177,6 +185,7 @@ type ShardPanic struct {
 	Stack []byte
 }
 
+// String renders the shard, panic value and captured worker stack.
 func (p ShardPanic) String() string {
 	return fmt.Sprintf("pipeline: shard %d [%d,%d) worker panicked: %v\n\nworker stack:\n%s",
 		p.Shard.Index, p.Shard.Lo, p.Shard.Hi, p.Value, p.Stack)

@@ -29,18 +29,37 @@ type Tap[T any] struct {
 	// SampleRate keeps this fraction of post-filter records; 0 and 1
 	// both mean "keep all" (zero value is a complete capture).
 	SampleRate float64
+	// SampleKey, when set alongside a fractional SampleRate, switches
+	// the tap from its sequential sampling stream to per-record
+	// hash-based thinning: a record is kept iff
+	// rng.Hash01(tapSeed, SampleKey(rec)) < SampleRate. The verdict
+	// depends only on the record's identity, never on arrival order,
+	// so several taps built with the same (name, seed) reach identical
+	// decisions — the property that lets sampled captures run on
+	// shard-local taps in parallel instead of one sequential stream.
+	// Keys should be unique per logical record; colliding keys share a
+	// verdict.
+	SampleKey func(T) uint64
 	// Sink receives accepted records.
 	Sink func(T)
 
 	mu       sync.Mutex
 	src      *rng.Source
+	hashSeed uint64
 	offered  atomic.Int64
 	captured atomic.Int64
 }
 
-// NewTap builds a capturing tap; seed drives the sampling decisions.
+// NewTap builds a capturing tap; seed drives the sampling decisions
+// (both the sequential stream and the hash-based per-record verdicts
+// derive from it, keyed by the tap name).
 func NewTap[T any](name string, seed uint64, sink func(T)) *Tap[T] {
-	return &Tap[T]{Name: name, Sink: sink, src: rng.New(seed).Split("probe-" + name)}
+	return &Tap[T]{
+		Name:     name,
+		Sink:     sink,
+		src:      rng.New(seed).Split("probe-" + name),
+		hashSeed: rng.New(seed).Split("probe-hash-" + name).Uint64(),
+	}
 }
 
 // Offer presents one record to the tap.
@@ -50,9 +69,14 @@ func (t *Tap[T]) Offer(rec T) {
 		return
 	}
 	if t.SampleRate > 0 && t.SampleRate < 1 {
-		t.mu.Lock()
-		keep := t.src.Bool(t.SampleRate)
-		t.mu.Unlock()
+		var keep bool
+		if t.SampleKey != nil {
+			keep = rng.Hash01(t.hashSeed, t.SampleKey(rec)) < t.SampleRate
+		} else {
+			t.mu.Lock()
+			keep = t.src.Bool(t.SampleRate)
+			t.mu.Unlock()
+		}
 		if !keep {
 			return
 		}

@@ -73,6 +73,77 @@ func TestTapSamplingDeterministic(t *testing.T) {
 	}
 }
 
+// Hash-based sampling decides per record identity: the kept set must
+// not depend on offer order, on how records are split across several
+// taps sharing (name, seed), or on interleaving — the contract the
+// parallel sampled-capture paths rely on.
+func TestTapHashSamplingOrderInvariant(t *testing.T) {
+	const n = 40000
+	key := func(v int) uint64 { return uint64(v) }
+	sample := func(order func(i int) int, taps int) map[int]bool {
+		ts := make([]*Tap[int], taps)
+		cols := make([]Collector[int], taps)
+		for i := range ts {
+			ts[i] = NewTap("hash", 42, cols[i].Add)
+			ts[i].SampleRate = 0.25
+			ts[i].SampleKey = key
+		}
+		for i := 0; i < n; i++ {
+			v := order(i)
+			ts[v%taps].Offer(v)
+		}
+		kept := map[int]bool{}
+		for i := range cols {
+			for _, v := range cols[i].Records() {
+				kept[v] = true
+			}
+		}
+		return kept
+	}
+
+	forward := sample(func(i int) int { return i }, 1)
+	reverse := sample(func(i int) int { return n - 1 - i }, 1)
+	sharded := sample(func(i int) int { return i }, 4)
+
+	rate := float64(len(forward)) / n
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("hash sample rate = %.3f, want ~0.25", rate)
+	}
+	if len(forward) != len(reverse) || len(forward) != len(sharded) {
+		t.Fatalf("kept sizes diverge: forward %d, reverse %d, sharded %d",
+			len(forward), len(reverse), len(sharded))
+	}
+	for v := range forward {
+		if !reverse[v] || !sharded[v] {
+			t.Fatalf("record %d kept forward but dropped in reverse/sharded order", v)
+		}
+	}
+}
+
+// Different seeds must keep different sets, or the hash would be a
+// constant partition of the key space.
+func TestTapHashSamplingSeedSensitivity(t *testing.T) {
+	kept := func(seed uint64) int {
+		var c Collector[int]
+		tap := NewTap("hash", seed, c.Add)
+		tap.SampleRate = 0.5
+		tap.SampleKey = func(v int) uint64 { return uint64(v) }
+		overlap := 0
+		for i := 0; i < 1000; i++ {
+			tap.Offer(i)
+		}
+		for _, v := range c.Records() {
+			if v < 500 {
+				overlap++
+			}
+		}
+		return c.Len() + overlap*100000 // crude fingerprint
+	}
+	if kept(1) == kept(2) {
+		t.Error("seeds 1 and 2 produced identical kept sets")
+	}
+}
+
 func TestTapZeroValueKeepsAll(t *testing.T) {
 	var c Collector[string]
 	tap := &Tap[string]{Sink: c.Add}

@@ -56,6 +56,17 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Hash01 maps a (seed, key) pair to a uniform value in [0, 1). It is
+// the stateless counterpart of [Source.Bool] for per-record decisions:
+// the result depends only on the pair — never on draw order — so
+// concurrent producers reach identical sampling verdicts without
+// sharing a sequential stream. Two SplitMix64 finalizer rounds give
+// full avalanche even for structured keys (sequential IDs,
+// nanosecond timestamps).
+func Hash01(seed, key uint64) float64 {
+	return float64(mix64(mix64(seed^key))>>11) / (1 << 53)
+}
+
 // Uint64 returns the next value of the stream.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

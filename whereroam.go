@@ -28,9 +28,11 @@ import (
 	"whereroam/internal/experiments"
 	"whereroam/internal/gsma"
 	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/netsim"
 	"whereroam/internal/pipeline"
+	"whereroam/internal/probe"
 	"whereroam/internal/settlement"
 	"whereroam/internal/signaling"
 )
@@ -143,6 +145,40 @@ var (
 	NewWorld          = netsim.NewWorld
 	DefaultWorld      = netsim.DefaultConfig
 )
+
+// Streaming ingestion plane: bounded-memory catalog builds over live
+// record streams (see internal/ingest and docs/ARCHITECTURE.md).
+type (
+	// CatalogIngester routes live radio/CDR streams into shard-local
+	// catalog builders over bounded channels; the built catalog is
+	// bit-identical to a batch build at any worker count.
+	CatalogIngester = ingest.CatalogIngester
+	// RecordStream is a bounded channel-based record source (the
+	// PacketSource idiom), generic over the record type.
+	RecordStream[T any] = probe.Stream[T]
+)
+
+// Streaming constructors and generators.
+var (
+	// NewCatalogIngester starts a streaming catalog build over a
+	// sharded builder; non-positive depth means ingest.DefaultDepth.
+	NewCatalogIngester = ingest.NewCatalogIngester
+	// GenerateSMIPStreaming builds the §7 SMIP dataset through the
+	// per-event measurement path without materializing the capture.
+	GenerateSMIPStreaming = dataset.GenerateSMIPStreaming
+	// StreamM2M delivers the §3 platform transaction stream to a sink
+	// in deterministic order under a bounded producer window.
+	StreamM2M = dataset.StreamM2M
+)
+
+// NewStreamingSession is NewSessionWorkers with the bounded-memory
+// streaming ingestion paths enabled: the SMIP catalog builds from
+// per-event probe streams through the ingest router, and the M2M
+// transaction stream flows through the ordered fan-in before the
+// runners materialize it (bit-identical to the batch M2M build).
+func NewStreamingSession(seed uint64, factor float64, workers int) *Session {
+	return experiments.NewStreamingSession(seed, factor, workers)
+}
 
 // Experiments.
 type (
