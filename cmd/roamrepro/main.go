@@ -7,6 +7,7 @@
 //	roamrepro -experiment fig11     # one experiment
 //	roamrepro -scale 1.0 -seed 7    # bigger population, other seed
 //	roamrepro -stream               # bounded-memory streaming dataset builds
+//	roamrepro -sites 2              # federation size for the fed-* experiments
 //	roamrepro -list                 # show experiment ids
 package main
 
@@ -18,7 +19,9 @@ import (
 	"runtime"
 	"time"
 
+	"whereroam/internal/dataset"
 	"whereroam/internal/experiments"
+	"whereroam/internal/mccmnc"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.5, "population scale factor (1.0 ≈ a tenth of paper scale)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker pool size (results are identical for any value)")
 		stream  = flag.Bool("stream", false, "build datasets through the bounded-memory streaming ingestion paths")
+		sites   = flag.Int("sites", 0, "federation sites for the fed-* experiments (0 = default footprint)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -41,7 +45,11 @@ func main() {
 		return
 	}
 
-	sess := experiments.NewSessionWorkers(*seed, *scale, *workers)
+	var hosts []mccmnc.PLMN
+	if def := dataset.DefaultFederationHosts(); *sites > 0 && *sites < len(def) {
+		hosts = def[:*sites]
+	}
+	sess := experiments.NewFederation(*seed, *scale, *workers, hosts...)
 	sess.Streaming = *stream
 	runners := experiments.All()
 	if *id != "all" {

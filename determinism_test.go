@@ -149,12 +149,93 @@ func TestStreamM2MMatchesGenerate(t *testing.T) {
 		scfg.Workers = workers
 		var txs []signaling.Transaction
 		stream := dataset.StreamM2M(scfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
-		sort.Slice(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+		sort.SliceStable(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
 		if !reflect.DeepEqual(batch.Transactions, txs) {
 			t.Errorf("workers %d: streamed+sorted transactions differ from batch", workers)
 		}
 		if !reflect.DeepEqual(batch.Truth, stream.Truth) {
 			t.Errorf("workers %d: ground truth differs from batch", workers)
+		}
+	}
+}
+
+// Tied timestamps must not break the batch/streaming equivalence:
+// both paths order ties by serial emission order (GenerateM2M's final
+// sort is stable over the shard-ordered capture; the stream arrives
+// in that order and is stable-sorted by consumers). A one-day window
+// forces heavy second-granularity collisions.
+func TestStreamM2MTieHeavyStableOrder(t *testing.T) {
+	cfg := dataset.DefaultM2MConfig()
+	cfg.Devices = 600
+	cfg.Days = 1
+	cfg.Workers = 1
+	batch := dataset.GenerateM2M(cfg)
+
+	ties := 0
+	for i := 1; i < len(batch.Transactions); i++ {
+		if batch.Transactions[i].Time.Equal(batch.Transactions[i-1].Time) &&
+			batch.Transactions[i].Device != batch.Transactions[i-1].Device {
+			ties++
+		}
+	}
+	if ties == 0 {
+		t.Fatal("capture has no cross-device timestamp ties; the regression needs them")
+	}
+
+	for _, workers := range []int{1, 4} {
+		scfg := cfg
+		scfg.Workers = workers
+		var txs []signaling.Transaction
+		dataset.StreamM2M(scfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
+		sort.SliceStable(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+		if !reflect.DeepEqual(batch.Transactions, txs) {
+			t.Errorf("workers %d: %d cross-device ties permuted differently in streamed capture", workers, ties)
+		}
+	}
+}
+
+// A federation observes one shared fleet from several visited
+// operators; every site's catalog — and everything derived from it —
+// must be bit-identical at any worker count and across the
+// batch-vs-streaming catalog build (the batch path folds per-shard
+// builders with catalog.Builder.Merge, the streaming path routes the
+// same events through ingest.CatalogIngester).
+func TestFederationDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := dataset.DefaultFederationConfig()
+	base.FleetDevices, base.NativePerSite, base.Days = 250, 150, 8
+	base.Workers = 1
+	serial := dataset.GenerateFederation(base)
+
+	if len(serial.Sites) != 3 {
+		t.Fatalf("default federation has %d sites, want 3", len(serial.Sites))
+	}
+	for _, streaming := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 0} {
+			if !streaming && workers == 1 {
+				continue // the baseline itself
+			}
+			cfg := base
+			cfg.Workers = workers
+			cfg.Streaming = streaming
+			fed := dataset.GenerateFederation(cfg)
+			if !reflect.DeepEqual(serial.Fleet, fed.Fleet) {
+				t.Errorf("streaming=%v workers=%d: shared fleet differs", streaming, workers)
+			}
+			if !reflect.DeepEqual(serial.Truth, fed.Truth) {
+				t.Errorf("streaming=%v workers=%d: fleet truth differs", streaming, workers)
+			}
+			for j := range serial.Sites {
+				a, b := serial.Sites[j], fed.Sites[j]
+				if !reflect.DeepEqual(a.Catalog.Records, b.Catalog.Records) {
+					t.Errorf("streaming=%v workers=%d site %d: catalog differs", streaming, workers, j)
+				}
+				if !reflect.DeepEqual(a.Present, b.Present) {
+					t.Errorf("streaming=%v workers=%d site %d: fleet presence differs", streaming, workers, j)
+				}
+				if !reflect.DeepEqual(a.Truth, b.Truth) {
+					t.Errorf("streaming=%v workers=%d site %d: local truth differs", streaming, workers, j)
+				}
+			}
 		}
 	}
 }
@@ -181,7 +262,7 @@ func TestSampledM2MDeterministicAcrossWorkerCounts(t *testing.T) {
 	// The streaming path thins through the same per-record verdicts.
 	var txs []signaling.Transaction
 	dataset.StreamM2M(cfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
-	sort.Slice(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+	sort.SliceStable(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
 	if !reflect.DeepEqual(serial.Transactions, txs) {
 		t.Error("streamed sampled capture differs from materialized serial")
 	}

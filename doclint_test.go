@@ -18,12 +18,15 @@ import (
 
 // strictGodoc lists the packages whose exported API must be fully
 // documented: the streaming ingest subsystem and the layers it is
-// built from.
+// built from, plus the federation surface (the dataset generators
+// and the session layer applications program against).
 var strictGodoc = map[string]bool{
-	"internal/ingest":   true,
-	"internal/pipeline": true,
-	"internal/probe":    true,
-	"internal/catalog":  true,
+	"internal/ingest":      true,
+	"internal/pipeline":    true,
+	"internal/probe":       true,
+	"internal/catalog":     true,
+	"internal/dataset":     true,
+	"internal/experiments": true,
 }
 
 // packageDirs returns every directory under the module root that

@@ -1,13 +1,16 @@
 package catalog
 
 import (
+	"fmt"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
 	"whereroam/internal/apn"
 	"whereroam/internal/cdrs"
 	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
 	"whereroam/internal/radio"
 )
 
@@ -182,6 +185,111 @@ func TestBuilderMergeOverlappingDeviceDisjointDays(t *testing.T) {
 	for i, r := range cat.Records {
 		if r.Day != i || r.Events != 1 {
 			t.Errorf("record %d: day %d events %d, want day %d events 1", i, r.Day, r.Events, i)
+		}
+	}
+}
+
+// federationFeeds builds n builders that all observed the same device
+// on the same day with conflicting partial views — the federation
+// situation where several probe sites each capture a slice of a
+// roaming device's activity. Feed i contributes i+1 OK radio events,
+// 10*(i+1) bytes on its own APN, and a distinct foreign visited
+// network; only the middle feed knows the TAC.
+func federationFeeds(t *testing.T, n int) []*Builder {
+	t.Helper()
+	at := start.Add(6 * time.Hour)
+	feeds := make([]*Builder, n)
+	for i := range feeds {
+		b := NewBuilder(host, start, 22, nil)
+		dev := identity.DeviceID(77)
+		var tac identity.TAC
+		if i == n/2 {
+			tac = 35600042
+		}
+		for e := 0; e <= i; e++ {
+			b.AddRadioEvent(radio.Event{Device: dev, Time: at.Add(time.Duration(e) * time.Minute),
+				SIM: nlSIM, TAC: tac, Interface: radio.IfGb, Result: radio.ResultOK})
+		}
+		a, err := apn.Parse(fmt.Sprintf("feed%d.example", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		visited := mccmnc.PLMN{MCC: 262, MNC: uint16(i + 1), MNCLen: 2}
+		b.AddRecord(cdrs.Record{Device: dev, Time: at, SIM: nlSIM, Visited: visited,
+			Kind: cdrs.KindData, RAT: radio.RAT2G, Bytes: uint64(10 * (i + 1)), APN: a})
+		feeds[i] = b
+	}
+	return feeds
+}
+
+// Merging 3+ feeds of the same device must apply every field rule
+// across the whole chain: counts and bytes accumulate over all feeds,
+// the single TAC-bearing feed backfills the rest, and visited
+// networks and APNs union with first-seen order following the merge
+// chain.
+func TestBuilderMergeSameDeviceManyFeeds(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		feeds := federationFeeds(t, n)
+		acc := feeds[0]
+		for _, f := range feeds[1:] {
+			acc.Merge(f)
+		}
+		cat := acc.Build()
+		if len(cat.Records) != 1 {
+			t.Fatalf("n=%d: records = %d, want 1", n, len(cat.Records))
+		}
+		r := cat.Records[0]
+		wantEvents := n * (n + 1) / 2 // 1+2+...+n
+		if r.Events != wantEvents {
+			t.Errorf("n=%d: events = %d, want %d", n, r.Events, wantEvents)
+		}
+		wantBytes := uint64(10 * n * (n + 1) / 2)
+		if r.Bytes != wantBytes {
+			t.Errorf("n=%d: bytes = %d, want %d", n, r.Bytes, wantBytes)
+		}
+		if r.TAC != 35600042 {
+			t.Errorf("n=%d: TAC = %d, want backfilled from the one knowing feed", n, r.TAC)
+		}
+		// host (radio) + one foreign network per feed.
+		if len(r.Visited) != n+1 {
+			t.Errorf("n=%d: visited = %v, want %d networks", n, r.Visited, n+1)
+		}
+		if len(r.APNs) != n {
+			t.Errorf("n=%d: APNs = %v, want %d", n, r.APNs, n)
+		}
+		for i, a := range r.APNs {
+			if want := fmt.Sprintf("feed%d.example", i); a.String() != want {
+				t.Errorf("n=%d: APN[%d] = %s, want %s (merge-chain first-seen order)", n, i, a, want)
+			}
+		}
+	}
+}
+
+// The aggregate fields of a same-device merge must not depend on the
+// merge order: every permutation of the feed chain yields the same
+// counts, usage, flags, TAC and membership sets (only the recorded
+// first-seen *order* of Visited/APNs follows the chain).
+func TestBuilderMergeSameDeviceOrderIndependent(t *testing.T) {
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var want *DailyRecord
+	for _, perm := range perms {
+		feeds := federationFeeds(t, 3)
+		acc := feeds[perm[0]]
+		acc.Merge(feeds[perm[1]])
+		acc.Merge(feeds[perm[2]])
+		cat := acc.Build()
+		if len(cat.Records) != 1 {
+			t.Fatalf("perm %v: records = %d, want 1", perm, len(cat.Records))
+		}
+		r := cat.Records[0]
+		sort.Slice(r.Visited, func(i, j int) bool { return r.Visited[i].Concat() < r.Visited[j].Concat() })
+		sort.Slice(r.APNs, func(i, j int) bool { return r.APNs[i].String() < r.APNs[j].String() })
+		if want == nil {
+			want = &r
+			continue
+		}
+		if !reflect.DeepEqual(*want, r) {
+			t.Errorf("perm %v: merged record differs:\nwant %+v\ngot  %+v", perm, *want, r)
 		}
 	}
 }

@@ -1,0 +1,465 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/devices"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/netsim"
+	"whereroam/internal/pipeline"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+)
+
+// FederationConfig parameterizes the multi-operator federation
+// generator: one shared world, GSMA catalog and global roamer fleet,
+// observed independently by every visited operator in Hosts.
+type FederationConfig struct {
+	Seed uint64
+	// Hosts lists the visited MNOs ("sites"); every site observes the
+	// shared fleet through its own capture pipeline. Empty means
+	// DefaultFederationHosts.
+	Hosts []mccmnc.PLMN
+	// FleetDevices is the size of the shared global fleet — the
+	// inbound-roaming population (mostly M2M, per Fig 6) that appears
+	// in several sites' catalogs.
+	FleetDevices int
+	// NativePerSite is each site's local background population
+	// (smartphones, feature phones and a thin M2M tail, all homed at
+	// the site operator).
+	NativePerSite int
+	Days          int
+	Start         time.Time
+	// GSMASeed seeds the shared synthetic TAC catalog (every site
+	// joins against the same database, as in the real world).
+	GSMASeed uint64
+	// AttachProb is the chance a fleet device also roams into each
+	// allowed site beyond its anchor site; it controls how much the
+	// sites' fleet views overlap.
+	AttachProb float64
+	// Workers bounds every worker pool of the build — fleet synthesis,
+	// per-site emission and catalog aggregation. The usual contract
+	// holds: values below one mean one worker per CPU and the dataset
+	// is bit-identical for every worker count.
+	Workers int
+	// Streaming builds each site's catalog through the bounded-memory
+	// ingest router (probe taps → ingest.CatalogIngester) instead of
+	// the batch per-shard builders merged with catalog.Builder.Merge.
+	// Both paths produce bit-identical catalogs.
+	Streaming bool
+}
+
+// DefaultFederationHosts is the standard three-site footprint: the
+// paper's UK visited MNO plus the German and Swedish anchor networks
+// of the world's IPX hub — three operators that all see the same
+// global fleets.
+func DefaultFederationHosts() []mccmnc.PLMN {
+	return []mccmnc.PLMN{
+		mccmnc.MustParse("23410"), // GB — the paper's visited MNO
+		mccmnc.MustParse("26201"), // DE
+		mccmnc.MustParse("24001"), // SE
+	}
+}
+
+// DefaultFederationConfig returns the standard scaled-down
+// three-site configuration.
+func DefaultFederationConfig() FederationConfig {
+	return FederationConfig{
+		Seed:          1,
+		Hosts:         DefaultFederationHosts(),
+		FleetDevices:  3000,
+		NativePerSite: 1500,
+		Days:          10,
+		Start:         time.Date(2019, 4, 5, 0, 0, 0, 0, time.UTC),
+		GSMASeed:      1,
+		AttachProb:    0.45,
+	}
+}
+
+// FederationDataset is the multi-operator dataset: the shared plane
+// (world, GSMA catalog, fleet ground truth) plus one FederationSite
+// per visited operator.
+type FederationDataset struct {
+	Hosts []mccmnc.PLMN
+	Start time.Time
+	Days  int
+	GSMA  *gsma.DB
+	World *netsim.World
+	// Fleet is the shared global roamer population; the same devices
+	// (same IMSI, IMEI, class, home operator) appear in every site
+	// catalog they roam into.
+	Fleet []devices.Device
+	// Truth maps fleet device IDs to ground-truth classes.
+	Truth map[identity.DeviceID]devices.Class
+	// Sites holds one per-visited-MNO view, in Hosts order.
+	Sites []*FederationSite
+}
+
+// FederationSite is one visited operator's view of the shared world:
+// its local population, the subset of the fleet that roamed in, and
+// the devices-catalog its own capture pipeline built.
+type FederationSite struct {
+	// Index is the site's position in FederationConfig.Hosts.
+	Index int
+	// Host is the site's visited MNO.
+	Host mccmnc.PLMN
+	// Natives is the site's local population (homed at Host).
+	Natives []devices.Device
+	// Present marks the fleet devices that roamed into this site.
+	Present map[identity.DeviceID]bool
+	// Truth maps every locally observed device — natives and present
+	// fleet — to its ground-truth class.
+	Truth map[identity.DeviceID]devices.Class
+	// Catalog is the devices-catalog the site's pipeline built.
+	Catalog *catalog.Catalog
+}
+
+// fleetMember carries a fleet device plus the finalized RNG substream
+// its per-site derivations split from and its site presence mask.
+type fleetMember struct {
+	dev   devices.Device
+	src   *rng.Source
+	sites []bool
+}
+
+// fleet composition: the inbound-roamer mix of Fig 6 — dominated by
+// M2M, with a travelling-smartphone and feature-phone tail.
+const (
+	fleetShareSmart = 0.20
+	fleetShareFeat  = 0.05
+	fleetShareM2M   = 0.75
+)
+
+// native composition per site: the H:H background population.
+var nativeMix = []struct {
+	class devices.Class
+	share float64
+}{
+	{devices.ClassSmartphone, 0.80},
+	{devices.ClassFeaturePhone, 0.10},
+	{devices.ClassPOSTerminal, 0.04},
+	{devices.ClassWearable, 0.03},
+	{devices.ClassConnectedCar, 0.03},
+}
+
+// nativeBase is the MSIN base of site operators' consumer blocks.
+const nativeBase = 1_000_000_000
+
+// fleetPhoneBase is the MSIN base of the fleet's travelling phones.
+// It is disjoint from nativeBase so a fleet phone homed at a site
+// operator can never alias one of that site's own subscribers (the
+// M2M fleet already lives in M2MBlockBase).
+const fleetPhoneBase = 2_000_000_000
+
+// siteKey folds a PLMN into the substream index of its site, so a
+// site's native population and per-device emission streams depend
+// only on (seed, host) — never on the host's list position. Note the
+// fleet's site-presence draw is the one place the whole Hosts set
+// matters: the anchor guarantees each device at least one allowed
+// site, so changing the set re-draws presence (see generateFleet).
+func siteKey(p mccmnc.PLMN) uint64 {
+	return uint64(p.MCC)<<32 | uint64(p.MNC)<<8 | uint64(p.MNCLen)
+}
+
+// GenerateFederation synthesizes the multi-operator dataset.
+//
+// The build has two planes. The shared plane runs once: the world and
+// GSMA catalog, then the fleet in the usual three passes (parallel
+// class/home draft, serial IMSI allocation, parallel profile finish) —
+// ending with each device's site-presence draw: an anchor site chosen
+// among the sites its home operator can roam onto, plus each further
+// allowed site with probability AttachProb.
+//
+// The site plane then fans out over internal/pipeline: every site
+// independently drafts its native population and walks all locally
+// present devices — natives first, then the present fleet in fleet
+// order — through the per-event measurement path (radio events and
+// CDRs/xDRs through probe taps) into its own catalog build. Batch
+// sites aggregate one catalog.Builder per emission shard and combine
+// them with Builder.Merge (feeds are device-disjoint, so the merge is
+// exact); streaming sites route the same events through an
+// ingest.CatalogIngester. Every random draw comes from a per-device
+// or per-(device, site) substream, so the dataset is bit-identical
+// across worker counts and across the batch/streaming switch.
+func GenerateFederation(cfg FederationConfig) *FederationDataset {
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = DefaultFederationHosts()
+	}
+	if cfg.FleetDevices <= 0 || cfg.Days <= 0 {
+		panic("dataset: federation config needs positive FleetDevices and Days")
+	}
+	if cfg.NativePerSite < 0 {
+		panic("dataset: federation config needs non-negative NativePerSite")
+	}
+	if cfg.AttachProb <= 0 {
+		cfg.AttachProb = DefaultFederationConfig().AttachProb
+	}
+	for i, h := range cfg.Hosts {
+		for _, o := range cfg.Hosts[:i] {
+			if h == o {
+				panic(fmt.Sprintf("dataset: federation host %v listed twice", h))
+			}
+		}
+	}
+
+	db := gsma.Synthesize(cfg.GSMASeed)
+	world := netsim.NewWorld(netsim.DefaultConfig())
+	root := rng.New(cfg.Seed).Split("federation")
+
+	fed := &FederationDataset{
+		Hosts: append([]mccmnc.PLMN(nil), cfg.Hosts...),
+		Start: cfg.Start,
+		Days:  cfg.Days,
+		GSMA:  db,
+		World: world,
+		Truth: make(map[identity.DeviceID]devices.Class, cfg.FleetDevices),
+	}
+
+	fleet := generateFleet(cfg, root, db, world)
+	fed.Fleet = make([]devices.Device, len(fleet))
+	for i := range fleet {
+		fed.Fleet[i] = fleet[i].dev
+		fed.Truth[fleet[i].dev.ID] = fleet[i].dev.Class
+	}
+
+	// Site plane: every site generates independently from its own
+	// host-keyed substream, so the fan-out is free to run sites
+	// concurrently on the shared worker budget.
+	fed.Sites = make([]*FederationSite, len(cfg.Hosts))
+	pipeline.Run(len(cfg.Hosts), cfg.Workers, func(sh pipeline.Shard) {
+		for j := sh.Lo; j < sh.Hi; j++ {
+			fed.Sites[j] = generateSite(cfg, j, root, db, fleet)
+		}
+	})
+	return fed
+}
+
+// fleetDraft is the pass-1 outcome for one fleet device.
+type fleetDraft struct {
+	class devices.Class
+	home  mccmnc.PLMN
+	base  uint64
+	src   *rng.Source
+}
+
+// generateFleet runs the shared fleet's three passes and the
+// site-presence draw.
+func generateFleet(cfg FederationConfig, root *rng.Source, db *gsma.DB, world *netsim.World) []fleetMember {
+	froot := root.Split("fleet")
+	classPick := rng.NewWeighted(froot.Split("class"),
+		[]float64{fleetShareSmart, fleetShareFeat, fleetShareM2M})
+	m2mWeights := make([]float64, len(m2mMix))
+	for i, m := range m2mMix {
+		m2mWeights[i] = m.share
+	}
+	m2mPick := rng.NewWeighted(froot.Split("m2m"), m2mWeights)
+
+	// Pass 1 (parallel): class and home-operator draws.
+	drafts := make([]fleetDraft, cfg.FleetDevices)
+	pipeline.Run(cfg.FleetDevices, cfg.Workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			src := froot.SplitN("device", uint64(i))
+			var class devices.Class
+			switch classPick.DrawFrom(src) {
+			case 0:
+				class = devices.ClassSmartphone
+			case 1:
+				class = devices.ClassFeaturePhone
+			default:
+				class = m2mMix[m2mPick.DrawFrom(src)].class
+			}
+			var home mccmnc.PLMN
+			switch class {
+			case devices.ClassSmartphone:
+				home = drawHome(src.Split("home"), smartHomes)
+			case devices.ClassFeaturePhone:
+				home = drawHome(src.Split("home"), featHomes)
+			default:
+				home = drawHome(src.Split("home"), m2mHomes[class])
+			}
+			base := uint64(fleetPhoneBase)
+			if class.IsM2M() {
+				base = M2MBlockBase
+			}
+			drafts[i] = fleetDraft{class: class, home: home, base: base, src: src}
+		}
+	})
+
+	// Pass 2 (serial): IMSI allocation in device order.
+	alloc := devices.NewIMSIAllocator()
+	imsis := make([]identity.IMSI, cfg.FleetDevices)
+	for i := range drafts {
+		imsis[i] = alloc.Next(drafts[i].home, drafts[i].base)
+	}
+
+	// Pass 3 (parallel): profiles, identity and site presence. The
+	// device's substream is not advanced after this pass: per-site
+	// emission derives from it with read-only splits, which is what
+	// lets sites generate concurrently.
+	fleet := make([]fleetMember, cfg.FleetDevices)
+	pipeline.Run(cfg.FleetDevices, cfg.Workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			d := &drafts[i]
+			psrc := d.src.Split("profile")
+			prof, info := classProfile(psrc, d.class, cfg.Days, mccmnc.PLMN{}, d.home, true, db)
+			homeCountry, _ := mccmnc.CountryByMCC(d.home.MCC)
+			mob := classMobility(d.src.Split("mobility"), d.class,
+				geo.Point{Lat: homeCountry.Lat, Lon: homeCountry.Lon})
+			dev := devices.Assemble(d.class, imsis[i], info, prof, mob, false)
+
+			// Site presence: an anchor among the allowed sites plus
+			// each further allowed site with probability AttachProb.
+			ssrc := d.src.Split("sites")
+			sites := make([]bool, len(cfg.Hosts))
+			var allowed []int
+			for j, host := range cfg.Hosts {
+				if host != d.home && world.RoamingAllowed(d.home, host) {
+					allowed = append(allowed, j)
+				}
+			}
+			if len(allowed) > 0 {
+				anchor := allowed[ssrc.Intn(len(allowed))]
+				for _, j := range allowed {
+					sites[j] = j == anchor || ssrc.Bool(cfg.AttachProb)
+				}
+			}
+			fleet[i] = fleetMember{dev: dev, src: d.src, sites: sites}
+		}
+	})
+	return fleet
+}
+
+// localDevice is one device a site observes, with the substream its
+// emission draws from and the mobility model it moves by while in the
+// site's country.
+type localDevice struct {
+	dev  devices.Device
+	emit *rng.Source
+}
+
+// generateSite builds one visited operator's population and catalog.
+func generateSite(cfg FederationConfig, j int, root *rng.Source, db *gsma.DB, fleet []fleetMember) *FederationSite {
+	host := cfg.Hosts[j]
+	sroot := root.SplitN("site", siteKey(host))
+	hostCountry, _ := mccmnc.CountryByMCC(host.MCC)
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+	grid := radio.NewGrid(hostCountry, 60, 60, radio.DefaultSpacingDeg)
+
+	site := &FederationSite{
+		Index:   j,
+		Host:    host,
+		Present: make(map[identity.DeviceID]bool),
+		Truth:   make(map[identity.DeviceID]devices.Class, cfg.NativePerSite),
+	}
+
+	// Native population: class draft (parallel), IMSI allocation
+	// (serial, index order), profile finish (parallel).
+	nativeWeights := make([]float64, len(nativeMix))
+	for i, m := range nativeMix {
+		nativeWeights[i] = m.share
+	}
+	nativePick := rng.NewWeighted(sroot.Split("nativeclass"), nativeWeights)
+	classes := make([]devices.Class, cfg.NativePerSite)
+	srcs := make([]*rng.Source, cfg.NativePerSite)
+	pipeline.Run(cfg.NativePerSite, cfg.Workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			srcs[i] = sroot.SplitN("native", uint64(i))
+			classes[i] = nativeMix[nativePick.DrawFrom(srcs[i])].class
+		}
+	})
+	alloc := devices.NewIMSIAllocator()
+	imsis := make([]identity.IMSI, cfg.NativePerSite)
+	for i := range imsis {
+		imsis[i] = alloc.Next(host, nativeBase)
+	}
+	natives := make([]devices.Device, cfg.NativePerSite)
+	pipeline.Run(cfg.NativePerSite, cfg.Workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			prof, info := classProfile(srcs[i].Split("profile"), classes[i], cfg.Days, host, host, false, db)
+			mob := classMobility(srcs[i].Split("mobility"), classes[i], centre)
+			natives[i] = devices.Assemble(classes[i], imsis[i], info, prof, mob, false)
+		}
+	})
+	site.Natives = natives
+	for i := range natives {
+		site.Truth[natives[i].ID] = natives[i].Class
+	}
+
+	// Local observation set: natives first, then the present fleet in
+	// fleet order — a deterministic list whose shard boundaries depend
+	// only on its length. Fleet devices move by a site-local mobility
+	// model drawn from their per-(device, site) substream.
+	locals := make([]localDevice, 0, cfg.NativePerSite+len(fleet)/2)
+	for i := range natives {
+		locals = append(locals, localDevice{dev: natives[i], emit: srcs[i].Split("days")})
+	}
+	for i := range fleet {
+		if !fleet[i].sites[j] {
+			continue
+		}
+		vsrc := fleet[i].src.SplitN("visit", siteKey(host))
+		dev := fleet[i].dev
+		dev.Mobility = classMobility(vsrc.Split("mobility"), dev.Class, centre)
+		locals = append(locals, localDevice{dev: dev, emit: vsrc.Split("days")})
+		site.Present[dev.ID] = true
+		site.Truth[dev.ID] = dev.Class
+	}
+
+	site.Catalog = buildSiteCatalog(cfg, host, grid, locals)
+	return site
+}
+
+// buildSiteCatalog walks the site's local devices through the
+// per-event measurement path and aggregates the devices-catalog,
+// batch or streaming per cfg.Streaming. Taps are created once per
+// emission shard; every device's events flow through exactly one tap
+// pair in per-device time-sorted order, so the two paths (and every
+// worker count) build the same catalog bit for bit.
+func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, locals []localDevice) *catalog.Catalog {
+	emit := func(taps func(sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record])) {
+		pipeline.Run(len(locals), cfg.Workers, func(sh pipeline.Shard) {
+			radioTap, cdrTap := taps(sh)
+			for i := sh.Lo; i < sh.Hi; i++ {
+				emitDeviceDaysRaw(locals[i].emit, host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &locals[i].dev)
+			}
+		})
+	}
+
+	if cfg.Streaming {
+		sb := catalog.NewShardedBuilder(host, cfg.Start, cfg.Days, grid, pipeline.Workers(cfg.Workers))
+		in := ingest.NewCatalogIngester(sb, 0)
+		defer in.Close()
+		emit(func(pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
+			return probe.NewTap("site-probe", cfg.Seed, in.OfferRadio),
+				probe.NewTap("site-mediation", cfg.Seed, in.OfferRecord)
+		})
+		return in.Build(cfg.Workers)
+	}
+
+	// Batch: one builder per emission shard — feeds are
+	// device-disjoint (each device lives in exactly one shard), so
+	// folding them together with Builder.Merge reproduces a single
+	// builder that saw every stream.
+	builders := make([]*catalog.Builder, pipeline.ShardCount(len(locals)))
+	emit(func(sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
+		b := catalog.NewBuilder(host, cfg.Start, cfg.Days, grid)
+		builders[sh.Index] = b
+		return probe.NewTap("site-probe", cfg.Seed, b.AddRadioEvent),
+			probe.NewTap("site-mediation", cfg.Seed, b.AddRecord)
+	})
+	acc := catalog.NewBuilder(host, cfg.Start, cfg.Days, grid)
+	for _, b := range builders {
+		if b != nil {
+			acc.Merge(b)
+		}
+	}
+	return acc.Build()
+}

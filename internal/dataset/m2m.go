@@ -228,7 +228,11 @@ func GenerateM2M(cfg M2MConfig) *M2MDataset {
 		}
 		ds.Transactions = append(ds.Transactions, o.collector.Records()...)
 	}
-	sort.Slice(ds.Transactions, func(i, j int) bool {
+	// Stable: ties keep their serial emission order, the same order
+	// StreamM2M delivers — so a streaming consumer that stable-sorts
+	// by time reproduces this slice bit for bit even on tied
+	// timestamps (second-granularity draws collide routinely).
+	sort.SliceStable(ds.Transactions, func(i, j int) bool {
 		return ds.Transactions[i].Time.Before(ds.Transactions[j].Time)
 	})
 	return ds

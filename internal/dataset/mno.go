@@ -363,52 +363,62 @@ func draftDevice(src *rng.Source, cfg MNOConfig, class devices.Class) deviceDraf
 // finishDevice builds the drafted device's profile, catalog identity
 // and mobility model once its IMSI is known.
 func finishDevice(d *deviceDraft, imsi identity.IMSI, cfg MNOConfig, db *gsma.DB, centre geo.Point) devices.Device {
-	src, class, home, inbound, mvno := d.src, d.class, d.home, d.inbound, d.mvno
+	psrc := d.src.Split("profile")
+	msrc := d.src.Split("mobility")
+	prof, info := classProfile(psrc, d.class, cfg.Days, cfg.Host, d.home, d.inbound, db)
+	mob := classMobility(msrc, d.class, centre)
+	return devices.Assemble(d.class, imsi, info, prof, mob, d.mvno)
+}
 
-	// Profile + catalog identity per class.
-	var (
-		prof devices.Profile
-		info gsma.DeviceInfo
-		mob  mobility.Model
-	)
-	psrc := src.Split("profile")
-	msrc := src.Split("mobility")
+// classProfile draws a device's activity profile and GSMA catalog
+// identity for its class, consuming psrc exactly as a serial build
+// would. host only matters for native smart meters (their profile is
+// pinned to the host's SMIP deployment); home only for the platform
+// verticals whose APN carries the home operator.
+func classProfile(psrc *rng.Source, class devices.Class, days int, host, home mccmnc.PLMN, inbound bool, db *gsma.DB) (devices.Profile, gsma.DeviceInfo) {
 	switch class {
 	case devices.ClassSmartphone:
-		prof = devices.SmartphoneProfile(psrc, cfg.Days, inbound)
-		info = db.Pick(psrc, gsma.ArchSmartphone)
-		mob = mobility.NewCommuter(msrc, centre, 120)
+		return devices.SmartphoneProfile(psrc, days, inbound), db.Pick(psrc, gsma.ArchSmartphone)
 	case devices.ClassFeaturePhone:
-		prof = devices.FeaturePhoneProfile(psrc, cfg.Days, inbound)
-		info = db.Pick(psrc, gsma.ArchFeaturePhone)
-		mob = mobility.NewWaypoint(msrc, centre, 15)
+		return devices.FeaturePhoneProfile(psrc, days, inbound), db.Pick(psrc, gsma.ArchFeaturePhone)
 	case devices.ClassSmartMeter:
 		if inbound {
-			prof = devices.SmartMeterRoamingProfile(psrc, cfg.Days)
-			info = db.PickFromVendors(psrc, gsma.ArchM2MModule, "Gemalto", "Telit")
-		} else {
-			prof = devices.SmartMeterNativeProfile(psrc, cfg.Days, cfg.Host)
-			info = db.Pick(psrc, gsma.ArchM2MModule)
+			return devices.SmartMeterRoamingProfile(psrc, days),
+				db.PickFromVendors(psrc, gsma.ArchM2MModule, "Gemalto", "Telit")
 		}
-		mob = mobility.NewStationary(msrc, centre, 150)
+		return devices.SmartMeterNativeProfile(psrc, days, host), db.Pick(psrc, gsma.ArchM2MModule)
 	case devices.ClassConnectedCar:
-		prof = devices.ConnectedCarProfile(psrc, cfg.Days)
-		info = db.Pick(psrc, gsma.ArchVehicle)
-		mob = mobility.NewVehicular(msrc, centre, 120)
+		return devices.ConnectedCarProfile(psrc, days), db.Pick(psrc, gsma.ArchVehicle)
 	case devices.ClassWearable:
-		prof = devices.WearableProfile(psrc, cfg.Days, home)
-		info = db.Pick(psrc, gsma.ArchWearable)
-		mob = mobility.NewCommuter(msrc, centre, 120)
+		return devices.WearableProfile(psrc, days, home), db.Pick(psrc, gsma.ArchWearable)
 	case devices.ClassPOSTerminal:
-		prof = devices.POSTerminalProfile(psrc, cfg.Days, home)
-		info = db.Pick(psrc, gsma.ArchM2MModule)
-		mob = mobility.NewStationary(msrc, centre, 150)
+		return devices.POSTerminalProfile(psrc, days, home), db.Pick(psrc, gsma.ArchM2MModule)
 	default: // ClassAssetTracker
-		prof = devices.AssetTrackerProfile(psrc, cfg.Days, home)
-		info = db.Pick(psrc, gsma.ArchM2MModule)
-		mob = mobility.NewVehicular(msrc, centre, 150)
+		return devices.AssetTrackerProfile(psrc, days, home), db.Pick(psrc, gsma.ArchM2MModule)
 	}
-	return devices.Assemble(class, imsi, info, prof, mob, mvno)
+}
+
+// classMobility draws the class's mobility model anchored at centre,
+// consuming msrc exactly as a serial build would. The radii mirror
+// the paper's observations: meters and POS terminals are stationary,
+// cars and trackers vehicular, phones and wearables commute.
+func classMobility(msrc *rng.Source, class devices.Class, centre geo.Point) mobility.Model {
+	switch class {
+	case devices.ClassSmartphone:
+		return mobility.NewCommuter(msrc, centre, 120)
+	case devices.ClassFeaturePhone:
+		return mobility.NewWaypoint(msrc, centre, 15)
+	case devices.ClassSmartMeter:
+		return mobility.NewStationary(msrc, centre, 150)
+	case devices.ClassConnectedCar:
+		return mobility.NewVehicular(msrc, centre, 120)
+	case devices.ClassWearable:
+		return mobility.NewCommuter(msrc, centre, 120)
+	case devices.ClassPOSTerminal:
+		return mobility.NewStationary(msrc, centre, 150)
+	default: // ClassAssetTracker
+		return mobility.NewVehicular(msrc, centre, 150)
+	}
 }
 
 // SMIPNativeBase is the dedicated MSIN base of the host's smart-meter

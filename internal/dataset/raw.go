@@ -116,7 +116,7 @@ func (g *smipEmission) emitCohorts(taps func(label string, sh pipeline.Shard) (*
 				mob := mobility.NewStationary(src.Split("mob"), g.centre, 40)
 				dev := devices.Assemble(devices.ClassSmartMeter, imsis[i], info, prof, mob, false)
 				devs = append(devs, dev)
-				emitDeviceDaysRaw(src.Split("days"), g.cfg, g.grid, radioTap, cdrTap, &dev)
+				emitDeviceDaysRaw(src.Split("days"), g.cfg.Host, g.cfg.Start, g.cfg.Days, g.grid, radioTap, cdrTap, &dev)
 			}
 			return devs
 		})
@@ -211,25 +211,26 @@ func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
 	return g.ds, raw
 }
 
-// emitDeviceDaysRaw synthesizes per-event streams for one device. A
-// day's events are generated first and offered time-sorted (stable,
-// so generation order breaks timestamp ties): each device's stream is
+// emitDeviceDaysRaw synthesizes per-event streams for one device
+// observed from host over the [start, start+days) window. A day's
+// events are generated first and offered time-sorted (stable, so
+// generation order breaks timestamp ties): each device's stream is
 // then time-ordered end to end, which both the batch path's stable
 // global sort and the streaming ingest router preserve — the
 // per-device order contract the catalogs' bit-identity rests on.
-func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
+func emitDeviceDaysRaw(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid,
 	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device) {
 
 	p := dev.Profile
 	daySeconds := int64(24 * 3600)
 	var dayEvs []radio.Event
 	var dayRecs []cdrs.Record
-	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < cfg.Days; day++ {
+	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < days; day++ {
 		if !src.Bool(p.DailyActiveProb) {
 			continue
 		}
 		dayEvs, dayRecs = dayEvs[:0], dayRecs[:0]
-		dayStart := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+		dayStart := start.Add(time.Duration(day) * 24 * time.Hour)
 		at := func() time.Time {
 			return dayStart.Add(time.Duration(src.Int63n(daySeconds)) * time.Second)
 		}
@@ -282,7 +283,7 @@ func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 					Device:   dev.ID,
 					Time:     at(),
 					SIM:      dev.Home,
-					Visited:  cfg.Host,
+					Visited:  host,
 					Kind:     cdrs.KindData,
 					RAT:      p.DataRAT,
 					Duration: time.Duration(30+src.Intn(300)) * time.Second,
@@ -299,7 +300,7 @@ func emitDeviceDaysRaw(src *rng.Source, cfg SMIPConfig, grid *radio.Grid,
 					Device:   dev.ID,
 					Time:     at(),
 					SIM:      dev.Home,
-					Visited:  cfg.Host,
+					Visited:  host,
 					Kind:     cdrs.KindVoice,
 					RAT:      p.VoiceRAT,
 					Duration: time.Duration(src.Exp(p.CallDurMeanS)) * time.Second,

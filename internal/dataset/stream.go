@@ -49,8 +49,10 @@ func GenerateSMIPStreaming(cfg SMIPConfig) *SMIPDataset {
 // bounded per-shard window (ingest.Ordered), and the sink observes
 // the exact serial emission order at any worker count. The returned
 // dataset carries the ground truth with a nil Transactions slice;
-// sorting the streamed records by time with sort.Slice reproduces
-// GenerateM2M's Transactions bit for bit. Sampled captures
+// stable-sorting the streamed records by time (sort.SliceStable)
+// reproduces GenerateM2M's Transactions bit for bit — stability
+// matters because tied timestamps keep their emission order on both
+// paths. Sampled captures
 // (0 < SampleRate < 1) thin by per-record hash, exactly as
 // GenerateM2M does.
 //

@@ -15,6 +15,7 @@ import (
 
 	"whereroam/internal/analysis"
 	"whereroam/internal/dataset"
+	"whereroam/internal/mccmnc"
 	"whereroam/internal/signaling"
 )
 
@@ -77,9 +78,18 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Session shares the expensive synthetic datasets between runners:
-// the MNO dataset alone feeds eight experiments.
-type Session struct {
+// Federation drives experiments over one shared cellular world
+// observed from any number of visited-operator sites. It is the
+// session layer of the repository: it shares the expensive synthetic
+// datasets between runners (the MNO dataset alone feeds eight
+// experiments), and — when more than one site is configured, or a
+// fed-* runner asks — fans the shared GSMA catalog and global roamer
+// fleet out to per-site capture pipelines (see Sites).
+//
+// A single-site Federation is the classic Session; Session is an
+// alias so every existing constructor and runner signature keeps
+// compiling and produces the same single-site results as before.
+type Federation struct {
 	// Seed drives every generator.
 	Seed uint64
 	// Factor scales the default device counts (1.0 ≈ a tenth of
@@ -100,12 +110,25 @@ type Session struct {
 	// bit-identical to the batch one. The MNO dataset has no
 	// per-event form and always builds directly.
 	Streaming bool
+	// Hosts lists the federation's visited-MNO sites. Empty means the
+	// default three-site footprint (dataset.DefaultFederationHosts)
+	// when a fed-* runner or Sites() forces the federation plane; the
+	// classic single-site datasets (MNO/M2M/SMIP) are independent of
+	// it and always observe from the paper's UK operator.
+	Hosts []mccmnc.PLMN
 
-	mu   sync.Mutex
-	m2m  *dataset.M2MDataset
-	mno  *dataset.MNODataset
-	smip *dataset.SMIPDataset
+	mu    sync.Mutex
+	m2m   *dataset.M2MDataset
+	mno   *dataset.MNODataset
+	smip  *dataset.SMIPDataset
+	fed   *dataset.FederationDataset
+	sites []*Site
 }
+
+// Session is the single-site view of a Federation — the historical
+// name of the session layer, kept as an alias so existing callers
+// compile unchanged.
+type Session = Federation
 
 // NewSession returns a session with the given seed and scale factor,
 // running its pipelines with one worker per CPU.
@@ -131,6 +154,16 @@ func NewStreamingSession(seed uint64, factor float64, workers int) *Session {
 	return s
 }
 
+// NewFederation returns a multi-site session: one shared world and
+// global fleet observed by every host in hosts (empty = the default
+// three-site footprint). The single-site datasets and every classic
+// runner keep working on it unchanged.
+func NewFederation(seed uint64, factor float64, workers int, hosts ...mccmnc.PLMN) *Federation {
+	f := NewSessionWorkers(seed, factor, workers)
+	f.Hosts = hosts
+	return f
+}
+
 func (s *Session) scaled(n int) int {
 	v := int(float64(n) * s.Factor)
 	if v < 100 {
@@ -151,9 +184,14 @@ func (s *Session) M2M() *dataset.M2MDataset {
 		cfg.Devices = s.scaled(cfg.Devices)
 		cfg.Workers = s.Workers
 		if s.Streaming {
+			// The stream arrives in the exact serial emission order, so
+			// a stable time sort reproduces GenerateM2M's materialized
+			// stream bit for bit even when timestamps tie (both paths
+			// break ties by emission order; a non-stable sort could
+			// permute tied records differently).
 			var txs []signaling.Transaction
 			ds := dataset.StreamM2M(cfg, func(tx signaling.Transaction) { txs = append(txs, tx) })
-			sort.Slice(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+			sort.SliceStable(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
 			ds.Transactions = txs
 			s.m2m = ds
 		} else {
@@ -216,6 +254,7 @@ var canonicalOrder = map[string]int{
 	"fig9": 10, "fig10": 11, "fig11": 12, "fig12": 13, "t3": 14,
 	"abl-classifier": 15, "abl-gyration": 16, "abl-policy": 17,
 	"ext-revenue": 18, "ext-transparency": 19, "ext-nbiot": 20, "ext-latency": 21,
+	"fed-sites": 22, "fed-agreement": 23, "fed-validation": 24,
 }
 
 func register(id, title string, run func(*Session) *Report) {

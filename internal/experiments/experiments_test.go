@@ -50,7 +50,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"t1", "fig2", "fig3l", "fig3c", "fig3r", "t2", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "t3",
 		"abl-classifier", "abl-gyration", "abl-policy",
-		"ext-revenue", "ext-transparency", "ext-nbiot", "ext-latency"}
+		"ext-revenue", "ext-transparency", "ext-nbiot", "ext-latency",
+		"fed-sites", "fed-agreement", "fed-validation"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"fmt"
+
+	"whereroam/internal/analysis"
+	"whereroam/internal/catalog"
+	"whereroam/internal/core"
+	"whereroam/internal/dataset"
+	"whereroam/internal/identity"
+	"whereroam/internal/mccmnc"
+)
+
+func init() {
+	register("fed-sites", "Federation: per-site population and label breakdown (§5, Table 1)", runFedSites)
+	register("fed-agreement", "Federation: cross-site label and class agreement", runFedAgreement)
+	register("fed-validation", "Federation: federated vs single-site classifier validation", runFedValidation)
+}
+
+// Site is one visited operator's analysis view inside a Federation:
+// the site dataset plus the summaries, roaming labels and
+// classification its local pipeline derived — everything a
+// single-MNO analysis has, per site.
+type Site struct {
+	// Data is the site's slice of the federation dataset.
+	Data *dataset.FederationSite
+
+	sums    []catalog.Summary
+	results []core.Result
+	classOf map[identity.DeviceID]core.Class
+	labelOf map[identity.DeviceID]core.Label
+}
+
+// Host returns the site's visited MNO.
+func (st *Site) Host() mccmnc.PLMN { return st.Data.Host }
+
+// Summaries returns the site's per-device window aggregates.
+func (st *Site) Summaries() []catalog.Summary { return st.sums }
+
+// Results returns the site's classification results, aligned with
+// Summaries.
+func (st *Site) Results() []core.Result { return st.results }
+
+// Class returns the site's class verdict for a device; ok is false
+// when the site never observed it.
+func (st *Site) Class(dev identity.DeviceID) (core.Class, bool) {
+	c, ok := st.classOf[dev]
+	return c, ok
+}
+
+// Label returns the site's roaming label for a device; ok is false
+// when the site never observed it.
+func (st *Site) Label(dev identity.DeviceID) (core.Label, bool) {
+	l, ok := st.labelOf[dev]
+	return l, ok
+}
+
+// FederationData lazily builds the multi-site dataset: one shared
+// world, GSMA catalog and roamer fleet, one catalog build per host in
+// Hosts (empty = the default three-site footprint). A streaming
+// session builds every site catalog through the ingest router; batch
+// sessions use per-shard builders folded with catalog.Builder.Merge.
+// Both are bit-identical at any worker count.
+func (s *Federation) FederationData() *dataset.FederationDataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fed == nil {
+		cfg := dataset.DefaultFederationConfig()
+		cfg.Seed = s.Seed
+		cfg.Hosts = s.Hosts
+		cfg.FleetDevices = s.scaled(cfg.FleetDevices)
+		cfg.NativePerSite = s.scaled(cfg.NativePerSite)
+		cfg.Workers = s.Workers
+		cfg.Streaming = s.Streaming
+		s.fed = dataset.GenerateFederation(cfg)
+	}
+	return s.fed
+}
+
+// Sites lazily builds the per-site analysis views: each site's
+// summaries, labels and classification run locally over its own
+// catalog — the same chunked pipeline the single-site analyses use.
+func (s *Federation) Sites() []*Site {
+	fed := s.FederationData()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sites != nil {
+		return s.sites
+	}
+	sites := make([]*Site, len(fed.Sites))
+	for j, data := range fed.Sites {
+		st := &Site{
+			Data:    data,
+			sums:    data.Catalog.SummariesWorkers(fed.GSMA, s.Workers),
+			classOf: map[identity.DeviceID]core.Class{},
+			labelOf: map[identity.DeviceID]core.Label{},
+		}
+		labeler := core.NewLabeler(data.Host)
+		st.results = core.NewClassifier().ClassifyWorkers(st.sums, s.Workers)
+		for i := range st.sums {
+			sum := &st.sums[i]
+			st.classOf[sum.Device] = st.results[i].Class
+			st.labelOf[sum.Device] = labeler.LabelSummary(sum)
+		}
+		sites[j] = st
+	}
+	s.sites = sites
+	return s.sites
+}
+
+func runFedSites(s *Session) *Report {
+	fed := s.FederationData()
+	sites := s.Sites()
+	r := &Report{
+		ID:    "fed-sites",
+		Title: "Per-site population and label breakdown",
+		Paper: "Table 1/§5: several visited operators each see a large inbound M2M share because the same global fleets roam into all of them",
+	}
+	tbl := analysis.NewTable("site", "devices", "records", "inbound", "inbound m2m", "fleet seen")
+	fleetN := float64(len(fed.Fleet))
+	for _, st := range sites {
+		inbound, inboundM2M := 0, 0
+		for dev, l := range st.labelOf {
+			if !l.InboundRoamer() {
+				continue
+			}
+			inbound++
+			if st.classOf[dev] == core.ClassM2M || st.classOf[dev] == core.ClassM2MMaybe {
+				inboundM2M++
+			}
+		}
+		n := len(st.sums)
+		coverage := float64(len(st.Data.Present)) / fleetN
+		tbl.AddRow(siteName(st.Host()), n, len(st.Data.Catalog.Records),
+			analysis.Pct(float64(inbound)/float64(n)),
+			analysis.Pct(float64(inboundM2M)/float64(max(inbound, 1))),
+			analysis.Pct(coverage))
+		key := "site_" + st.Host().Concat()
+		r.setValue(key+"_devices", float64(n))
+		r.setValue(key+"_inbound_share", float64(inbound)/float64(n))
+		r.setValue(key+"_fleet_coverage", coverage)
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.setValue("sites", float64(len(sites)))
+	r.setValue("fleet_devices", fleetN)
+
+	// How federated the fleet really is: the share of devices whose
+	// home provisioned them into more than one visited network.
+	multi := 0
+	for i := range fed.Fleet {
+		n := 0
+		for _, st := range sites {
+			if st.Data.Present[fed.Fleet[i].ID] {
+				n++
+			}
+		}
+		if n > 1 {
+			multi++
+		}
+	}
+	r.setValue("fleet_multisite_share", float64(multi)/fleetN)
+	return r
+}
+
+func runFedAgreement(s *Session) *Report {
+	fed := s.FederationData()
+	sites := s.Sites()
+	r := &Report{
+		ID:    "fed-agreement",
+		Title: "Cross-site label and class agreement",
+		Paper: "§5: a device's roaming label is defined per observing operator; for a fleet SIM every visited operator should independently derive I:H and (mostly) the same class",
+	}
+	// Pairwise agreement over fleet devices both sites observed.
+	labelTbl := analysis.NewTable(append([]string{"label agree"}, siteNames(sites)...)...)
+	classTbl := analysis.NewTable(append([]string{"class agree"}, siteNames(sites)...)...)
+	minLabel, minClass := 1.0, 1.0
+	var classSum float64
+	var pairs int
+	for a, sa := range sites {
+		lRow := []interface{}{siteName(sa.Host())}
+		cRow := []interface{}{siteName(sa.Host())}
+		for b, sb := range sites {
+			if a == b {
+				lRow = append(lRow, "—")
+				cRow = append(cRow, "—")
+				continue
+			}
+			shared, labelEq, classEq := 0, 0, 0
+			for i := range fed.Fleet {
+				dev := fed.Fleet[i].ID
+				la, okA := sa.Label(dev)
+				lb, okB := sb.Label(dev)
+				if !okA || !okB {
+					continue
+				}
+				shared++
+				if la == lb {
+					labelEq++
+				}
+				ca, _ := sa.Class(dev)
+				cb, _ := sb.Class(dev)
+				if ca == cb {
+					classEq++
+				}
+			}
+			if shared == 0 {
+				lRow = append(lRow, "n/a")
+				cRow = append(cRow, "n/a")
+				continue
+			}
+			lShare := float64(labelEq) / float64(shared)
+			cShare := float64(classEq) / float64(shared)
+			lRow = append(lRow, analysis.Pct(lShare))
+			cRow = append(cRow, analysis.Pct(cShare))
+			if a < b {
+				minLabel = min(minLabel, lShare)
+				minClass = min(minClass, cShare)
+				classSum += cShare
+				pairs++
+			}
+		}
+		labelTbl.AddRow(lRow...)
+		classTbl.AddRow(cRow...)
+	}
+	r.Tables = append(r.Tables, labelTbl, classTbl)
+	// Only meaningful when at least one site pair shared devices;
+	// otherwise the 1.0 initial values would fake perfect agreement.
+	if pairs > 0 {
+		r.setValue("label_agreement_min", minLabel)
+		r.setValue("class_agreement_min", minClass)
+		r.setValue("class_agreement_mean", classSum/float64(pairs))
+	}
+
+	// Raw label equality across sites is not the invariant — a German
+	// fleet SIM is N:H at the German site but I:H abroad. The
+	// invariant is grammar consistency: at every site the label must
+	// be exactly the one the home/host geography implies.
+	consistent, checked := 0, 0
+	for i := range fed.Fleet {
+		dev := &fed.Fleet[i]
+		ok := true
+		seen := false
+		for _, st := range sites {
+			l, present := st.Label(dev.ID)
+			if !present {
+				continue
+			}
+			seen = true
+			want := core.LabelIH
+			if mccmnc.SameCountry(dev.Home, st.Host()) {
+				want = core.LabelNH
+			}
+			if l != want {
+				ok = false
+			}
+		}
+		if seen {
+			checked++
+			if ok {
+				consistent++
+			}
+		}
+	}
+	if checked > 0 {
+		r.setValue("label_consistency", float64(consistent)/float64(checked))
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("label grammar consistent for %d/%d fleet devices across all observing sites", consistent, checked))
+	}
+	return r
+}
+
+func runFedValidation(s *Session) *Report {
+	fed := s.FederationData()
+	sites := s.Sites()
+	r := &Report{
+		ID:    "fed-validation",
+		Title: "Federated vs single-site classifier validation",
+		Paper: "§5/§8: one operator sees a slice of a fleet's behaviour; pooling several operators' verdicts should classify the shared fleet at least as well as any single site",
+	}
+	// Per-site accuracy on the fleet devices that site observed.
+	tbl := analysis.NewTable("site", "fleet seen", "accuracy", "m2m recall")
+	var sumAcc, bestAcc float64
+	for _, st := range sites {
+		var fleetResults []core.Result
+		for _, res := range st.results {
+			if st.Data.Present[res.Device] {
+				fleetResults = append(fleetResults, res)
+			}
+		}
+		val, err := core.Validate(fleetResults, st.Data.Truth)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("site %v validation: %v", st.Host(), err))
+			continue
+		}
+		acc := val.Accuracy()
+		sumAcc += acc
+		bestAcc = max(bestAcc, acc)
+		tbl.AddRow(siteName(st.Host()), len(fleetResults), acc, val.Recall(core.ClassM2M))
+		r.setValue("site_"+st.Host().Concat()+"_accuracy", acc)
+	}
+
+	// Federated verdicts, two strategies over the sites that saw each
+	// device. Vote: majority class; the earliest-observing site's
+	// verdict wins ties with it, and ties between two other classes
+	// break by the fixed class order below — both deterministic, never
+	// map iteration order. Union: any site with hard M2M evidence
+	// settles the device as m2m — the paper's §8 point that once one
+	// operator identifies a fleet, every partner can benefit — falling
+	// back to the vote otherwise. Evaluated over every fleet device at
+	// least one site observed.
+	voteOrder := []core.Class{core.ClassSmart, core.ClassFeat, core.ClassM2M, core.ClassM2MMaybe}
+	var voted, union []core.Result
+	for i := range fed.Fleet {
+		dev := fed.Fleet[i].ID
+		counts := map[core.Class]int{}
+		var first core.Class
+		seen, anyM2M := 0, false
+		for _, st := range sites {
+			if c, ok := st.Class(dev); ok {
+				if seen == 0 {
+					first = c
+				}
+				counts[c]++
+				seen++
+				anyM2M = anyM2M || c == core.ClassM2M
+			}
+		}
+		if seen == 0 {
+			continue
+		}
+		best, bestN := first, counts[first]
+		for _, c := range voteOrder {
+			if counts[c] > bestN {
+				best, bestN = c, counts[c]
+			}
+		}
+		voted = append(voted, core.Result{Device: dev, Class: best, Evidence: "federated-vote"})
+		u := best
+		if anyM2M {
+			u = core.ClassM2M
+		}
+		union = append(union, core.Result{Device: dev, Class: u, Evidence: "federated-union"})
+	}
+	if val, err := core.Validate(voted, fed.Truth); err == nil {
+		tbl.AddRow("federated vote", len(voted), val.Accuracy(), val.Recall(core.ClassM2M))
+		r.setValue("federated_accuracy", val.Accuracy())
+		r.setValue("federated_m2m_recall", val.Recall(core.ClassM2M))
+	}
+	if val, err := core.Validate(union, fed.Truth); err == nil {
+		tbl.AddRow("federated union", len(union), val.Accuracy(), val.Recall(core.ClassM2M))
+		r.setValue("union_accuracy", val.Accuracy())
+		r.setValue("union_m2m_recall", val.Recall(core.ClassM2M))
+		r.setValue("union_m2m_precision", val.Precision(core.ClassM2M))
+	}
+	r.Tables = append(r.Tables, tbl)
+	if len(sites) > 0 {
+		r.setValue("mean_site_accuracy", sumAcc/float64(len(sites)))
+		r.setValue("best_site_accuracy", bestAcc)
+	}
+	r.setValue("fleet_evaluated", float64(len(voted)))
+	return r
+}
+
+// siteName renders a site's operator for table rows.
+func siteName(p mccmnc.PLMN) string {
+	if op, ok := mccmnc.Lookup(p); ok {
+		return fmt.Sprintf("%s (%s)", op.Name, p)
+	}
+	return p.String()
+}
+
+func siteNames(sites []*Site) []string {
+	out := make([]string, len(sites))
+	for i, st := range sites {
+		out[i] = siteName(st.Host())
+	}
+	return out
+}

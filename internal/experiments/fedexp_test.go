@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// One shared federation across the fed-* tests (the datasets dominate
+// the runtime, exactly like the classic session share).
+var fedSess = NewFederation(1, 0.12, 0)
+
+func runFed(t testing.TB, id string) *Report {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	return r.Run(fedSess)
+}
+
+func TestFedSitesBreakdown(t *testing.T) {
+	rep := runFed(t, "fed-sites")
+	within(t, rep, "sites", 3, 3)
+	// Every site must see a large slice of the shared fleet, and a
+	// substantial part of the fleet must be visible at 2+ sites —
+	// the paper's "many operators see the same fleets" observation.
+	within(t, rep, "fleet_multisite_share", 0.3, 1.0)
+	for _, host := range []string{"23410", "26201", "24001"} {
+		within(t, rep, "site_"+host+"_fleet_coverage", 0.3, 1.0)
+		// Inbound roamers dominate less than natives overall but must
+		// be a large share at every site (Table 1's inbound columns).
+		within(t, rep, "site_"+host+"_inbound_share", 0.25, 0.75)
+	}
+}
+
+func TestFedAgreement(t *testing.T) {
+	rep := runFed(t, "fed-agreement")
+	// The label grammar invariant: every observing operator derives
+	// exactly the label its geography implies, for every fleet device.
+	within(t, rep, "label_consistency", 1.0, 1.0)
+	// Classes rest on per-site evidence, so agreement is high but not
+	// perfect.
+	within(t, rep, "class_agreement_min", 0.75, 1.0)
+	within(t, rep, "class_agreement_mean", 0.8, 1.0)
+}
+
+func TestFedValidation(t *testing.T) {
+	rep := runFed(t, "fed-validation")
+	if !rep.Has("federated_accuracy") || !rep.Has("union_m2m_recall") {
+		t.Fatalf("fed-validation missing headline values:\n%s", rep)
+	}
+	within(t, rep, "federated_accuracy", 0.9, 1.0)
+	within(t, rep, "mean_site_accuracy", 0.9, 1.0)
+	// Evidence union can only extend the m2m set, so its recall
+	// dominates the majority vote's by construction.
+	if rep.Value("union_m2m_recall") < rep.Value("federated_m2m_recall") {
+		t.Errorf("union recall %.4f below vote recall %.4f",
+			rep.Value("union_m2m_recall"), rep.Value("federated_m2m_recall"))
+	}
+	if rep.Value("fleet_evaluated") == 0 {
+		t.Error("no fleet devices were evaluated")
+	}
+}
+
+// The classic single-site constructors must keep producing identical
+// results through the Federation redesign, and the fed-* runners must
+// be bit-identical across worker counts on top of it.
+func TestFedRunnersWorkerCountInvariant(t *testing.T) {
+	serial := NewFederation(1, 0.06, 1)
+	par := NewFederation(1, 0.06, 4)
+	for _, id := range []string{"fed-sites", "fed-agreement", "fed-validation"} {
+		r, _ := ByID(id)
+		a, b := r.Run(serial), r.Run(par)
+		if !reflect.DeepEqual(a.Values, b.Values) {
+			t.Errorf("%s: values differ between workers 1 and 4\nserial: %v\npar:    %v", id, a.Values, b.Values)
+		}
+	}
+}
+
+// The streaming session materializes the M2M stream through the
+// ordered fan-in plus a stable time sort; the result must be the
+// batch dataset bit for bit — including tied timestamps.
+func TestStreamingSessionM2MMatchesBatch(t *testing.T) {
+	batch := NewSessionWorkers(7, 0.05, 1).M2M()
+	stream := NewStreamingSession(7, 0.05, 4).M2M()
+	if !reflect.DeepEqual(batch.Transactions, stream.Transactions) {
+		t.Error("streaming session transactions differ from batch session")
+	}
+	if !reflect.DeepEqual(batch.Truth, stream.Truth) {
+		t.Error("streaming session ground truth differs from batch session")
+	}
+}
+
+// The runner-side chunked analyses (groupECDF behind fig7/fig8/fig10)
+// must emit identical report values at any worker count.
+func TestRunnerAnalysesWorkerCountInvariant(t *testing.T) {
+	serial := NewSessionWorkers(1, 0.08, 1)
+	par := NewSessionWorkers(1, 0.08, 4)
+	for _, id := range []string{"fig7", "fig8", "fig10"} {
+		r, _ := ByID(id)
+		a, b := r.Run(serial), r.Run(par)
+		if !reflect.DeepEqual(a.Values, b.Values) {
+			t.Errorf("%s: values differ between workers 1 and 4\nserial: %v\npar:    %v", id, a.Values, b.Values)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"whereroam/internal/devices"
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
+	"whereroam/internal/pipeline"
 	"whereroam/internal/radio"
 )
 
@@ -36,6 +37,10 @@ type mnoView struct {
 	classOf map[identity.DeviceID]core.Class
 	labelOf map[identity.DeviceID]core.Label
 	sumOf   map[identity.DeviceID]*catalog.Summary
+	// workers is the session's pipeline pool size, so runner-side
+	// analyses (groupECDF) chunk with the same budget the dataset
+	// builds used.
+	workers int
 }
 
 var mnoViews syncifiedViewCache
@@ -61,6 +66,7 @@ func (c *syncifiedViewCache) get(s *Session) *mnoView {
 		classOf: map[identity.DeviceID]core.Class{},
 		labelOf: map[identity.DeviceID]core.Label{},
 		sumOf:   map[identity.DeviceID]*catalog.Summary{},
+		workers: s.Workers,
 	}
 	v.results = core.NewClassifier().ClassifyWorkers(v.sums, s.Workers)
 	for i := range v.sums {
@@ -231,27 +237,41 @@ func runFig6(s *Session) *Report {
 }
 
 // groupECDF collects a per-device metric per (class, inbound) group.
+// The label join and metric sweep chunk over internal/pipeline:
+// summary chunks accumulate shard-local sample maps that concatenate
+// in shard order, so every group's sample sequence — and therefore
+// every ECDF — is bit-identical to a serial sweep at any worker
+// count.
 func groupECDF(v *mnoView, metric func(*catalog.Summary) (float64, bool)) map[string]*analysis.ECDF {
+	parts := pipeline.Map(len(v.sums), v.workers, func(sh pipeline.Shard) map[string][]float64 {
+		samples := map[string][]float64{}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			sum := &v.sums[i]
+			class := v.classOf[sum.Device]
+			if class == core.ClassM2MMaybe {
+				continue
+			}
+			label := v.labelOf[sum.Device]
+			var roam string
+			switch {
+			case label.InboundRoamer():
+				roam = "inbound"
+			case label.Native() || label == core.LabelVH:
+				roam = "native"
+			default:
+				continue
+			}
+			if val, ok := metric(sum); ok {
+				key := class.String() + "/" + roam
+				samples[key] = append(samples[key], val)
+			}
+		}
+		return samples
+	})
 	samples := map[string][]float64{}
-	for i := range v.sums {
-		sum := &v.sums[i]
-		class := v.classOf[sum.Device]
-		if class == core.ClassM2MMaybe {
-			continue
-		}
-		label := v.labelOf[sum.Device]
-		var roam string
-		switch {
-		case label.InboundRoamer():
-			roam = "inbound"
-		case label.Native() || label == core.LabelVH:
-			roam = "native"
-		default:
-			continue
-		}
-		if val, ok := metric(sum); ok {
-			key := class.String() + "/" + roam
-			samples[key] = append(samples[key], val)
+	for _, part := range parts {
+		for k, vs := range part {
+			samples[k] = append(samples[k], vs...)
 		}
 	}
 	out := map[string]*analysis.ECDF{}

@@ -131,6 +131,14 @@ type (
 	World = netsim.World
 	// DeviceClass is the generator-side ground-truth vertical.
 	DeviceClass = devices.Class
+	// FederationConfig parameterizes the multi-operator generator.
+	FederationConfig = dataset.FederationConfig
+	// FederationDataset is the multi-operator dataset: shared world,
+	// GSMA catalog and roamer fleet plus one site per visited MNO.
+	FederationDataset = dataset.FederationDataset
+	// FederationSite is one visited operator's slice of a federation
+	// dataset.
+	FederationSite = dataset.FederationSite
 )
 
 // Dataset generators with the paper's default shapes.
@@ -144,6 +152,15 @@ var (
 	SynthesizeGSMA    = gsma.Synthesize
 	NewWorld          = netsim.NewWorld
 	DefaultWorld      = netsim.DefaultConfig
+	// DefaultFederationConfig is the standard three-site federation
+	// shape; GenerateFederation builds the multi-operator dataset
+	// from it.
+	DefaultFederationConfig = dataset.DefaultFederationConfig
+	// DefaultFederationHosts lists the standard three visited MNOs.
+	DefaultFederationHosts = dataset.DefaultFederationHosts
+	// GenerateFederation synthesizes one shared world and roamer
+	// fleet observed by N visited operators.
+	GenerateFederation = dataset.GenerateFederation
 )
 
 // Streaming ingestion plane: bounded-memory catalog builds over live
@@ -182,7 +199,16 @@ func NewStreamingSession(seed uint64, factor float64, workers int) *Session {
 
 // Experiments.
 type (
-	// Session shares datasets between experiment runners.
+	// Federation is the session layer: one shared world observed from
+	// any number of visited-operator sites. A single-site Federation
+	// is the classic Session.
+	Federation = experiments.Federation
+	// Site is one visited operator's analysis view inside a
+	// Federation: summaries, labels and classification derived from
+	// its own catalog.
+	Site = experiments.Site
+	// Session shares datasets between experiment runners; it is an
+	// alias of Federation (the single-site view).
 	Session = experiments.Session
 	// Experiment is a registered table/figure runner.
 	Experiment = experiments.Runner
@@ -223,6 +249,15 @@ var (
 // one worker per CPU; results are identical for every worker count.
 func NewSession(seed uint64, factor float64) *Session {
 	return experiments.NewSession(seed, factor)
+}
+
+// NewFederation returns a multi-site session: one shared GSMA
+// catalog, operator world and global roamer fleet, observed
+// independently by every visited MNO in hosts (none = the default
+// three-site footprint). Every classic runner works on it unchanged;
+// the fed-* runners and Sites() expose the cross-site views.
+func NewFederation(seed uint64, factor float64, workers int, hosts ...PLMN) *Federation {
+	return experiments.NewFederation(seed, factor, workers, hosts...)
 }
 
 // NewSessionWorkers is NewSession with an explicit pipeline worker

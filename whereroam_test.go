@@ -83,3 +83,45 @@ func TestFacadeGenerators(t *testing.T) {
 		t.Fatalf("smip devices = %d", len(smip.Devices))
 	}
 }
+
+func TestFacadeFederation(t *testing.T) {
+	// The facade federation: a multi-site session whose classic
+	// single-site accessors keep working, plus the cross-site views.
+	fed := NewFederation(1, 0.05, 1, DefaultFederationHosts()[:2]...)
+	sites := fed.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(sites))
+	}
+	data := fed.FederationData()
+	if len(data.Fleet) == 0 || data.World == nil {
+		t.Fatal("federation dataset missing fleet or world")
+	}
+	for _, site := range sites {
+		if len(site.Summaries()) == 0 {
+			t.Errorf("site %v has no summaries", site.Host())
+		}
+		if _, ok := ExperimentByID("fed-sites"); !ok {
+			t.Fatal("fed-sites runner missing")
+		}
+	}
+	// A Session is a single-site Federation: the alias must keep the
+	// historical constructor surface intact.
+	var sess *Session = NewSession(1, 0.05)
+	if sess.MNO() == nil {
+		t.Fatal("session MNO dataset missing")
+	}
+}
+
+func TestFacadeFederationGenerator(t *testing.T) {
+	cfg := DefaultFederationConfig()
+	cfg.FleetDevices, cfg.NativePerSite, cfg.Days = 120, 80, 5
+	fed := GenerateFederation(cfg)
+	if len(fed.Sites) != len(DefaultFederationHosts()) {
+		t.Fatalf("sites = %d", len(fed.Sites))
+	}
+	for _, s := range fed.Sites {
+		if len(s.Catalog.Records) == 0 {
+			t.Errorf("site %v: empty catalog", s.Host)
+		}
+	}
+}
