@@ -1,0 +1,69 @@
+// Command benchdiff gates performance: it compares a fresh
+// cmd/benchpipe run against the committed BENCH_pipeline.json
+// baseline and exits non-zero when any ns/op or heap high-water mark
+// regressed beyond tolerance — turning the perf artefact from an
+// uploaded curiosity into a build-failing check.
+//
+// The comparison is environment-aware: when the baseline and the
+// candidate ran at different GOMAXPROCS, speedup ratios and parallel
+// artefacts are skipped (they measure the machine, not the code)
+// while serial ns/op and heap peaks stay gated under the configured
+// tolerances.
+//
+// Usage:
+//
+//	benchpipe -scale 0.16 -out BENCH_fresh.json
+//	benchdiff -candidate BENCH_fresh.json                    # vs BENCH_pipeline.json
+//	benchdiff -baseline old.json -candidate new.json -tolerance 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"whereroam/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		baseline = flag.String("baseline", "BENCH_pipeline.json", "committed baseline report")
+		cand     = flag.String("candidate", "", "fresh benchpipe report to gate (required)")
+		nsTol    = flag.Float64("tolerance", benchfmt.DefaultTolerance().NsFrac, "allowed relative ns/op growth (0.30 = +30%)")
+		memTol   = flag.Float64("mem-tolerance", benchfmt.DefaultTolerance().MemFrac, "allowed relative heap-peak growth")
+		heapMiB  = flag.Int64("min-heap-delta-mib", benchfmt.DefaultTolerance().MinHeapDeltaBytes>>20, "ignore heap-peak growth below this many MiB (sampling noise floor)")
+	)
+	flag.Parse()
+	if *cand == "" {
+		log.Fatal("-candidate is required (run cmd/benchpipe first)")
+	}
+
+	base, err := benchfmt.Load(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := benchfmt.Load(*cand)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tol := benchfmt.Tolerance{NsFrac: *nsTol, MemFrac: *memTol, MinHeapDeltaBytes: *heapMiB << 20}
+	diff := benchfmt.Compare(base, fresh, tol)
+	fmt.Print(diff)
+
+	if regs := diff.Regressions(); len(regs) > 0 {
+		log.Printf("%d regression(s) beyond tolerance (ns +%.0f%%, heap +%.0f%%)", len(regs), *nsTol*100, *memTol*100)
+		os.Exit(1)
+	}
+	if len(diff.Findings) == 0 {
+		// A gate that compared nothing is a misconfigured gate (scale
+		// mismatch, disjoint artefact sets) — fail it rather than
+		// passing silently.
+		log.Fatal("no comparisons were executed; see the skips above")
+	}
+	fmt.Printf("benchdiff: no regressions beyond tolerance (%d comparisons, %d skipped)\n",
+		len(diff.Findings), len(diff.Skipped))
+}

@@ -1,11 +1,12 @@
 // Command benchpipe measures the serial-vs-parallel pipeline pairs
 // (synthesis → catalog → classification, the raw per-event capture
 // path, and its streaming-ingest twin) and writes the results as
-// BENCH_pipeline.json, the perf-trajectory artefact future changes
-// compare against. Besides ns/op it records each configuration's heap
-// high-water mark, which is where the streaming path earns its keep:
-// the batch capture's peak grows linearly with the capture while the
-// streaming ingest stays flat at the router's channel windows.
+// BENCH_pipeline.json (schema: internal/benchfmt), the
+// perf-trajectory artefact cmd/benchdiff gates CI against. Besides
+// ns/op it records each configuration's heap high-water mark, which
+// is where the streaming path earns its keep: the batch capture's
+// peak grows linearly with the capture while the streaming ingest
+// stays flat at the router's channel windows.
 //
 // Usage:
 //
@@ -14,48 +15,18 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"whereroam/internal/benchfmt"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
 )
-
-// Artefact is one measured benchmark configuration.
-type Artefact struct {
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Workers     int     `json:"workers"`
-	Iterations  int     `json:"iterations"`
-	Seconds     float64 `json:"seconds_per_op"`
-	// HeapPeakBytes is the heap high-water mark of one run: the
-	// maximum live-heap sample observed while the configuration
-	// executed once, minus the pre-run baseline.
-	HeapPeakBytes int64 `json:"heap_peak_bytes"`
-}
-
-// Report is the BENCH_pipeline.json schema.
-type Report struct {
-	GoMaxProcs int                 `json:"go_maxprocs"`
-	NumCPU     int                 `json:"num_cpu"`
-	Scale      float64             `json:"scale"`
-	Artefacts  map[string]Artefact `json:"artefacts"`
-	// Speedups maps pair names to parallel-over-serial throughput
-	// ratios (1.0 = parity; > 1 means the sharded path wins).
-	Speedups map[string]float64 `json:"speedups"`
-	// MemRatios maps comparison names to peak-heap ratios; for
-	// "raw_capture_stream_vs_batch" a value below 1 means the
-	// streaming ingest path peaked below the materialized capture.
-	MemRatios map[string]float64 `json:"mem_ratios"`
-}
 
 // heapPeak runs fn once and returns the peak heap growth it caused: a
 // sampler goroutine polls HeapAlloc while fn executes and the pre-run
@@ -98,14 +69,14 @@ func heapPeak(fn func()) int64 {
 	return p
 }
 
-func measure(workers int, fn func(workers int)) Artefact {
+func measure(workers int, fn func(workers int)) benchfmt.Artefact {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fn(workers)
 		}
 	})
-	return Artefact{
+	return benchfmt.Artefact{
 		NsPerOp:       r.NsPerOp(),
 		AllocsPerOp:   r.AllocsPerOp(),
 		BytesPerOp:    r.AllocedBytesPerOp(),
@@ -153,11 +124,11 @@ func main() {
 		}
 	}
 
-	rep := Report{
+	rep := benchfmt.Report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Scale:      *scale,
-		Artefacts:  map[string]Artefact{},
+		Artefacts:  map[string]benchfmt.Artefact{},
 		Speedups:   map[string]float64{},
 		MemRatios:  map[string]float64{},
 	}
@@ -192,16 +163,7 @@ func main() {
 			stream.HeapPeakBytes>>20, batch.HeapPeakBytes>>20)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := rep.Write(*out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, rep.GoMaxProcs)

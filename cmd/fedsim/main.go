@@ -1,8 +1,10 @@
 // Command fedsim drives a multi-operator federation: one shared GSMA
-// catalog, operator world and global roamer fleet, observed
-// independently by N visited MNOs, with cross-site label and
-// classifier validation — the paper's Table 1/§5 observation that
-// many visited operators see the same global IoT fleets.
+// catalog, operator world, global roamer fleet and per-day presence
+// schedule, observed independently by N visited MNOs, with cross-site
+// label and classifier validation — the paper's Table 1/§5
+// observation that many visited operators see the same global IoT
+// fleets — plus the federated SMIP (§4.4/§7) and M2M (§3/§6) planes
+// derived from the same fleet and schedule.
 //
 // Usage:
 //
@@ -10,7 +12,8 @@
 //	fedsim -sites 2                 # first N default hosts
 //	fedsim -hosts 23410,26202      # explicit visited MNOs
 //	fedsim -stream                  # per-site catalogs via the streaming ingest router
-//	fedsim -experiment fed-sites    # one experiment
+//	fedsim -experiment fed-smip     # one experiment (fed-sites, fed-agreement,
+//	                                # fed-validation, fed-smip, fed-m2m)
 package main
 
 import (

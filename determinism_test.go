@@ -15,6 +15,7 @@ import (
 	"whereroam/internal/catalog"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
+	"whereroam/internal/identity"
 	"whereroam/internal/signaling"
 )
 
@@ -224,6 +225,9 @@ func TestFederationDeterministicAcrossWorkerCounts(t *testing.T) {
 			if !reflect.DeepEqual(serial.Truth, fed.Truth) {
 				t.Errorf("streaming=%v workers=%d: fleet truth differs", streaming, workers)
 			}
+			if !reflect.DeepEqual(serial.Schedule, fed.Schedule) {
+				t.Errorf("streaming=%v workers=%d: presence schedule differs", streaming, workers)
+			}
 			for j := range serial.Sites {
 				a, b := serial.Sites[j], fed.Sites[j]
 				if !reflect.DeepEqual(a.Catalog.Records, b.Catalog.Records) {
@@ -237,6 +241,162 @@ func TestFederationDeterministicAcrossWorkerCounts(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// The shared presence schedule makes federation presence mutually
+// exclusive: a fleet device scheduled at one site on a day must
+// appear in no other site's catalog that day, every observed
+// (device, day) must match the schedule exactly, and the invariant
+// must hold on the batch and streaming catalog builds alike.
+func TestFederationScheduleExclusive(t *testing.T) {
+	for _, streaming := range []bool{false, true} {
+		cfg := dataset.DefaultFederationConfig()
+		cfg.FleetDevices, cfg.NativePerSite, cfg.Days = 300, 100, 8
+		cfg.Streaming = streaming
+		fed := dataset.GenerateFederation(cfg)
+
+		idx := make(map[identity.DeviceID]int, len(fed.Fleet))
+		for i := range fed.Fleet {
+			idx[fed.Fleet[i].ID] = i
+		}
+		type devDay struct {
+			dev identity.DeviceID
+			day int
+		}
+		seenAt := map[devDay]int{}
+		checked := 0
+		for j, site := range fed.Sites {
+			for i := range site.Catalog.Records {
+				rec := &site.Catalog.Records[i]
+				fi, isFleet := idx[rec.Device]
+				if !isFleet {
+					continue
+				}
+				checked++
+				if got := fed.ScheduledSite(fi, rec.Day); int(got) != j {
+					t.Fatalf("streaming=%v: device %v day %d observed at site %d but scheduled at %d",
+						streaming, rec.Device, rec.Day, j, got)
+				}
+				key := devDay{rec.Device, rec.Day}
+				if prev, dup := seenAt[key]; dup && prev != j {
+					t.Fatalf("streaming=%v: device %v active at sites %d and %d on day %d",
+						streaming, rec.Device, prev, j, rec.Day)
+				}
+				seenAt[key] = j
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("streaming=%v: no fleet device-days observed; invariant vacuous", streaming)
+		}
+	}
+}
+
+// The federated M2M plane — the §3/§6 signaling view of the shared
+// fleet — must be bit-identical across worker counts, and its
+// streaming twin must reproduce the batch stream after a stable time
+// sort. Every transaction's visited network must follow the shared
+// schedule (cancel-location legs of a switch aim at the previous
+// day's network by design).
+func TestFederationM2MPlaneDeterministic(t *testing.T) {
+	cfg := dataset.DefaultFederationConfig()
+	cfg.FleetDevices, cfg.NativePerSite, cfg.Days = 250, 50, 8
+	cfg.Workers = 1
+	fed := dataset.GenerateFederation(cfg)
+	serial := dataset.GenerateFederationM2M(fed)
+	if len(serial.Transactions) == 0 {
+		t.Fatal("federated M2M plane emitted no transactions")
+	}
+
+	cfg.Workers = 4
+	fedPar := dataset.GenerateFederation(cfg)
+	par := dataset.GenerateFederationM2M(fedPar)
+	if !reflect.DeepEqual(serial.Transactions, par.Transactions) {
+		t.Error("workers=4 federated M2M stream differs from serial")
+	}
+	if !reflect.DeepEqual(serial.Truth, par.Truth) {
+		t.Error("workers=4 federated M2M truth differs from serial")
+	}
+
+	var txs []signaling.Transaction
+	stream := dataset.StreamFederationM2M(fedPar, func(tx signaling.Transaction) { txs = append(txs, tx) })
+	sort.SliceStable(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+	if !reflect.DeepEqual(serial.Transactions, txs) {
+		t.Error("streamed+sorted federated M2M plane differs from batch")
+	}
+	if !reflect.DeepEqual(serial.Truth, stream.Truth) {
+		t.Error("streamed federated M2M truth differs from batch")
+	}
+
+	// Schedule consistency: every non-cancel transaction sits on the
+	// network the schedule names for its day.
+	idx := make(map[identity.DeviceID]int, len(fed.Fleet))
+	for i := range fed.Fleet {
+		idx[fed.Fleet[i].ID] = i
+	}
+	for _, tx := range serial.Transactions {
+		if tx.Procedure == signaling.ProcCancelLocation {
+			continue
+		}
+		day := int(tx.Time.Sub(fed.Start).Hours() / 24)
+		want := fed.Fleet[idx[tx.Device]].Home
+		if s := fed.ScheduledSite(idx[tx.Device], day); s >= 0 {
+			want = fed.Hosts[s]
+		}
+		if tx.Visited != want {
+			t.Fatalf("tx %v on day %d visited %v, schedule says %v", tx, day, tx.Visited, want)
+		}
+	}
+}
+
+// The federated SMIP plane builds one meters-only catalog per site
+// through the same batch/streaming per-event path as the main site
+// catalogs, so it must be bit-identical across worker counts and the
+// batch/streaming switch — and, meters being stationary, each fleet
+// meter must appear at exactly one site.
+func TestFederationSMIPPlaneDeterministic(t *testing.T) {
+	base := dataset.DefaultFederationConfig()
+	base.FleetDevices, base.NativePerSite, base.Days = 250, 60, 8
+	base.Workers = 1
+	serial := dataset.GenerateFederationSMIP(dataset.GenerateFederation(base))
+
+	for _, streaming := range []bool{false, true} {
+		for _, workers := range []int{4, 0} {
+			cfg := base
+			cfg.Workers = workers
+			cfg.Streaming = streaming
+			plane := dataset.GenerateFederationSMIP(dataset.GenerateFederation(cfg))
+			for j := range serial.Sites {
+				a, b := serial.Sites[j], plane.Sites[j]
+				if !reflect.DeepEqual(a.Catalog.Records, b.Catalog.Records) {
+					t.Errorf("streaming=%v workers=%d site %d: SMIP catalog differs", streaming, workers, j)
+				}
+				if !reflect.DeepEqual(a.Native, b.Native) {
+					t.Errorf("streaming=%v workers=%d site %d: native cohort differs", streaming, workers, j)
+				}
+				if a.NativeRange != b.NativeRange {
+					t.Errorf("streaming=%v workers=%d site %d: native range differs", streaming, workers, j)
+				}
+			}
+		}
+	}
+
+	sitesOf := map[identity.DeviceID]int{}
+	fleetMeters := 0
+	for _, site := range serial.Sites {
+		for id, native := range site.Native {
+			if native {
+				continue
+			}
+			sitesOf[id]++
+			if sitesOf[id] > 1 {
+				t.Fatalf("fleet meter %v deployed at more than one site", id)
+			}
+			fleetMeters++
+		}
+	}
+	if fleetMeters == 0 {
+		t.Fatal("no fleet meters deployed at any site")
 	}
 }
 

@@ -1,0 +1,261 @@
+// Package benchfmt defines the BENCH_pipeline.json performance
+// artefact schema shared by cmd/benchpipe (which writes it) and
+// cmd/benchdiff (which gates CI on it), plus the comparison logic
+// that decides whether a fresh run regressed against a committed
+// baseline.
+//
+// Comparisons are environment-aware: a baseline recorded at one
+// GOMAXPROCS is not blindly compared against a run at another —
+// speedup ratios and parallel artefacts are skipped on a core-count
+// mismatch, because "4-core parallel vs 1-core parallel" measures the
+// machine, not the code. Serial artefacts and heap high-water marks
+// remain comparable (within generous tolerances) across machines.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Artefact is one measured benchmark configuration.
+type Artefact struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	Seconds     float64 `json:"seconds_per_op"`
+	// HeapPeakBytes is the heap high-water mark of one run: the
+	// maximum live-heap sample observed while the configuration
+	// executed once, minus the pre-run baseline.
+	HeapPeakBytes int64 `json:"heap_peak_bytes"`
+}
+
+// Report is the BENCH_pipeline.json schema.
+type Report struct {
+	GoMaxProcs int                 `json:"go_maxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Scale      float64             `json:"scale"`
+	Artefacts  map[string]Artefact `json:"artefacts"`
+	// Speedups maps pair names to parallel-over-serial throughput
+	// ratios (1.0 = parity; > 1 means the sharded path wins).
+	Speedups map[string]float64 `json:"speedups"`
+	// MemRatios maps comparison names to peak-heap ratios; for
+	// "raw_capture_stream_vs_batch" a value below 1 means the
+	// streaming ingest path peaked below the materialized capture.
+	MemRatios map[string]float64 `json:"mem_ratios"`
+}
+
+// Load reads a Report from a JSON file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Write stores the report as indented JSON at path.
+func (r *Report) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Tolerance bounds how much a candidate run may degrade before the
+// comparison reports a regression. Fractions are relative: 0.30 means
+// "30% slower / bigger than the baseline fails".
+type Tolerance struct {
+	// NsFrac is the allowed relative ns/op growth per artefact (and
+	// the allowed relative speedup-ratio shrink when speedups are
+	// comparable).
+	NsFrac float64
+	// MemFrac is the allowed relative heap-peak growth per artefact.
+	MemFrac float64
+	// MinHeapDeltaBytes suppresses heap-peak findings whose absolute
+	// growth is below this floor: small configurations' peaks are
+	// sampling-noisy, and a few MiB of drift on a 10 MiB peak is not
+	// a leak signal.
+	MinHeapDeltaBytes int64
+}
+
+// DefaultTolerance is a gate loose enough for cross-machine noise but
+// tight enough to catch an accidental O(n) → O(n log n) hot path or a
+// materialized buffer on the streaming path.
+func DefaultTolerance() Tolerance {
+	return Tolerance{NsFrac: 0.30, MemFrac: 0.40, MinHeapDeltaBytes: 8 << 20}
+}
+
+// Finding is one baseline-vs-candidate comparison outcome.
+type Finding struct {
+	// Name identifies the compared quantity, e.g.
+	// "pipeline_serial ns/op" or "speedup pipeline".
+	Name string
+	// Base and Cand are the compared values (ns, bytes, or a ratio).
+	Base, Cand float64
+	// Regression marks findings outside the tolerance.
+	Regression bool
+}
+
+// String renders the finding with its relative change.
+func (f Finding) String() string {
+	verdict := "ok"
+	if f.Regression {
+		verdict = "REGRESSION"
+	}
+	change := 0.0
+	if f.Base != 0 {
+		change = (f.Cand - f.Base) / f.Base * 100
+	}
+	return fmt.Sprintf("%-42s base %14.0f  cand %14.0f  %+6.1f%%  %s",
+		f.Name, f.Base, f.Cand, change, verdict)
+}
+
+// Diff is the outcome of comparing a candidate report against a
+// baseline.
+type Diff struct {
+	// Findings lists every executed comparison in a deterministic
+	// (sorted) order.
+	Findings []Finding
+	// Skipped explains comparisons that were not executed (e.g. the
+	// GOMAXPROCS mismatch rules).
+	Skipped []string
+}
+
+// Regressions returns the findings outside tolerance.
+func (d *Diff) Regressions() []Finding {
+	var out []Finding
+	for _, f := range d.Findings {
+		if f.Regression {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders the full diff, findings then skips.
+func (d *Diff) String() string {
+	var b strings.Builder
+	for _, f := range d.Findings {
+		fmt.Fprintln(&b, f)
+	}
+	for _, s := range d.Skipped {
+		fmt.Fprintf(&b, "skipped: %s\n", s)
+	}
+	return b.String()
+}
+
+// Compare checks a candidate report against a baseline under the
+// given tolerance.
+//
+// When the two reports ran at the same GOMAXPROCS, every shared
+// artefact's ns/op and heap peak is compared, and every shared
+// speedup ratio must not shrink beyond tolerance. When the core
+// counts differ, speedup ratios and parallel artefacts (workers > 1)
+// are skipped — they measure the machine — while serial artefacts and
+// heap peaks stay gated. Artefacts present on only one side are
+// skipped with a note (schema drift is the operator's call, not a
+// failure).
+func Compare(base, cand *Report, tol Tolerance) *Diff {
+	d := &Diff{}
+	if base.Scale != cand.Scale {
+		// ns/op and heap peaks scale with the population; comparing
+		// runs at different -scale values would gate on the flag, not
+		// the code. Refuse the whole comparison loudly rather than
+		// failing (or passing) on nonsense numbers.
+		d.Skipped = append(d.Skipped, fmt.Sprintf(
+			"everything: baseline scale %g, candidate scale %g — regenerate the candidate at the baseline's scale",
+			base.Scale, cand.Scale))
+		return d
+	}
+	sameProcs := base.GoMaxProcs == cand.GoMaxProcs
+	if !sameProcs {
+		d.Skipped = append(d.Skipped, fmt.Sprintf(
+			"speedup ratios and parallel artefacts: baseline GOMAXPROCS=%d, candidate GOMAXPROCS=%d",
+			base.GoMaxProcs, cand.GoMaxProcs))
+	}
+
+	for _, name := range sortedKeys(base.Artefacts) {
+		b := base.Artefacts[name]
+		c, ok := cand.Artefacts[name]
+		if !ok {
+			d.Skipped = append(d.Skipped, fmt.Sprintf("artefact %s: missing from candidate", name))
+			continue
+		}
+		if !sameProcs && (b.Workers != 1 || c.Workers != 1) {
+			// A "parallel" artefact ran with one pool size on the
+			// baseline machine and another on the candidate's; covered
+			// by the blanket GOMAXPROCS skip note.
+			continue
+		}
+		d.Findings = append(d.Findings, Finding{
+			Name:       name + " ns/op",
+			Base:       float64(b.NsPerOp),
+			Cand:       float64(c.NsPerOp),
+			Regression: float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol.NsFrac),
+		})
+		memRegressed := float64(c.HeapPeakBytes) > float64(b.HeapPeakBytes)*(1+tol.MemFrac) &&
+			c.HeapPeakBytes-b.HeapPeakBytes > tol.MinHeapDeltaBytes
+		d.Findings = append(d.Findings, Finding{
+			Name:       name + " heap_peak",
+			Base:       float64(b.HeapPeakBytes),
+			Cand:       float64(c.HeapPeakBytes),
+			Regression: memRegressed,
+		})
+	}
+
+	for _, name := range sortedKeys(cand.Artefacts) {
+		if _, ok := base.Artefacts[name]; !ok {
+			d.Skipped = append(d.Skipped, fmt.Sprintf(
+				"artefact %s: missing from baseline — ungated until the baseline is refreshed", name))
+		}
+	}
+
+	if sameProcs {
+		for _, name := range sortedKeys(base.Speedups) {
+			b := base.Speedups[name]
+			c, ok := cand.Speedups[name]
+			if !ok {
+				d.Skipped = append(d.Skipped, fmt.Sprintf("speedup %s: missing from candidate", name))
+				continue
+			}
+			d.Findings = append(d.Findings, Finding{
+				Name:       "speedup " + name,
+				Base:       b,
+				Cand:       c,
+				Regression: c < b*(1-tol.NsFrac),
+			})
+		}
+		for _, name := range sortedKeys(cand.Speedups) {
+			if _, ok := base.Speedups[name]; !ok {
+				d.Skipped = append(d.Skipped, fmt.Sprintf(
+					"speedup %s: missing from baseline — ungated until the baseline is refreshed", name))
+			}
+		}
+	}
+	return d
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,176 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report builds a two-artefact baseline the tests perturb.
+func report(procs int, serialNs, parallelNs, heap int64) *Report {
+	return &Report{
+		GoMaxProcs: procs,
+		NumCPU:     procs,
+		Scale:      0.16,
+		Artefacts: map[string]Artefact{
+			"pipeline_serial":   {NsPerOp: serialNs, Workers: 1, HeapPeakBytes: heap},
+			"pipeline_parallel": {NsPerOp: parallelNs, Workers: procs, HeapPeakBytes: heap},
+		},
+		Speedups: map[string]float64{
+			"pipeline": float64(serialNs) / float64(parallelNs),
+		},
+	}
+}
+
+// The CI gate's core promise: an injected slowdown beyond tolerance
+// fails the comparison.
+func TestCompareFailsOnInjectedRegression(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 64<<20)
+	cand := report(4, 1_600_000, 300_000, 64<<20) // +60% serial ns/op vs 30% tolerance
+	d := Compare(base, cand, DefaultTolerance())
+	regs := d.Regressions()
+	if len(regs) == 0 {
+		t.Fatalf("injected +60%% ns/op regression not flagged:\n%s", d)
+	}
+	found := false
+	for _, f := range regs {
+		if f.Name == "pipeline_serial ns/op" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regression list misses pipeline_serial ns/op: %v", regs)
+	}
+}
+
+func TestCompareWithinToleranceIsClean(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 64<<20)
+	cand := report(4, 1_200_000, 320_000, 70<<20) // +20% / +9%: inside 30%/40%
+	d := Compare(base, cand, DefaultTolerance())
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged as regression:\n%v", regs)
+	}
+	if len(d.Findings) == 0 {
+		t.Fatal("no comparisons executed")
+	}
+}
+
+func TestCompareFlagsHeapGrowth(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 64<<20)
+	cand := report(4, 1_000_000, 300_000, 160<<20) // 2.5x peak, +96 MiB
+	d := Compare(base, cand, DefaultTolerance())
+	regs := d.Regressions()
+	if len(regs) == 0 {
+		t.Fatal("2.5x heap-peak growth not flagged")
+	}
+	for _, f := range regs {
+		if !strings.HasSuffix(f.Name, "heap_peak") {
+			t.Errorf("unexpected non-heap regression %v", f)
+		}
+	}
+}
+
+// Small absolute heap drift on tiny configurations is sampling noise,
+// not a leak: the MinHeapDeltaBytes floor suppresses it even when the
+// relative growth is large.
+func TestCompareHeapFloorSuppressesNoise(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 2<<20)
+	cand := report(4, 1_000_000, 300_000, 6<<20) // 3x relative but only +4 MiB
+	d := Compare(base, cand, DefaultTolerance())
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Fatalf("sub-floor heap drift flagged: %v", regs)
+	}
+}
+
+// A baseline recorded on a different core count must not gate speedup
+// ratios or parallel artefacts — only serial ns/op and heap peaks
+// stay comparable.
+func TestCompareSkipsAcrossGoMaxProcs(t *testing.T) {
+	base := report(1, 1_000_000, 1_000_000, 64<<20)
+	cand := report(8, 1_050_000, 200_000, 64<<20)
+	cand.Speedups["pipeline"] = 0.1 // would be a huge "regression" if compared
+	d := Compare(base, cand, DefaultTolerance())
+	for _, f := range d.Findings {
+		if strings.HasPrefix(f.Name, "speedup") {
+			t.Errorf("speedup compared across GOMAXPROCS mismatch: %v", f)
+		}
+		if strings.HasPrefix(f.Name, "pipeline_parallel") {
+			t.Errorf("parallel artefact compared across GOMAXPROCS mismatch: %v", f)
+		}
+	}
+	if len(d.Skipped) == 0 {
+		t.Error("GOMAXPROCS mismatch not surfaced in Skipped")
+	}
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Errorf("cross-machine comparison produced regressions: %v", regs)
+	}
+	// The serial artefact must still be gated.
+	serialCompared := false
+	for _, f := range d.Findings {
+		if f.Name == "pipeline_serial ns/op" {
+			serialCompared = true
+		}
+	}
+	if !serialCompared {
+		t.Error("serial artefact skipped despite being comparable")
+	}
+}
+
+func TestCompareSkipsMissingArtefacts(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 64<<20)
+	base.Artefacts["vanished"] = Artefact{NsPerOp: 1, Workers: 1}
+	cand := report(4, 1_000_000, 300_000, 64<<20)
+	cand.Artefacts["appeared"] = Artefact{NsPerOp: 1, Workers: 1}
+	cand.Speedups["appeared"] = 1.0
+	d := Compare(base, cand, DefaultTolerance())
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Fatalf("missing artefact treated as regression: %v", regs)
+	}
+	// Both directions must surface: a baseline-only entry (renamed or
+	// dropped benchmark) and a candidate-only entry (new benchmark not
+	// yet in the committed baseline, hence ungated).
+	for _, want := range []string{"vanished", "appeared"} {
+		found := false
+		for _, s := range d.Skipped {
+			if strings.Contains(s, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("one-sided entry %q not noted in Skipped: %v", want, d.Skipped)
+		}
+	}
+}
+
+// Runs at different -scale values measure different workloads; the
+// comparison must refuse outright instead of gating on the flag.
+func TestCompareRefusesScaleMismatch(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 64<<20)
+	cand := report(4, 8_000_000, 2_400_000, 512<<20)
+	cand.Scale = 1.28
+	d := Compare(base, cand, DefaultTolerance())
+	if len(d.Findings) != 0 {
+		t.Fatalf("scale mismatch still compared: %v", d.Findings)
+	}
+	if len(d.Skipped) == 0 || !strings.Contains(d.Skipped[0], "scale") {
+		t.Errorf("scale mismatch not surfaced: %v", d.Skipped)
+	}
+}
+
+func TestReportRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	base := report(4, 1_000_000, 300_000, 64<<20)
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoMaxProcs != base.GoMaxProcs || len(got.Artefacts) != len(base.Artefacts) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, base)
+	}
+	if got.Artefacts["pipeline_serial"].NsPerOp != 1_000_000 {
+		t.Errorf("serial ns/op lost in roundtrip: %+v", got.Artefacts["pipeline_serial"])
+	}
+}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"whereroam/internal/catalog"
@@ -84,9 +85,14 @@ func DefaultFederationConfig() FederationConfig {
 	}
 }
 
+// ScheduleHome marks a day on which a fleet device is at its home
+// network (or offline) in a presence schedule: it emits at no
+// federation site that day.
+const ScheduleHome = int8(-1)
+
 // FederationDataset is the multi-operator dataset: the shared plane
-// (world, GSMA catalog, fleet ground truth) plus one FederationSite
-// per visited operator.
+// (world, GSMA catalog, fleet ground truth, presence schedule) plus
+// one FederationSite per visited operator.
 type FederationDataset struct {
 	Hosts []mccmnc.PLMN
 	Start time.Time
@@ -99,8 +105,29 @@ type FederationDataset struct {
 	Fleet []devices.Device
 	// Truth maps fleet device IDs to ground-truth classes.
 	Truth map[identity.DeviceID]devices.Class
+	// Schedule is the shared per-day presence schedule, aligned with
+	// Fleet: Schedule[i][day] is the index into Hosts of the one site
+	// device i is present at on that day, or ScheduleHome. Presence is
+	// mutually exclusive by construction — a device abroad at one site
+	// on a day emits nothing at every other site that day — and every
+	// site's emission path (batch and streaming) consults it.
+	Schedule [][]int8
 	// Sites holds one per-visited-MNO view, in Hosts order.
 	Sites []*FederationSite
+
+	// members retains the fleet's RNG substreams and schedules so the
+	// federated SMIP/M2M plane generators can derive further
+	// per-(device, plane) streams without rebuilding the fleet.
+	members []fleetMember
+	// cfg is the build configuration, retained for the plane
+	// generators (scale, streaming switch, worker budget).
+	cfg FederationConfig
+}
+
+// ScheduledSite returns the site index device i (in Fleet order) is
+// present at on day, or ScheduleHome when it is at home or offline.
+func (fed *FederationDataset) ScheduledSite(i, day int) int8 {
+	return fed.Schedule[i][day]
 }
 
 // FederationSite is one visited operator's view of the shared world:
@@ -123,11 +150,31 @@ type FederationSite struct {
 }
 
 // fleetMember carries a fleet device plus the finalized RNG substream
-// its per-site derivations split from and its site presence mask.
+// its per-site derivations split from, its provisioned-site mask and
+// its per-day presence schedule.
 type fleetMember struct {
-	dev   devices.Device
-	src   *rng.Source
+	dev devices.Device
+	src *rng.Source
+	// sites marks the sites the device's home operator provisioned it
+	// into (anchor + AttachProb extras); the schedule allocates days
+	// among them.
 	sites []bool
+	// sched maps each window day to the one site index the device is
+	// present at, or ScheduleHome.
+	sched []int8
+}
+
+// daysAt counts the device's scheduled days at site j. A provisioned
+// site can end up with zero days (the schedule never toured it); the
+// device is then absent from that site's catalog entirely.
+func (m *fleetMember) daysAt(j int) int {
+	n := 0
+	for _, s := range m.sched {
+		if int(s) == j {
+			n++
+		}
+	}
+	return n
 }
 
 // fleet composition: the inbound-roamer mix of Fig 6 — dominated by
@@ -202,6 +249,9 @@ func GenerateFederation(cfg FederationConfig) *FederationDataset {
 	if cfg.AttachProb <= 0 {
 		cfg.AttachProb = DefaultFederationConfig().AttachProb
 	}
+	if len(cfg.Hosts) > 127 {
+		panic("dataset: federation supports at most 127 sites (the presence schedule stores site indices as int8)")
+	}
 	for i, h := range cfg.Hosts {
 		for _, o := range cfg.Hosts[:i] {
 			if h == o {
@@ -221,12 +271,16 @@ func GenerateFederation(cfg FederationConfig) *FederationDataset {
 		GSMA:  db,
 		World: world,
 		Truth: make(map[identity.DeviceID]devices.Class, cfg.FleetDevices),
+		cfg:   cfg,
 	}
 
 	fleet := generateFleet(cfg, root, db, world)
+	fed.members = fleet
 	fed.Fleet = make([]devices.Device, len(fleet))
+	fed.Schedule = make([][]int8, len(fleet))
 	for i := range fleet {
 		fed.Fleet[i] = fleet[i].dev
+		fed.Schedule[i] = fleet[i].sched
 		fed.Truth[fleet[i].dev.ID] = fleet[i].dev.Class
 	}
 
@@ -319,6 +373,7 @@ func generateFleet(cfg FederationConfig, root *rng.Source, db *gsma.DB, world *n
 			// each further allowed site with probability AttachProb.
 			ssrc := d.src.Split("sites")
 			sites := make([]bool, len(cfg.Hosts))
+			anchor := -1
 			var allowed []int
 			for j, host := range cfg.Hosts {
 				if host != d.home && world.RoamingAllowed(d.home, host) {
@@ -326,23 +381,115 @@ func generateFleet(cfg FederationConfig, root *rng.Source, db *gsma.DB, world *n
 				}
 			}
 			if len(allowed) > 0 {
-				anchor := allowed[ssrc.Intn(len(allowed))]
+				anchor = allowed[ssrc.Intn(len(allowed))]
 				for _, j := range allowed {
 					sites[j] = j == anchor || ssrc.Bool(cfg.AttachProb)
 				}
 			}
-			fleet[i] = fleetMember{dev: dev, src: d.src, sites: sites}
+			sched := drawSchedule(d.src.Split("schedule"), d.class, sites, anchor, cfg.Days)
+			fleet[i] = fleetMember{dev: dev, src: d.src, sites: sites, sched: sched}
 		}
 	})
 	return fleet
 }
 
+// home-recall probabilities of the presence schedule: the chance a
+// mobile fleet device spends a given day at home (or offline) instead
+// of at its scheduled site. Phones travel in trips and are home-heavy;
+// deployed M2M devices rarely leave the field; stationary verticals
+// (meters, POS terminals) never move at all.
+const (
+	homeDayProbPhone = 0.20
+	homeDayProbM2M   = 0.05
+)
+
+// scheduleStationary reports whether a class never relocates once
+// deployed: its schedule is its anchor site every day, and the
+// AttachProb extras its home provisioned are never toured.
+func scheduleStationary(class devices.Class) bool {
+	return class == devices.ClassSmartMeter || class == devices.ClassPOSTerminal
+}
+
+// drawSchedule allocates one fleet device's window days among its
+// provisioned sites and home — the mutually exclusive replacement for
+// independent per-site activity: each day maps to exactly one site
+// index, or ScheduleHome.
+//
+// Stationary classes camp on their anchor for the whole window.
+// Mobile classes tour their provisioned sites: the window splits into
+// one contiguous sojourn per site, in a random order with random cut
+// points (every provisioned site gets at least one day whenever the
+// window is long enough), and each day carries a class-dependent
+// home-recall probability. Every draw comes from the device's own
+// substream, so the schedule is worker-count invariant and sites can
+// consult it concurrently through read-only access.
+func drawSchedule(src *rng.Source, class devices.Class, sites []bool, anchor, days int) []int8 {
+	sched := make([]int8, days)
+	for d := range sched {
+		sched[d] = ScheduleHome
+	}
+	if anchor < 0 {
+		return sched // no allowed site: the device never roams in
+	}
+	if scheduleStationary(class) {
+		for d := range sched {
+			sched[d] = int8(anchor)
+		}
+		return sched
+	}
+
+	var present []int
+	for j, ok := range sites {
+		if ok {
+			present = append(present, j)
+		}
+	}
+	order := src.Perm(len(present))
+
+	homeProb := homeDayProbM2M
+	if !class.IsM2M() {
+		homeProb = homeDayProbPhone
+	}
+
+	if len(present) >= days {
+		// Degenerate short window: one day per site until days run out.
+		for d := range sched {
+			sched[d] = int8(present[order[d]])
+		}
+		return sched
+	}
+
+	// Random composition of the window into len(present) sojourns,
+	// each at least one day: cut points are a sorted sample of the
+	// interior day boundaries.
+	cuts := src.Perm(days - 1)[:len(present)-1]
+	sort.Ints(cuts)
+	seg := 0
+	for d := 0; d < days; d++ {
+		sched[d] = int8(present[order[seg]])
+		// Cut c ends its sojourn after day c; distinct sorted cuts in
+		// [0, days-2] keep every sojourn at least one day long.
+		if seg < len(cuts) && d == cuts[seg] {
+			seg++
+		}
+	}
+	for d := range sched {
+		if src.Bool(homeProb) {
+			sched[d] = ScheduleHome
+		}
+	}
+	return sched
+}
+
 // localDevice is one device a site observes, with the substream its
-// emission draws from and the mobility model it moves by while in the
-// site's country.
+// emission draws from, the mobility model it moves by while in the
+// site's country, and — for fleet devices — the shared presence
+// schedule's per-day gate at this site (nil = present every day).
 type localDevice struct {
 	dev  devices.Device
 	emit *rng.Source
+	// presentDay gates emission days; nil means every window day.
+	presentDay func(day int) bool
 }
 
 // generateSite builds one visited operator's population and catalog.
@@ -395,20 +542,29 @@ func generateSite(cfg FederationConfig, j int, root *rng.Source, db *gsma.DB, fl
 
 	// Local observation set: natives first, then the present fleet in
 	// fleet order — a deterministic list whose shard boundaries depend
-	// only on its length. Fleet devices move by a site-local mobility
-	// model drawn from their per-(device, site) substream.
+	// only on its length. A fleet device joins the site only when the
+	// shared presence schedule gives it at least one day here, and its
+	// emission is gated to exactly those days — so a device abroad at
+	// another site on day d contributes nothing to this catalog that
+	// day. Fleet devices move by a site-local mobility model drawn
+	// from their per-(device, site) substream.
 	locals := make([]localDevice, 0, cfg.NativePerSite+len(fleet)/2)
 	for i := range natives {
 		locals = append(locals, localDevice{dev: natives[i], emit: srcs[i].Split("days")})
 	}
 	for i := range fleet {
-		if !fleet[i].sites[j] {
+		if fleet[i].daysAt(j) == 0 {
 			continue
 		}
 		vsrc := fleet[i].src.SplitN("visit", siteKey(host))
 		dev := fleet[i].dev
 		dev.Mobility = classMobility(vsrc.Split("mobility"), dev.Class, centre)
-		locals = append(locals, localDevice{dev: dev, emit: vsrc.Split("days")})
+		sched := fleet[i].sched
+		locals = append(locals, localDevice{
+			dev:        dev,
+			emit:       vsrc.Split("days"),
+			presentDay: func(day int) bool { return int(sched[day]) == j },
+		})
 		site.Present[dev.ID] = true
 		site.Truth[dev.ID] = dev.Class
 	}
@@ -428,7 +584,7 @@ func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, 
 		pipeline.Run(len(locals), cfg.Workers, func(sh pipeline.Shard) {
 			radioTap, cdrTap := taps(sh)
 			for i := sh.Lo; i < sh.Hi; i++ {
-				emitDeviceDaysRaw(locals[i].emit, host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &locals[i].dev)
+				emitDeviceDaysSched(locals[i].emit, host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &locals[i].dev, locals[i].presentDay)
 			}
 		})
 	}

@@ -1,0 +1,325 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"whereroam/internal/devices"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/mobility"
+	"whereroam/internal/netsim"
+	"whereroam/internal/pipeline"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+	"whereroam/internal/signaling"
+)
+
+// FederationM2M is the federated §3/§6 transaction plane: the
+// control-plane signaling the fleet's M2M devices generate across the
+// whole federation, consistent with the shared presence schedule —
+// every transaction's visited network is the one site the device is
+// scheduled at that day (or its home network on home days), and
+// inter-site moves surface as the paper's cancel-location/attach
+// switch sequences.
+type FederationM2M struct {
+	// Hosts mirrors the federation's visited-MNO list; Visited fields
+	// outside it are home-network transactions.
+	Hosts []mccmnc.PLMN
+	// Start and Days frame the observation window.
+	Start time.Time
+	Days  int
+	// Transactions is the time-sorted signaling stream (nil when the
+	// dataset came from StreamFederationM2M; the sink saw the stream).
+	Transactions []signaling.Transaction
+	// Truth maps the plane's device IDs (the fleet's M2M subset) to
+	// ground-truth classes.
+	Truth map[identity.DeviceID]devices.Class
+}
+
+// fedM2MDevice is one fleet member participating in the M2M plane,
+// with its plane-local RNG substream.
+type fedM2MDevice struct {
+	member *fleetMember
+	src    *rng.Source
+}
+
+// fedM2MPopulation selects the fleet's M2M subset in fleet order and
+// derives each device's plane substream — a read-only split off the
+// member stream, so the plane never perturbs the catalog plane's
+// draws (nor vice versa).
+func fedM2MPopulation(fed *FederationDataset) []fedM2MDevice {
+	devs := make([]fedM2MDevice, 0, len(fed.members))
+	for i := range fed.members {
+		m := &fed.members[i]
+		if !m.dev.Class.IsM2M() {
+			continue
+		}
+		devs = append(devs, fedM2MDevice{member: m, src: m.src.Split("m2mplane")})
+	}
+	return devs
+}
+
+// emitFedM2MDevice walks one device's schedule and offers every
+// transaction to the tap in day order (stable time-sorted within each
+// day). The device attaches where the schedule first places it,
+// re-attaches through a switch sequence whenever the scheduled
+// network changes between consecutive days, and keeps a lognormal
+// per-day keepalive budget of update-location/authentication
+// procedures on whichever network the day's schedule names.
+func emitFedM2MDevice(tap *probe.Tap[signaling.Transaction], fed *FederationDataset, d fedM2MDevice) {
+	m, src := d.member, d.src
+	home := m.dev.Home
+	visitedAt := func(day int) mccmnc.PLMN {
+		if s := m.sched[day]; s >= 0 {
+			return fed.Hosts[s]
+		}
+		return home
+	}
+	result := func() signaling.Result {
+		if src.Bool(0.02) { // sporadic transient failures (§3.3 tail)
+			return signaling.ResultNetworkFailure
+		}
+		return signaling.ResultOK
+	}
+	// Per-device keepalive intensity, heavy-tailed like the platform
+	// profiles (§3.2).
+	lam := src.LogNormal(math.Log(6), 0.9)
+
+	var dayTxs []signaling.Transaction
+	prev := mccmnc.PLMN{}
+	for day := 0; day < fed.Days; day++ {
+		dayTxs = dayTxs[:0]
+		dayStart := fed.Start.Add(time.Duration(day) * 24 * time.Hour)
+		visited := visitedAt(day)
+
+		// Attach on the first day, switch whenever the schedule moved
+		// the device overnight — both inside the first hour, so the
+		// session precedes the bulk of the day's keepalives.
+		if day == 0 || visited != prev {
+			t := dayStart.Add(time.Duration(src.Int63n(3600)) * time.Second)
+			if day == 0 {
+				dayTxs = append(dayTxs, netsim.AttachSequence(m.dev.ID, t, home, visited, radio.RAT4G, result())...)
+			} else {
+				dayTxs = append(dayTxs, netsim.SwitchSequence(m.dev.ID, t, home, prev, visited, radio.RAT4G, result())...)
+			}
+		}
+		prev = visited
+
+		for n := src.Poisson(lam); n > 0; n-- {
+			t := dayStart.Add(time.Duration(src.Int63n(24*3600)) * time.Second)
+			proc := signaling.ProcUpdateLocation
+			if !src.Bool(0.55) {
+				proc = signaling.ProcAuthentication
+			}
+			dayTxs = append(dayTxs, signaling.Transaction{
+				Device: m.dev.ID, Time: t, SIM: home, Visited: visited,
+				Procedure: proc, RAT: radio.RAT4G, Result: result(),
+			})
+		}
+		sort.SliceStable(dayTxs, func(i, j int) bool { return dayTxs[i].Time.Before(dayTxs[j].Time) })
+		for i := range dayTxs {
+			tap.Offer(dayTxs[i])
+		}
+	}
+}
+
+// GenerateFederationM2M synthesizes the federated M2M transaction
+// plane from an already-built federation dataset: the same shared
+// fleet, the same presence schedule, viewed as the §3/§6 signaling
+// stream. Emission fans out over internal/pipeline with shard-local
+// collectors concatenated in shard order and a final stable time
+// sort, so the stream is bit-identical at every worker count — and
+// identical to StreamFederationM2M's delivery after a stable time
+// sort.
+func GenerateFederationM2M(fed *FederationDataset) *FederationM2M {
+	devs := fedM2MPopulation(fed)
+	plane := newFederationM2M(fed, devs)
+
+	outs := pipeline.Map(len(devs), fed.cfg.Workers, func(sh pipeline.Shard) *probe.Collector[signaling.Transaction] {
+		var col probe.Collector[signaling.Transaction]
+		tap := probe.NewTap("fed-hmno-probe", fed.cfg.Seed, col.Add)
+		for i := sh.Lo; i < sh.Hi; i++ {
+			emitFedM2MDevice(tap, fed, devs[i])
+		}
+		return &col
+	})
+	for _, col := range outs {
+		plane.Transactions = append(plane.Transactions, col.Records()...)
+	}
+	// Stable: tied timestamps keep serial emission order, the order
+	// StreamFederationM2M delivers.
+	sort.SliceStable(plane.Transactions, func(i, j int) bool {
+		return plane.Transactions[i].Time.Before(plane.Transactions[j].Time)
+	})
+	return plane
+}
+
+// StreamFederationM2M is GenerateFederationM2M's bounded-memory twin:
+// the transaction stream goes to sink record by record in the exact
+// serial emission order (ingest.Ordered fan-in) instead of being
+// materialized. The returned plane carries the ground truth with a
+// nil Transactions slice; stable-sorting the streamed records by time
+// reproduces GenerateFederationM2M's slice bit for bit. sink runs on
+// the calling goroutine and exerts backpressure through the shard
+// windows.
+func StreamFederationM2M(fed *FederationDataset, sink func(signaling.Transaction)) *FederationM2M {
+	devs := fedM2MPopulation(fed)
+	plane := newFederationM2M(fed, devs)
+
+	ord := ingest.NewOrdered[signaling.Transaction](pipeline.ShardCount(len(devs)), 0)
+	done := make(chan any, 1)
+	go func() {
+		defer func() {
+			p := recover()
+			ord.CloseAll()
+			done <- p
+		}()
+		pipeline.Run(len(devs), fed.cfg.Workers, func(sh pipeline.Shard) {
+			defer ord.CloseShard(sh.Index)
+			tap := probe.NewTap("fed-hmno-probe", fed.cfg.Seed, ord.Sink(sh.Index))
+			for i := sh.Lo; i < sh.Hi; i++ {
+				emitFedM2MDevice(tap, fed, devs[i])
+			}
+		})
+	}()
+	ord.Drain(sink)
+	if p := <-done; p != nil {
+		panic(p)
+	}
+	return plane
+}
+
+// newFederationM2M builds the plane container and its truth map.
+func newFederationM2M(fed *FederationDataset, devs []fedM2MDevice) *FederationM2M {
+	plane := &FederationM2M{
+		Hosts: fed.Hosts,
+		Start: fed.Start,
+		Days:  fed.Days,
+		Truth: make(map[identity.DeviceID]devices.Class, len(devs)),
+	}
+	for _, d := range devs {
+		plane.Truth[d.member.dev.ID] = d.member.dev.Class
+	}
+	return plane
+}
+
+// FederationSMIP is the federated §7 smart-meter plane: one
+// meters-only SMIPDataset per visited operator, all provisioned from
+// the same shared fleet. Each site's view combines its own native
+// meter deployment (dedicated IMSI range, §4.4) with the fleet's
+// smart meters the presence schedule deployed there — stationary
+// devices, so each fleet meter appears at exactly one site for the
+// whole window.
+type FederationSMIP struct {
+	// Hosts mirrors the federation's visited-MNO list.
+	Hosts []mccmnc.PLMN
+	// Sites holds one per-site smart-meter dataset, in Hosts order.
+	Sites []*SMIPDataset
+}
+
+// GenerateFederationSMIP synthesizes the federated smart-meter plane
+// from an already-built federation dataset. Each site's catalog is
+// built through the per-event measurement path — batch per-shard
+// builders folded with catalog.Builder.Merge, or the streaming
+// ingest router when the federation was configured streaming — and is
+// bit-identical across worker counts and the batch/streaming switch,
+// exactly like the federation's main site catalogs.
+func GenerateFederationSMIP(fed *FederationDataset) *FederationSMIP {
+	cfg := fed.cfg
+	// The shared root is a pure function of the seed, so the plane
+	// derives its site substreams without the dataset retaining it.
+	root := rng.New(cfg.Seed).Split("federation")
+
+	plane := &FederationSMIP{
+		Hosts: fed.Hosts,
+		Sites: make([]*SMIPDataset, len(fed.Hosts)),
+	}
+	pipeline.Run(len(fed.Hosts), cfg.Workers, func(sh pipeline.Shard) {
+		for j := sh.Lo; j < sh.Hi; j++ {
+			plane.Sites[j] = generateSMIPSite(fed, cfg, root, j)
+		}
+	})
+	return plane
+}
+
+// generateSMIPSite builds one visited operator's smart-meter view:
+// native meters in the host's dedicated IMSI block plus the fleet
+// meters scheduled at this site.
+func generateSMIPSite(fed *FederationDataset, cfg FederationConfig, root *rng.Source, j int) *SMIPDataset {
+	host := cfg.Hosts[j]
+	sroot := root.SplitN("site", siteKey(host)).Split("smipplane")
+	hostCountry, _ := mccmnc.CountryByMCC(host.MCC)
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+	grid := radio.NewGrid(hostCountry, 60, 60, radio.DefaultSpacingDeg)
+
+	ds := &SMIPDataset{
+		Host:   host,
+		Start:  cfg.Start,
+		Days:   cfg.Days,
+		GSMA:   fed.GSMA,
+		Native: make(map[identity.DeviceID]bool, cfg.NativePerSite),
+		NBIoT:  map[identity.DeviceID]bool{},
+	}
+
+	// Native cohort: per-meter substreams, serial index-order IMSI
+	// allocation, parallel profile finish — the usual three-pass
+	// shape.
+	srcs := make([]*rng.Source, cfg.NativePerSite)
+	for i := range srcs {
+		srcs[i] = sroot.SplitN("meter", uint64(i))
+	}
+	alloc := devices.NewIMSIAllocator()
+	imsis := make([]identity.IMSI, cfg.NativePerSite)
+	for i := range imsis {
+		imsis[i] = alloc.Next(host, SMIPNativeBase)
+	}
+	natives := make([]devices.Device, cfg.NativePerSite)
+	pipeline.Run(cfg.NativePerSite, cfg.Workers, func(sh pipeline.Shard) {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			src := srcs[i]
+			prof := devices.SmartMeterNativeProfile(src.Split("profile"), cfg.Days, host)
+			info := fed.GSMA.Pick(src.Split("tac"), gsma.ArchM2MModule)
+			mob := mobility.NewStationary(src.Split("mob"), centre, 150)
+			natives[i] = devices.Assemble(devices.ClassSmartMeter, imsis[i], info, prof, mob, false)
+		}
+	})
+
+	locals := make([]localDevice, 0, cfg.NativePerSite)
+	for i := range natives {
+		ds.Devices = append(ds.Devices, natives[i])
+		ds.Native[natives[i].ID] = true
+		locals = append(locals, localDevice{dev: natives[i], emit: srcs[i].Split("days")})
+	}
+
+	// Fleet meters scheduled here, in fleet order. Stationary classes
+	// camp on their anchor, so the schedule gate is all-or-nothing per
+	// site — but it is still consulted, keeping the plane correct if
+	// the schedule model ever grows mobile meters.
+	for i := range fed.members {
+		m := &fed.members[i]
+		if m.dev.Class != devices.ClassSmartMeter || m.daysAt(j) == 0 {
+			continue
+		}
+		vsrc := m.src.SplitN("smipvisit", siteKey(host))
+		dev := m.dev
+		dev.Mobility = mobility.NewStationary(vsrc.Split("mob"), centre, 150)
+		sched := m.sched
+		ds.Devices = append(ds.Devices, dev)
+		ds.Native[dev.ID] = false
+		locals = append(locals, localDevice{
+			dev:        dev,
+			emit:       vsrc.Split("days"),
+			presentDay: func(day int) bool { return int(sched[day]) == j },
+		})
+	}
+
+	ds.NativeRange = SMIPNativeRange(host, alloc.Allocated(host, SMIPNativeBase))
+	ds.Catalog = buildSiteCatalog(cfg, host, grid, locals)
+	return ds
+}

@@ -220,12 +220,26 @@ func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
 // per-device order contract the catalogs' bit-identity rests on.
 func emitDeviceDaysRaw(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid,
 	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device) {
+	emitDeviceDaysSched(src, host, start, days, grid, radioTap, cdrTap, dev, nil)
+}
+
+// emitDeviceDaysSched is emitDeviceDaysRaw with a presence gate: when
+// presentDay is non-nil, only days it reports true for emit anything —
+// and absent days consume no randomness at all, so a device's draws at
+// one federation site never depend on how many days it spent at the
+// others. The gate is consulted before the daily-activity draw: being
+// scheduled elsewhere is not "inactive here", it is "not here".
+func emitDeviceDaysSched(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid,
+	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device, presentDay func(int) bool) {
 
 	p := dev.Profile
 	daySeconds := int64(24 * 3600)
 	var dayEvs []radio.Event
 	var dayRecs []cdrs.Record
 	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < days; day++ {
+		if presentDay != nil && !presentDay(day) {
+			continue
+		}
 		if !src.Bool(p.DailyActiveProb) {
 			continue
 		}

@@ -117,12 +117,14 @@ type Federation struct {
 	// it and always observe from the paper's UK operator.
 	Hosts []mccmnc.PLMN
 
-	mu    sync.Mutex
-	m2m   *dataset.M2MDataset
-	mno   *dataset.MNODataset
-	smip  *dataset.SMIPDataset
-	fed   *dataset.FederationDataset
-	sites []*Site
+	mu      sync.Mutex
+	m2m     *dataset.M2MDataset
+	mno     *dataset.MNODataset
+	smip    *dataset.SMIPDataset
+	fed     *dataset.FederationDataset
+	fedM2M  *dataset.FederationM2M
+	fedSMIP *dataset.FederationSMIP
+	sites   []*Site
 }
 
 // Session is the single-site view of a Federation — the historical
@@ -255,6 +257,7 @@ var canonicalOrder = map[string]int{
 	"abl-classifier": 15, "abl-gyration": 16, "abl-policy": 17,
 	"ext-revenue": 18, "ext-transparency": 19, "ext-nbiot": 20, "ext-latency": 21,
 	"fed-sites": 22, "fed-agreement": 23, "fed-validation": 24,
+	"fed-smip": 25, "fed-m2m": 26,
 }
 
 func register(id, title string, run func(*Session) *Report) {

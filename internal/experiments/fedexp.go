@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"whereroam/internal/analysis"
 	"whereroam/internal/catalog"
@@ -9,6 +10,7 @@ import (
 	"whereroam/internal/dataset"
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
+	"whereroam/internal/signaling"
 )
 
 func init() {
@@ -75,6 +77,45 @@ func (s *Federation) FederationData() *dataset.FederationDataset {
 		s.fed = dataset.GenerateFederation(cfg)
 	}
 	return s.fed
+}
+
+// FederationM2M lazily builds the federated §3/§6 transaction plane:
+// the signaling stream the shared fleet's M2M devices generate across
+// every site, consistent with the presence schedule. A streaming
+// session produces it through the ordered fan-in and materializes the
+// result — bit-identical to the batch build.
+func (s *Federation) FederationM2M() *dataset.FederationM2M {
+	fed := s.FederationData()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fedM2M == nil {
+		if s.Streaming {
+			var txs []signaling.Transaction
+			plane := dataset.StreamFederationM2M(fed, func(tx signaling.Transaction) { txs = append(txs, tx) })
+			// Stable: tied timestamps keep serial emission order, the
+			// same order the batch build's stable sort preserves.
+			sort.SliceStable(txs, func(i, j int) bool { return txs[i].Time.Before(txs[j].Time) })
+			plane.Transactions = txs
+			s.fedM2M = plane
+		} else {
+			s.fedM2M = dataset.GenerateFederationM2M(fed)
+		}
+	}
+	return s.fedM2M
+}
+
+// FederationSMIP lazily builds the federated §7 smart-meter plane:
+// one meters-only dataset per site over the shared fleet's meters
+// plus each site's native deployment. The catalogs build batch or
+// streaming per the session, bit-identical either way.
+func (s *Federation) FederationSMIP() *dataset.FederationSMIP {
+	fed := s.FederationData()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fedSMIP == nil {
+		s.fedSMIP = dataset.GenerateFederationSMIP(fed)
+	}
+	return s.fedSMIP
 }
 
 // Sites lazily builds the per-site analysis views: each site's
@@ -266,6 +307,37 @@ func runFedAgreement(s *Session) *Report {
 		r.Notes = append(r.Notes,
 			fmt.Sprintf("label grammar consistent for %d/%d fleet devices across all observing sites", consistent, checked))
 	}
+
+	// Schedule exclusivity: with the shared presence schedule, a fleet
+	// device active at one site on a day must be absent from every
+	// other site's catalog that day. Checked over the actual catalogs
+	// (not the schedule itself), so a regression in either emission
+	// path shows up as a violation share above zero.
+	type devDay struct {
+		dev identity.DeviceID
+		day int
+	}
+	siteOf := map[devDay]int{}
+	violations, devDays := 0, 0
+	for j, st := range sites {
+		for i := range st.Data.Catalog.Records {
+			rec := &st.Data.Catalog.Records[i]
+			if !st.Data.Present[rec.Device] {
+				continue // site-native device, never shared
+			}
+			devDays++
+			key := devDay{rec.Device, rec.Day}
+			if prev, ok := siteOf[key]; ok && prev != j {
+				violations++
+			}
+			siteOf[key] = j
+		}
+	}
+	if devDays > 0 {
+		r.setValue("presence_exclusivity", 1-float64(violations)/float64(devDays))
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("presence schedule: %d shared fleet device-days observed, %d at more than one site", devDays, violations))
+	}
 	return r
 }
 
@@ -358,6 +430,50 @@ func runFedValidation(s *Session) *Report {
 		r.setValue("best_site_accuracy", bestAcc)
 	}
 	r.setValue("fleet_evaluated", float64(len(voted)))
+
+	// The schedule's day-slice effect: presence is mutually exclusive,
+	// so a multi-site device's active days partition across its sites —
+	// any single operator holds only a slice of the evidence the
+	// federation holds together. max_site_day_share is the mean share
+	// of a shared device's total active days its best-covered site saw
+	// (1.0 would mean single sites see everything; the lower it is, the
+	// more the §8-style evidence pooling buys).
+	daysAt := map[identity.DeviceID][]int{}
+	for _, st := range sites {
+		sums := st.Summaries()
+		for i := range sums {
+			if st.Data.Present[sums[i].Device] {
+				daysAt[sums[i].Device] = append(daysAt[sums[i].Device], sums[i].ActiveDays)
+			}
+		}
+	}
+	// Iterate in fleet order: float accumulation must not depend on
+	// map iteration order, or the report would differ run to run in
+	// the last bits.
+	var shareSum float64
+	multiSite := 0
+	for i := range fed.Fleet {
+		counts := daysAt[fed.Fleet[i].ID]
+		if len(counts) < 2 {
+			continue
+		}
+		maxDays, total := 0, 0
+		for _, n := range counts {
+			total += n
+			maxDays = max(maxDays, n)
+		}
+		if total == 0 {
+			continue
+		}
+		multiSite++
+		shareSum += float64(maxDays) / float64(total)
+	}
+	if multiSite > 0 {
+		r.setValue("max_site_day_share", shareSum/float64(multiSite))
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"schedule day slices: %d fleet devices split across 2+ sites; their best-covered site saw %.0f%% of their active days on average",
+			multiSite, 100*shareSum/float64(multiSite)))
+	}
 	return r
 }
 

@@ -42,6 +42,44 @@ func TestFedAgreement(t *testing.T) {
 	// perfect.
 	within(t, rep, "class_agreement_min", 0.75, 1.0)
 	within(t, rep, "class_agreement_mean", 0.8, 1.0)
+	// The presence schedule is mutually exclusive: no shared fleet
+	// device may be active at two sites on the same day.
+	within(t, rep, "presence_exclusivity", 1.0, 1.0)
+}
+
+func TestFedSMIPPlane(t *testing.T) {
+	rep := runFed(t, "fed-smip")
+	within(t, rep, "smip_sites", 3, 3)
+	// §4.4's provenance result must federate: at every site, all
+	// roaming meters trace to the single NL home operator and the
+	// two-vendor module pool.
+	within(t, rep, "nl_home_share", 1.0, 1.0)
+	within(t, rep, "vendor_count", 1, 2)
+	// Meters are stationary, so the fleet partitions across sites.
+	within(t, rep, "meter_single_site_share", 1.0, 1.0)
+	for _, host := range []string{"23410", "26201", "24001"} {
+		if rep.Value("site_"+host+"_roaming_meters") == 0 {
+			t.Errorf("site %s deployed no fleet meters", host)
+		}
+	}
+}
+
+func TestFedM2MPlane(t *testing.T) {
+	rep := runFed(t, "fed-m2m")
+	if rep.Value("m2m_transactions") == 0 || rep.Value("m2m_devices") == 0 {
+		t.Fatalf("fed-m2m plane is empty:\n%s", rep)
+	}
+	// Every non-cancel transaction must sit on the exact network the
+	// shared schedule names for its day — the plane is a view of the
+	// same fleet, not an independent draw.
+	within(t, rep, "schedule_consistency", 1.0, 1.0)
+	// The fleet is mostly deployed abroad, so the plane is
+	// roaming-dominated (§3.2's ES profile).
+	within(t, rep, "roaming_tx_share", 0.5, 1.0)
+	// Schedule moves surface as switch chains.
+	if rep.Value("switches_per_device") <= 0 {
+		t.Error("no inter-site switches in the federated M2M plane")
+	}
 }
 
 func TestFedValidation(t *testing.T) {
@@ -68,11 +106,27 @@ func TestFedValidation(t *testing.T) {
 func TestFedRunnersWorkerCountInvariant(t *testing.T) {
 	serial := NewFederation(1, 0.06, 1)
 	par := NewFederation(1, 0.06, 4)
-	for _, id := range []string{"fed-sites", "fed-agreement", "fed-validation"} {
+	for _, id := range []string{"fed-sites", "fed-agreement", "fed-validation", "fed-smip", "fed-m2m"} {
 		r, _ := ByID(id)
 		a, b := r.Run(serial), r.Run(par)
 		if !reflect.DeepEqual(a.Values, b.Values) {
 			t.Errorf("%s: values differ between workers 1 and 4\nserial: %v\npar:    %v", id, a.Values, b.Values)
+		}
+	}
+}
+
+// A streaming federation builds the site catalogs through the ingest
+// router and the M2M plane through the ordered fan-in; every fed-*
+// report must nonetheless be bit-identical to the batch session's.
+func TestFedRunnersStreamingMatchesBatch(t *testing.T) {
+	batch := NewFederation(3, 0.06, 4)
+	stream := NewFederation(3, 0.06, 4)
+	stream.Streaming = true
+	for _, id := range []string{"fed-sites", "fed-agreement", "fed-validation", "fed-smip", "fed-m2m"} {
+		r, _ := ByID(id)
+		a, b := r.Run(batch), r.Run(stream)
+		if !reflect.DeepEqual(a.Values, b.Values) {
+			t.Errorf("%s: values differ between batch and streaming sessions\nbatch:  %v\nstream: %v", id, a.Values, b.Values)
 		}
 	}
 }
@@ -91,12 +145,13 @@ func TestStreamingSessionM2MMatchesBatch(t *testing.T) {
 	}
 }
 
-// The runner-side chunked analyses (groupECDF behind fig7/fig8/fig10)
-// must emit identical report values at any worker count.
+// The runner-side chunked analyses (groupECDF behind fig7/fig8/fig10,
+// and t2's chunked per-day label join) must emit identical report
+// values at any worker count.
 func TestRunnerAnalysesWorkerCountInvariant(t *testing.T) {
 	serial := NewSessionWorkers(1, 0.08, 1)
 	par := NewSessionWorkers(1, 0.08, 4)
-	for _, id := range []string{"fig7", "fig8", "fig10"} {
+	for _, id := range []string{"t2", "fig7", "fig8", "fig10"} {
 		r, _ := ByID(id)
 		a, b := r.Run(serial), r.Run(par)
 		if !reflect.DeepEqual(a.Values, b.Values) {

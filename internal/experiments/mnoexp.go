@@ -88,24 +88,59 @@ func runT2(s *Session) *Report {
 	}
 
 	// Per-day label shares over daily records (the paper's "per-day"
-	// framing), averaged across the window.
+	// framing), averaged across the window. The label join chunks over
+	// internal/pipeline: record chunks accumulate shard-local count
+	// maps that fold in shard order. Counts are integers, so the fold
+	// is exact and the report is bit-identical to a serial join at any
+	// worker count (the same shard-ordered-merge pattern as groupECDF).
+	type dayLabelCounts struct {
+		perDay   map[int]map[core.Label]int
+		dayTotal map[int]int
+	}
+	parts := pipeline.Map(len(v.ds.Catalog.Records), v.workers, func(sh pipeline.Shard) dayLabelCounts {
+		out := dayLabelCounts{perDay: map[int]map[core.Label]int{}, dayTotal: map[int]int{}}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			rec := &v.ds.Catalog.Records[i]
+			l := v.labeler.LabelRecord(rec)
+			m := out.perDay[rec.Day]
+			if m == nil {
+				m = map[core.Label]int{}
+				out.perDay[rec.Day] = m
+			}
+			m[l]++
+			out.dayTotal[rec.Day]++
+		}
+		return out
+	})
 	perDay := map[int]map[core.Label]int{}
 	dayTotal := map[int]int{}
-	for i := range v.ds.Catalog.Records {
-		rec := &v.ds.Catalog.Records[i]
-		l := v.labeler.LabelRecord(rec)
-		m := perDay[rec.Day]
-		if m == nil {
-			m = map[core.Label]int{}
-			perDay[rec.Day] = m
+	for _, part := range parts {
+		for day, m := range part.perDay {
+			dst := perDay[day]
+			if dst == nil {
+				dst = map[core.Label]int{}
+				perDay[day] = dst
+			}
+			for l, n := range m {
+				dst[l] += n
+			}
 		}
-		m[l]++
-		dayTotal[rec.Day]++
+		for day, n := range part.dayTotal {
+			dayTotal[day] += n
+		}
 	}
+	// Average in day order: float accumulation over map iteration
+	// order would wobble in the last bits from run to run.
 	labelShare := map[core.Label]float64{}
-	for day, m := range perDay {
-		for l, n := range m {
-			labelShare[l] += float64(n) / float64(dayTotal[day])
+	for day := 0; day < v.ds.Days; day++ {
+		m := perDay[day]
+		if m == nil {
+			continue
+		}
+		for _, l := range core.AllLabels {
+			if n := m[l]; n > 0 {
+				labelShare[l] += float64(n) / float64(dayTotal[day])
+			}
 		}
 	}
 	for l := range labelShare {

@@ -139,6 +139,13 @@ type (
 	// FederationSite is one visited operator's slice of a federation
 	// dataset.
 	FederationSite = dataset.FederationSite
+	// FederationM2M is the federated §3/§6 transaction plane: the
+	// shared fleet's signaling stream, consistent with the presence
+	// schedule.
+	FederationM2M = dataset.FederationM2M
+	// FederationSMIP is the federated §7 smart-meter plane: one
+	// meters-only dataset per site over the shared fleet's meters.
+	FederationSMIP = dataset.FederationSMIP
 )
 
 // Dataset generators with the paper's default shapes.
@@ -161,6 +168,16 @@ var (
 	// GenerateFederation synthesizes one shared world and roamer
 	// fleet observed by N visited operators.
 	GenerateFederation = dataset.GenerateFederation
+	// GenerateFederationM2M derives the §3/§6 signaling view of an
+	// already-built federation: every transaction follows the shared
+	// per-day presence schedule.
+	GenerateFederationM2M = dataset.GenerateFederationM2M
+	// StreamFederationM2M is GenerateFederationM2M's bounded-memory
+	// twin: the stream goes to a sink in deterministic order.
+	StreamFederationM2M = dataset.StreamFederationM2M
+	// GenerateFederationSMIP derives the per-site §7 smart-meter
+	// views of an already-built federation.
+	GenerateFederationSMIP = dataset.GenerateFederationSMIP
 )
 
 // Streaming ingestion plane: bounded-memory catalog builds over live

@@ -124,4 +124,22 @@ func TestFacadeFederationGenerator(t *testing.T) {
 			t.Errorf("site %v: empty catalog", s.Host)
 		}
 	}
+	if len(fed.Schedule) != len(fed.Fleet) {
+		t.Fatalf("schedule rows = %d, fleet = %d", len(fed.Schedule), len(fed.Fleet))
+	}
+
+	// The federated planes are views of the same fleet and schedule.
+	var m2m *FederationM2M = GenerateFederationM2M(fed)
+	if len(m2m.Transactions) == 0 {
+		t.Error("federated M2M plane is empty")
+	}
+	var smip *FederationSMIP = GenerateFederationSMIP(fed)
+	if len(smip.Sites) != len(fed.Sites) {
+		t.Fatalf("SMIP plane sites = %d, want %d", len(smip.Sites), len(fed.Sites))
+	}
+	streamed := 0
+	StreamFederationM2M(fed, func(Transaction) { streamed++ })
+	if streamed != len(m2m.Transactions) {
+		t.Errorf("streamed %d transactions, batch has %d", streamed, len(m2m.Transactions))
+	}
 }
