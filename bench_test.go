@@ -22,6 +22,7 @@ import (
 	"whereroam/internal/radio"
 	"whereroam/internal/rng"
 	"whereroam/internal/signaling"
+	"whereroam/internal/store"
 )
 
 // benchScale keeps each per-iteration pipeline run small.
@@ -229,6 +230,52 @@ func benchStreamCapture(b *testing.B, workers int) {
 
 func BenchmarkStreamCaptureSerial(b *testing.B)   { benchStreamCapture(b, 1) }
 func BenchmarkStreamCaptureParallel(b *testing.B) { benchStreamCapture(b, 0) }
+
+// BenchmarkStoreReplay measures rebuilding the devices-catalog from a
+// segmented archive (internal/store), full versus day-pruned. The
+// archive is written once outside the timer in the mediation-feed
+// shape (time-ordered), so segments are day-correlated and the pruned
+// replay demonstrates what the footer index buys: whole segments
+// skipped unread.
+func BenchmarkStoreReplay(b *testing.B) {
+	cfg := dataset.DefaultSMIPConfig()
+	cfg.NativeMeters = 1200
+	cfg.RoamingMeters = 800
+	cfg.Workers = 0
+	_, raw := dataset.GenerateSMIPRaw(cfg)
+	dir := b.TempDir()
+	w, err := store.NewWriter(dir, store.Meta{Host: cfg.Host, Start: cfg.Start, Days: cfg.Days}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range raw.Records {
+		if err := w.Append(raw.Records[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, f store.Filter) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cat, stats, err := rep.Replay(f, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(cat.Records) == 0 || stats.RecordsKept == 0 {
+				b.Fatal("replay produced an empty catalog")
+			}
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b, store.Filter{}) })
+	b.Run("pruned", func(b *testing.B) { run(b, store.Filter{}.Days(cfg.Days/2, cfg.Days/2+1)) })
+}
 
 // BenchmarkEndToEnd runs every registered experiment once per
 // iteration over a shared session — the cost of `roamrepro all`.

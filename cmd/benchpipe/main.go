@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -26,6 +28,7 @@ import (
 	"whereroam/internal/benchfmt"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
+	"whereroam/internal/store"
 )
 
 // heapPeak runs fn once and returns the peak heap growth it caused: a
@@ -124,6 +127,46 @@ func main() {
 		}
 	}
 
+	// Store replay pair: archive the capture's CDR/xDR plane once, in
+	// the mediation-feed shape (time-ordered, so segments are
+	// day-correlated), then measure the full and the day-pruned
+	// catalog rebuild — the "archived once, analyzed many times"
+	// workload the store exists for.
+	archDir, err := os.MkdirTemp("", "benchpipe-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(archDir)
+	archCfg := rawSMIP(0)
+	_, archRaw := dataset.GenerateSMIPRaw(archCfg)
+	archDir = filepath.Join(archDir, "feed")
+	aw, err := store.NewWriter(archDir, store.Meta{Host: archCfg.Host, Start: archCfg.Start, Days: archCfg.Days}, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range archRaw.Records {
+		if err := aw.Append(archRaw.Records[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	rply, err := store.Open(archDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay := func(f store.Filter) func(int) {
+		return func(workers int) {
+			cat, _, err := rply.Replay(f, workers)
+			if err != nil || len(cat.Records) == 0 {
+				log.Fatalf("store replay failed: %v (%d records)", err, len(cat.Records))
+			}
+		}
+	}
+	replayFull := replay(store.Filter{})
+	replayPruned := replay(store.Filter{}.Days(archCfg.Days/2, archCfg.Days/2+1))
+
 	rep := benchfmt.Report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -139,6 +182,8 @@ func main() {
 		{"pipeline", mnoPipeline},
 		{"raw_capture", rawCapture},
 		{"raw_capture_stream", streamCapture},
+		{"store_replay_full", replayFull},
+		{"store_replay_pruned", replayPruned},
 	} {
 		serial := measure(1, pair.fn)
 		parallel := measure(0, pair.fn)
@@ -150,6 +195,22 @@ func main() {
 			pair.name, serial.NsPerOp, serial.HeapPeakBytes>>20,
 			rep.GoMaxProcs, parallel.NsPerOp, parallel.HeapPeakBytes>>20,
 			rep.Speedups[pair.name])
+	}
+
+	// Pruning effectiveness, from the SERIAL pair so the ratio is
+	// machine-independent (full and pruned decode the same archive in
+	// the same process; core count cancels out). It goes into Ratios,
+	// which benchdiff gates even across a GOMAXPROCS mismatch — so an
+	// index regression that stops segments from being skipped fails CI
+	// no matter what machine recorded the baseline.
+	fullArt := rep.Artefacts["store_replay_full_serial"]
+	prunedArt := rep.Artefacts["store_replay_pruned_serial"]
+	if prunedArt.NsPerOp > 0 {
+		rep.Ratios = map[string]float64{
+			"store_prune": float64(fullArt.NsPerOp) / float64(prunedArt.NsPerOp),
+		}
+		log.Printf("store pruned replay: %.2fx faster than full replay (serial pair)",
+			rep.Ratios["store_prune"])
 	}
 
 	// The headline memory comparison: the streaming ingest's peak

@@ -12,6 +12,8 @@
 //	fedsim -sites 2                 # first N default hosts
 //	fedsim -hosts 23410,26202      # explicit visited MNOs
 //	fedsim -stream                  # per-site catalogs via the streaming ingest router
+//	fedsim -archive /data/fed       # persist each site's CDR feed to /data/fed/site-<plmn>
+//	fedsim -replay /data/fed        # replay every per-site store, then exit
 //	fedsim -experiment fed-smip     # one experiment (fed-sites, fed-agreement,
 //	                                # fed-validation, fed-smip, fed-m2m)
 package main
@@ -21,13 +23,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"whereroam/internal/dataset"
 	"whereroam/internal/experiments"
 	"whereroam/internal/mccmnc"
+	"whereroam/internal/store"
 )
 
 func main() {
@@ -41,8 +46,15 @@ func main() {
 		hosts   = flag.String("hosts", "", "comma-separated visited-MNO PLMNs (overrides -sites)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker pool size (results are identical for any value)")
 		stream  = flag.Bool("stream", false, "build site catalogs through the bounded-memory streaming ingest router")
+		archive = flag.String("archive", "", "persist each site's CDR/xDR feed to a per-site store under this directory")
+		replay  = flag.String("replay", "", "verify (strictly: torn/corrupt segments fail) and replay every per-site store under this directory, then exit; use roamstore for tolerant replay")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		replaySites(*replay, *workers)
+		return
+	}
 
 	plmns, err := resolveHosts(*hosts, *sites)
 	if err != nil {
@@ -51,6 +63,7 @@ func main() {
 
 	sess := experiments.NewFederation(*seed, *scale, *workers, plmns...)
 	sess.Streaming = *stream
+	sess.ArchiveDir = *archive
 
 	var runners []experiments.Runner
 	for _, r := range experiments.All() {
@@ -75,6 +88,43 @@ func main() {
 		rep := r.Run(sess)
 		fmt.Println(rep)
 		fmt.Printf("(%s ran in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// replaySites verifies and replays every per-site store under dir
+// (the layout fedsim -archive writes: one site-<plmn> store per
+// visited operator).
+func replaySites(dir string, workers int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var siteDirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "site-") {
+			siteDirs = append(siteDirs, e.Name())
+		}
+	}
+	sort.Strings(siteDirs)
+	if len(siteDirs) == 0 {
+		log.Fatalf("no site-<plmn> stores under %s", dir)
+	}
+	for _, name := range siteDirs {
+		r, err := store.Open(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep := r.Verify(); !rep.OK() {
+			fmt.Print(rep)
+			os.Exit(1)
+		}
+		cat, stats, err := r.Replay(store.Filter{}, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: replayed %d records into %d catalog rows (%d segments read, %d pruned, %d torn-skipped)\n",
+			name, stats.RecordsKept, len(cat.Records),
+			stats.SegmentsRead, stats.SegmentsPruned, stats.SegmentsTorn)
 	}
 }
 

@@ -8,15 +8,18 @@
 package whereroam
 
 import (
+	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"whereroam/internal/catalog"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
 	"whereroam/internal/identity"
 	"whereroam/internal/signaling"
+	"whereroam/internal/store"
 )
 
 // detMNO generates a small MNO dataset at the given seed and worker
@@ -397,6 +400,170 @@ func TestFederationSMIPPlaneDeterministic(t *testing.T) {
 	}
 	if fleetMeters == 0 {
 		t.Fatal("no fleet meters deployed at any site")
+	}
+}
+
+// The archive closes the loop the store subsystem is built for:
+// archive a live feed once while the catalog builds, replay it many
+// times — and the replayed catalog must be bit-identical to the live
+// CDR-plane build at every worker count, even though the archive was
+// written from concurrent emission shards (so its segmentation is not
+// itself deterministic). The live reference is the CDR/xDR plane of
+// the same seed's capture: the batch build feeds a single builder
+// serially, the streaming build routes the identical records through
+// the ingest router — the archive must reproduce both.
+func TestStoreReplayDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := dataset.DefaultSMIPConfig()
+		cfg.Seed = seed
+		cfg.NativeMeters, cfg.RoamingMeters = 300, 200
+		cfg.Workers = 1
+		_, raw := dataset.GenerateSMIPRaw(cfg)
+
+		// Live CDR-plane reference builds: batch (serial builder) and
+		// streaming (ingest router) over the same per-device sequences.
+		b := catalog.NewBuilder(cfg.Host, cfg.Start, cfg.Days, nil)
+		for i := range raw.Records {
+			b.AddRecord(raw.Records[i])
+		}
+		live := b.Build()
+		sb := catalog.NewShardedBuilder(cfg.Host, cfg.Start, cfg.Days, nil, 4)
+		in := NewCatalogIngester(sb, 0)
+		for i := range raw.Records {
+			in.OfferRecord(raw.Records[i])
+		}
+		if liveStream := in.Build(4); !reflect.DeepEqual(live.Records, liveStream.Records) {
+			t.Fatalf("seed %d: live streaming CDR-plane build differs from batch", seed)
+		}
+
+		// Archive the feed while the streaming generator builds its
+		// catalog, from four concurrent emission workers: the archive's
+		// segment contents depend on tap scheduling, the replayed
+		// catalog must not.
+		dir := filepath.Join(t.TempDir(), "feed")
+		w, err := store.NewWriter(dir, store.Meta{Host: cfg.Host, Start: cfg.Start, Days: cfg.Days}, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := cfg
+		scfg.Workers = 4
+		scfg.ArchiveCDRs = w.Sink()
+		dataset.GenerateSMIPStreaming(scfg)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		rep, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Manifest().TotalRecords; got != int64(len(raw.Records)) {
+			t.Fatalf("seed %d: archived %d records, live capture has %d", seed, got, len(raw.Records))
+		}
+		for _, workers := range []int{1, 4, 0} {
+			cat, _, err := rep.Replay(store.Filter{}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(live.Records, cat.Records) {
+				t.Errorf("seed %d workers %d: replayed catalog differs from the live CDR-plane build", seed, workers)
+			}
+		}
+	}
+}
+
+// Pruned replay must provably touch less of the store than a full
+// replay — whole segments skipped by the footer index, fewer body
+// bytes read — while producing exactly the day-sliced catalog. The
+// archive here is the mediation-feed shape (time-ordered, as a
+// national feed arrives), which is what makes segments day-correlated
+// and prunable.
+func TestStorePrunedReplay(t *testing.T) {
+	cfg := dataset.DefaultSMIPConfig()
+	cfg.NativeMeters, cfg.RoamingMeters = 300, 200
+	cfg.Workers = 1
+	_, raw := dataset.GenerateSMIPRaw(cfg)
+
+	dir := filepath.Join(t.TempDir(), "feed")
+	w, err := store.NewWriter(dir, store.Meta{Host: cfg.Host, Start: cfg.Start, Days: cfg.Days}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw.Records {
+		if err := w.Append(raw.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, full, err := rep.Replay(store.Filter{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := cfg.Days/2, cfg.Days/2+1
+	cat, pruned, err := rep.Replay(store.Filter{}.Days(lo, hi), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.SegmentsPruned == 0 {
+		t.Fatal("day-range replay over a time-ordered archive pruned no segments")
+	}
+	if pruned.BytesRead >= full.BytesRead {
+		t.Fatalf("pruned replay read %d body bytes, full replay read %d", pruned.BytesRead, full.BytesRead)
+	}
+
+	b := catalog.NewBuilder(cfg.Host, cfg.Start, cfg.Days, nil)
+	for i := range raw.Records {
+		day := int(raw.Records[i].Time.Sub(cfg.Start) / (24 * time.Hour))
+		if day >= lo && day <= hi {
+			b.AddRecord(raw.Records[i])
+		}
+	}
+	if want := b.Build(); !reflect.DeepEqual(want.Records, cat.Records) {
+		t.Fatal("day-pruned replay differs from the day-sliced live build")
+	}
+}
+
+// The signaling plane closes the ROADMAP streaming-persistence loop:
+// StreamM2M's deterministic ordered stream fans out to a signaling
+// store while a consumer drains it live, and replaying the store
+// reproduces the exact stream — so the §3 transaction feed is
+// archive-once/consume-many like the CDR plane.
+func TestStreamM2MArchiveRoundTrip(t *testing.T) {
+	cfg := dataset.DefaultM2MConfig()
+	cfg.Devices = 500
+	cfg.Workers = 4
+
+	dir := filepath.Join(t.TempDir(), "txfeed")
+	w, err := NewSignalingArchiveWriter(dir, store.Meta{Start: cfg.Start, Days: cfg.Days}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []signaling.Transaction
+	dataset.StreamM2M(cfg, Fanout(w.Sink(), func(tx signaling.Transaction) { live = append(live, tx) }))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 {
+		t.Fatal("streamed capture is empty")
+	}
+
+	rep, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []signaling.Transaction
+	if _, err := rep.ReplayTransactions(store.Filter{}, func(tx signaling.Transaction) { replayed = append(replayed, tx) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatal("replayed signaling stream differs from the live ordered stream")
 	}
 }
 

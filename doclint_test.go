@@ -27,6 +27,7 @@ var strictGodoc = map[string]bool{
 	"internal/catalog":     true,
 	"internal/dataset":     true,
 	"internal/experiments": true,
+	"internal/store":       true,
 }
 
 // packageDirs returns every directory under the module root that

@@ -47,6 +47,13 @@ type Report struct {
 	// "raw_capture_stream_vs_batch" a value below 1 means the
 	// streaming ingest path peaked below the materialized capture.
 	MemRatios map[string]float64 `json:"mem_ratios"`
+	// Ratios maps names to machine-independent within-run ratios
+	// ("bigger is better", like Speedups) — e.g. "store_prune", the
+	// serial full-replay / pruned-replay throughput ratio. Unlike
+	// Speedups they do not measure core count, so Compare gates them
+	// even when the baseline's GOMAXPROCS differs from the
+	// candidate's.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
 }
 
 // Load reads a Report from a JSON file.
@@ -209,20 +216,54 @@ func Compare(base, cand *Report, tol Tolerance) *Diff {
 			Cand:       float64(c.NsPerOp),
 			Regression: float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol.NsFrac),
 		})
-		memRegressed := float64(c.HeapPeakBytes) > float64(b.HeapPeakBytes)*(1+tol.MemFrac) &&
-			c.HeapPeakBytes-b.HeapPeakBytes > tol.MinHeapDeltaBytes
-		d.Findings = append(d.Findings, Finding{
-			Name:       name + " heap_peak",
-			Base:       float64(b.HeapPeakBytes),
-			Cand:       float64(c.HeapPeakBytes),
-			Regression: memRegressed,
-		})
+		if b.HeapPeakBytes == 0 {
+			// A zero baseline means the sampler caught no peak above
+			// the pre-run heap (short configurations routinely sample
+			// to zero). The relative tolerance is meaningless against
+			// it and the noise floor cannot protect it — any machine
+			// whose single sample lands a few MiB higher would "regress"
+			// with no code change — so the quantity is not comparable.
+			d.Skipped = append(d.Skipped, fmt.Sprintf(
+				"artefact %s heap_peak: baseline sampled zero — not comparable", name))
+		} else {
+			memRegressed := float64(c.HeapPeakBytes) > float64(b.HeapPeakBytes)*(1+tol.MemFrac) &&
+				c.HeapPeakBytes-b.HeapPeakBytes > tol.MinHeapDeltaBytes
+			d.Findings = append(d.Findings, Finding{
+				Name:       name + " heap_peak",
+				Base:       float64(b.HeapPeakBytes),
+				Cand:       float64(c.HeapPeakBytes),
+				Regression: memRegressed,
+			})
+		}
 	}
 
 	for _, name := range sortedKeys(cand.Artefacts) {
 		if _, ok := base.Artefacts[name]; !ok {
 			d.Skipped = append(d.Skipped, fmt.Sprintf(
 				"artefact %s: missing from baseline — ungated until the baseline is refreshed", name))
+		}
+	}
+
+	// Machine-independent ratios are gated unconditionally: they
+	// compare two configurations of the same run, not the machine.
+	for _, name := range sortedKeys(base.Ratios) {
+		b := base.Ratios[name]
+		c, ok := cand.Ratios[name]
+		if !ok {
+			d.Skipped = append(d.Skipped, fmt.Sprintf("ratio %s: missing from candidate", name))
+			continue
+		}
+		d.Findings = append(d.Findings, Finding{
+			Name:       "ratio " + name,
+			Base:       b,
+			Cand:       c,
+			Regression: c < b*(1-tol.NsFrac),
+		})
+	}
+	for _, name := range sortedKeys(cand.Ratios) {
+		if _, ok := base.Ratios[name]; !ok {
+			d.Skipped = append(d.Skipped, fmt.Sprintf(
+				"ratio %s: missing from baseline — ungated until the baseline is refreshed", name))
 		}
 	}
 

@@ -174,3 +174,64 @@ func TestReportRoundtrip(t *testing.T) {
 		t.Errorf("serial ns/op lost in roundtrip: %+v", got.Artefacts["pipeline_serial"])
 	}
 }
+
+// A zero heap-peak baseline (the sampler caught no peak for a short
+// configuration) is not comparable: any candidate sample a few MiB
+// above it would otherwise regress with no code change.
+func TestCompareSkipsZeroHeapBaseline(t *testing.T) {
+	base := report(4, 1_000_000, 300_000, 0)
+	cand := report(4, 1_000_000, 300_000, 20<<20) // would trip both heap thresholds
+	d := Compare(base, cand, DefaultTolerance())
+	if regs := d.Regressions(); len(regs) != 0 {
+		t.Fatalf("zero heap baseline produced regressions: %v", regs)
+	}
+	found := false
+	for _, s := range d.Skipped {
+		if strings.Contains(s, "heap_peak") && strings.Contains(s, "zero") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zero heap baseline was not skipped with a note; skips: %v", d.Skipped)
+	}
+	for _, f := range d.Findings {
+		if strings.Contains(f.Name, "heap_peak") {
+			t.Fatalf("zero-baseline heap finding still emitted: %v", f)
+		}
+	}
+}
+
+// Machine-independent ratios stay gated even when the baseline's
+// GOMAXPROCS differs from the candidate's — unlike speedups, they do
+// not measure core count — and a shrink beyond tolerance regresses.
+func TestCompareGatesRatiosAcrossGoMaxProcs(t *testing.T) {
+	base := report(1, 1_000_000, 1_000_000, 64<<20)
+	base.Ratios = map[string]float64{"store_prune": 10.0}
+	cand := report(4, 1_000_000, 300_000, 64<<20)
+	cand.Ratios = map[string]float64{"store_prune": 9.5}
+	d := Compare(base, cand, DefaultTolerance())
+	found := false
+	for _, f := range d.Findings {
+		if f.Name == "ratio store_prune" {
+			found = true
+			if f.Regression {
+				t.Fatalf("ratio within tolerance flagged: %v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ratio was not gated across the GOMAXPROCS mismatch; findings: %v", d.Findings)
+	}
+
+	cand.Ratios["store_prune"] = 2.0 // -80% vs 30% tolerance
+	d = Compare(base, cand, DefaultTolerance())
+	regressed := false
+	for _, f := range d.Regressions() {
+		if f.Name == "ratio store_prune" {
+			regressed = true
+		}
+	}
+	if !regressed {
+		t.Fatalf("collapsed prune ratio not flagged; diff:\n%s", d)
+	}
+}

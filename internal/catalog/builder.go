@@ -28,6 +28,13 @@ type Builder struct {
 	last map[identity.DeviceID]lastSeen
 	// visits per device-day for the mobility metrics.
 	visits map[dayKey][]geo.Visit
+	// callDur accumulates voice duration per device-day as integer
+	// nanoseconds; finalize converts it to CallSeconds once. Integer
+	// accumulation is associative, so however the records were grouped
+	// across builders (shards, merged feeds, archive segments) the
+	// final float is bit-identical to a serial single-builder run —
+	// float summation would depend on the grouping.
+	callDur map[dayKey]time.Duration
 }
 
 type dayKey struct {
@@ -49,13 +56,14 @@ const maxDwell = 2 * time.Hour
 // be nil when mobility metrics are not needed.
 func NewBuilder(host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid) *Builder {
 	return &Builder{
-		host:   host,
-		start:  start,
-		days:   days,
-		grid:   grid,
-		recs:   map[dayKey]*DailyRecord{},
-		last:   map[identity.DeviceID]lastSeen{},
-		visits: map[dayKey][]geo.Visit{},
+		host:    host,
+		start:   start,
+		days:    days,
+		grid:    grid,
+		recs:    map[dayKey]*DailyRecord{},
+		last:    map[identity.DeviceID]lastSeen{},
+		visits:  map[dayKey][]geo.Visit{},
+		callDur: map[dayKey]time.Duration{},
 	}
 }
 
@@ -130,7 +138,7 @@ func (b *Builder) AddRecord(rec cdrs.Record) {
 	switch rec.Kind {
 	case cdrs.KindVoice:
 		r.Calls++
-		r.CallSeconds += rec.Duration.Seconds()
+		b.callDur[dayKey{rec.Device, day}] += rec.Duration
 		r.VoiceRATs = r.VoiceRATs.With(rec.RAT)
 	case cdrs.KindData:
 		r.Bytes += rec.Bytes
@@ -168,6 +176,9 @@ func (b *Builder) finalize() []DailyRecord {
 	}
 	recs := make([]DailyRecord, 0, len(b.recs))
 	for k, r := range b.recs {
+		if d := b.callDur[k]; d != 0 {
+			r.CallSeconds = d.Seconds()
+		}
 		if vs := b.visits[k]; len(vs) > 0 {
 			if c, ok := geo.Centroid(vs); ok {
 				r.Centroid = c
@@ -215,7 +226,6 @@ func (b *Builder) Merge(o *Builder) {
 		r.Events += ro.Events
 		r.FailedEvents += ro.FailedEvents
 		r.Calls += ro.Calls
-		r.CallSeconds += ro.CallSeconds
 		r.Bytes += ro.Bytes
 		r.RadioFlags |= ro.RadioFlags
 		r.DataRATs |= ro.DataRATs
@@ -229,6 +239,9 @@ func (b *Builder) Merge(o *Builder) {
 	}
 	for k, vs := range o.visits {
 		b.visits[k] = append(b.visits[k], vs...)
+	}
+	for k, d := range o.callDur {
+		b.callDur[k] += d
 	}
 	for dev, seen := range o.last {
 		if prev, ok := b.last[dev]; !ok || seen.t.After(prev.t) {

@@ -3,6 +3,8 @@ package dataset
 import (
 	"bytes"
 	"math"
+	"path/filepath"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -10,6 +12,7 @@ import (
 	"whereroam/internal/identity"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/signaling"
+	"whereroam/internal/store"
 )
 
 // Small configs keep unit tests fast; experiment-level shape checks
@@ -398,5 +401,43 @@ func BenchmarkGenerateMNO(b *testing.B) {
 	cfg := smallMNO()
 	for i := 0; i < b.N; i++ {
 		_ = GenerateMNO(cfg)
+	}
+}
+
+// A federation with ArchiveDir set persists one verifiable store per
+// site while the catalogs build, and each store replays the site's
+// CDR plane deterministically across worker counts.
+func TestFederationArchiveSites(t *testing.T) {
+	cfg := DefaultFederationConfig()
+	cfg.FleetDevices, cfg.NativePerSite, cfg.Days = 150, 80, 5
+	cfg.ArchiveDir = t.TempDir()
+	fed := GenerateFederation(cfg)
+
+	for _, site := range fed.Sites {
+		dir := filepath.Join(cfg.ArchiveDir, "site-"+site.Host.Concat())
+		r, err := store.Open(dir)
+		if err != nil {
+			t.Fatalf("site %v: %v", site.Host, err)
+		}
+		if rep := r.Verify(); !rep.OK() {
+			t.Fatalf("site %v store fails verification:\n%s", site.Host, rep)
+		}
+		if r.Manifest().TotalRecords == 0 {
+			t.Fatalf("site %v archived no records", site.Host)
+		}
+		cat1, _, err := r.Replay(store.Filter{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat4, _, err := r.Replay(store.Filter{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cat1.Records, cat4.Records) {
+			t.Fatalf("site %v: replay differs between worker counts", site.Host)
+		}
+		if len(cat1.Records) == 0 {
+			t.Fatalf("site %v: replayed catalog is empty", site.Host)
+		}
 	}
 }

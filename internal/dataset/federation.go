@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"whereroam/internal/probe"
 	"whereroam/internal/radio"
 	"whereroam/internal/rng"
+	"whereroam/internal/store"
 )
 
 // FederationConfig parameterizes the multi-operator federation
@@ -56,6 +58,13 @@ type FederationConfig struct {
 	// the batch per-shard builders merged with catalog.Builder.Merge.
 	// Both paths produce bit-identical catalogs.
 	Streaming bool
+	// ArchiveDir, when non-empty, persists every site's CDR/xDR feed
+	// to a segmented archive at ArchiveDir/site-<plmn> while that
+	// site's catalog builds (batch and streaming alike) — the
+	// persist-and-ingest fanout of internal/store, one store per
+	// visited operator. The build panics on archive I/O errors,
+	// mirroring the config-validation panics.
+	ArchiveDir string
 }
 
 // DefaultFederationHosts is the standard three-site footprint: the
@@ -578,8 +587,27 @@ func generateSite(cfg FederationConfig, j int, root *rng.Source, db *gsma.DB, fl
 // batch or streaming per cfg.Streaming. Taps are created once per
 // emission shard; every device's events flow through exactly one tap
 // pair in per-device time-sorted order, so the two paths (and every
-// worker count) build the same catalog bit for bit.
+// worker count) build the same catalog bit for bit. With
+// cfg.ArchiveDir set, the site's CDR/xDR feed additionally fans out
+// to a per-site segmented archive in the same pass.
 func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, locals []localDevice) *catalog.Catalog {
+	wrapCDR := func(sink func(cdrs.Record)) func(cdrs.Record) { return sink }
+	if cfg.ArchiveDir != "" {
+		dir := filepath.Join(cfg.ArchiveDir, "site-"+host.Concat())
+		w, err := store.NewWriter(dir, store.Meta{Host: host, Start: cfg.Start, Days: cfg.Days}, 0)
+		if err != nil {
+			panic(fmt.Sprintf("dataset: federation archive: %v", err))
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				panic(fmt.Sprintf("dataset: federation archive: %v", err))
+			}
+		}()
+		wrapCDR = func(sink func(cdrs.Record)) func(cdrs.Record) {
+			return probe.Fanout(w.Sink(), sink)
+		}
+	}
+
 	emit := func(taps func(sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record])) {
 		pipeline.Run(len(locals), cfg.Workers, func(sh pipeline.Shard) {
 			radioTap, cdrTap := taps(sh)
@@ -593,9 +621,10 @@ func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, 
 		sb := catalog.NewShardedBuilder(host, cfg.Start, cfg.Days, grid, pipeline.Workers(cfg.Workers))
 		in := ingest.NewCatalogIngester(sb, 0)
 		defer in.Close()
+		cdrSink := wrapCDR(in.OfferRecord)
 		emit(func(pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
 			return probe.NewTap("site-probe", cfg.Seed, in.OfferRadio),
-				probe.NewTap("site-mediation", cfg.Seed, in.OfferRecord)
+				probe.NewTap("site-mediation", cfg.Seed, cdrSink)
 		})
 		return in.Build(cfg.Workers)
 	}
@@ -609,7 +638,7 @@ func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, 
 		b := catalog.NewBuilder(host, cfg.Start, cfg.Days, grid)
 		builders[sh.Index] = b
 		return probe.NewTap("site-probe", cfg.Seed, b.AddRadioEvent),
-			probe.NewTap("site-mediation", cfg.Seed, b.AddRecord)
+			probe.NewTap("site-mediation", cfg.Seed, wrapCDR(b.AddRecord))
 	})
 	acc := catalog.NewBuilder(host, cfg.Start, cfg.Days, grid)
 	for _, b := range builders {

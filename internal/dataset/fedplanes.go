@@ -232,6 +232,11 @@ type FederationSMIP struct {
 // exactly like the federation's main site catalogs.
 func GenerateFederationSMIP(fed *FederationDataset) *FederationSMIP {
 	cfg := fed.cfg
+	// Archiving belongs to the main site catalogs: the federation
+	// build already wrote one store per site under ArchiveDir, and a
+	// second writer over the same directories would refuse to clobber
+	// them — the plane is a derived view, not a second feed.
+	cfg.ArchiveDir = ""
 	// The shared root is a pure function of the seed, so the plane
 	// derives its site substreams without the dataset retaining it.
 	root := rng.New(cfg.Seed).Split("federation")

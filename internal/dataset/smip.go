@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
 	"whereroam/internal/devices"
 	"whereroam/internal/geo"
 	"whereroam/internal/gsma"
@@ -30,6 +31,15 @@ type SMIPConfig struct {
 	// values below one mean one worker per CPU. The capture and the
 	// built catalog are identical for every worker count.
 	Workers int
+	// ArchiveCDRs, when non-nil, additionally receives every CDR/xDR
+	// the streaming measurement path (GenerateSMIPStreaming) offers
+	// the ingest router — the probe.Fanout persist-and-ingest hook.
+	// Point it at a store.Writer.Sink to archive the live feed while
+	// the catalog builds in the same pass. It is called concurrently
+	// from the emission shards; each device's records arrive in
+	// per-device time order, the order contract an archived feed's
+	// replay rests on (see internal/store).
+	ArchiveCDRs func(cdrs.Record)
 }
 
 // DefaultSMIPConfig returns the standard scaled-down configuration

@@ -26,6 +26,10 @@ import (
 // worker count: both paths deliver each device's records in the same
 // per-device time-sorted order, which is the only order the builder's
 // output depends on (see internal/ingest and docs/ARCHITECTURE.md).
+//
+// With cfg.ArchiveCDRs set, every CDR/xDR additionally fans out to
+// the archive sink before it reaches the router — persist-and-ingest
+// in one pass, the feed never materialized.
 func GenerateSMIPStreaming(cfg SMIPConfig) *SMIPDataset {
 	g := newSMIPEmission(cfg)
 	workers := pipeline.Workers(cfg.Workers)
@@ -35,9 +39,13 @@ func GenerateSMIPStreaming(cfg SMIPConfig) *SMIPDataset {
 	// covers an emission panic, so a caller that recovers it does not
 	// leak the per-shard consumer goroutines and their channel windows.
 	defer in.Close()
+	recSink := in.OfferRecord
+	if cfg.ArchiveCDRs != nil {
+		recSink = probe.Fanout(cfg.ArchiveCDRs, in.OfferRecord)
+	}
 	g.emitCohorts(func(label string, sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
 		return probe.NewTap("mme-msc-sgsn", cfg.Seed, in.OfferRadio),
-			probe.NewTap("mediation", cfg.Seed, in.OfferRecord)
+			probe.NewTap("mediation", cfg.Seed, recSink)
 	})
 	g.ds.Catalog = in.Build(cfg.Workers)
 	return g.ds

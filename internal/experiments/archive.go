@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"whereroam/internal/catalog"
+	"whereroam/internal/dataset"
+	"whereroam/internal/store"
+)
+
+// ArchiveTo builds the session's SMIP dataset through the streaming
+// per-event measurement path while persisting its CDR/xDR feed to a
+// segmented archive at dir (see internal/store) — persist-and-ingest
+// in one pass. The archived plane is the CDR/xDR feed (radio events
+// are live-only), which is exactly what ReplayFrom rebuilds.
+//
+// On a streaming session the built dataset is cached as the session's
+// SMIP dataset (it is the exact dataset SMIP() would build), so later
+// runners reuse it. A batch session's SMIP() uses the direct
+// aggregate generator — a different dataset family — so there the
+// archive build is a side artefact and the cache is left alone:
+// archiving never changes a session's experiment outputs.
+func (s *Federation) ArchiveTo(dir string) (*dataset.SMIPDataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg := dataset.DefaultSMIPConfig()
+	cfg.Seed = s.Seed
+	cfg.NativeMeters = s.scaled(cfg.NativeMeters)
+	cfg.RoamingMeters = s.scaled(cfg.RoamingMeters)
+	cfg.Workers = s.Workers
+	w, err := store.NewWriter(dir, store.Meta{Host: cfg.Host, Start: cfg.Start, Days: cfg.Days}, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ArchiveCDRs = w.Sink()
+	ds := dataset.GenerateSMIPStreaming(cfg)
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if s.Streaming {
+		s.smip = ds
+	}
+	return ds, nil
+}
+
+// ReplayFrom opens the segmented archive at dir and rebuilds its
+// CDR-plane devices-catalog on the session's worker budget, with the
+// filter pruning segments against the store index before any body is
+// read. The replayed catalog is bit-identical to the live build over
+// the same feed at any worker count.
+func (s *Federation) ReplayFrom(dir string, f store.Filter) (*catalog.Catalog, *store.ReplayStats, error) {
+	r, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Replay(f, s.Workers)
+}

@@ -116,6 +116,11 @@ type Federation struct {
 	// classic single-site datasets (MNO/M2M/SMIP) are independent of
 	// it and always observe from the paper's UK operator.
 	Hosts []mccmnc.PLMN
+	// ArchiveDir, when non-empty, persists each federation site's
+	// CDR/xDR feed to a segmented archive at ArchiveDir/site-<plmn>
+	// while the site catalogs build (dataset.FederationConfig's
+	// ArchiveDir, threaded through FederationData).
+	ArchiveDir string
 
 	mu      sync.Mutex
 	m2m     *dataset.M2MDataset

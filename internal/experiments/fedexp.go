@@ -74,6 +74,7 @@ func (s *Federation) FederationData() *dataset.FederationDataset {
 		cfg.NativePerSite = s.scaled(cfg.NativePerSite)
 		cfg.Workers = s.Workers
 		cfg.Streaming = s.Streaming
+		cfg.ArchiveDir = s.ArchiveDir
 		s.fed = dataset.GenerateFederation(cfg)
 	}
 	return s.fed

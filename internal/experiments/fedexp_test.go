@@ -146,12 +146,13 @@ func TestStreamingSessionM2MMatchesBatch(t *testing.T) {
 }
 
 // The runner-side chunked analyses (groupECDF behind fig7/fig8/fig10,
-// and t2's chunked per-day label join) must emit identical report
-// values at any worker count.
+// t2's chunked per-day label join, and the fig5/fig6/fig9 crosstab
+// sweeps folded with analysis.Crosstab.Merge) must emit identical
+// report values at any worker count.
 func TestRunnerAnalysesWorkerCountInvariant(t *testing.T) {
 	serial := NewSessionWorkers(1, 0.08, 1)
 	par := NewSessionWorkers(1, 0.08, 4)
-	for _, id := range []string{"t2", "fig7", "fig8", "fig10"} {
+	for _, id := range []string{"t2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
 		r, _ := ByID(id)
 		a, b := r.Run(serial), r.Run(par)
 		if !reflect.DeepEqual(a.Values, b.Values) {

@@ -182,18 +182,29 @@ func runFig5(s *Session) *Report {
 		Title: "Home country of inbound roaming devices",
 		Paper: "top-20 countries ≈93% of inbound roamers; top-3 (NL, SE, ES) ≈60%; 83% of m2m from top-3 vs 17% smart / 35% feat",
 	}
+	// The home-country sweep chunks over internal/pipeline: each shard
+	// accumulates its own crosstab and the shard tables fold in shard
+	// order, reproducing the serial row insertion order exactly (see
+	// analysis.Crosstab.Merge) — bit-identical at any worker count.
+	parts := pipeline.Map(len(v.sums), v.workers, func(sh pipeline.Shard) *analysis.Crosstab {
+		part := analysis.NewCrosstab()
+		for i := sh.Lo; i < sh.Hi; i++ {
+			sum := &v.sums[i]
+			if !v.labelOf[sum.Device].InboundRoamer() {
+				continue
+			}
+			class := v.classOf[sum.Device]
+			if class == core.ClassM2MMaybe {
+				continue // the paper drops these from the analysis
+			}
+			iso := mccmnc.ISOByMCC(sum.SIM.MCC)
+			part.Add(iso, class.String(), 1)
+		}
+		return part
+	})
 	ct := analysis.NewCrosstab()
-	for i := range v.sums {
-		sum := &v.sums[i]
-		if !v.labelOf[sum.Device].InboundRoamer() {
-			continue
-		}
-		class := v.classOf[sum.Device]
-		if class == core.ClassM2MMaybe {
-			continue // the paper drops these from the analysis
-		}
-		iso := mccmnc.ISOByMCC(sum.SIM.MCC)
-		ct.Add(iso, class.String(), 1)
+	for _, part := range parts {
+		ct.Merge(part)
 	}
 	ct.SortRowsByTotal()
 	rows := ct.Rows()
@@ -238,12 +249,25 @@ func runFig6(s *Session) *Report {
 		Title: "Device class vs roaming label",
 		Paper: "I:H devices: 71.1% m2m, 27.1% smart; m2m devices: 74.7% I:H; smart 12.1% I:H; feat 6.4% I:H",
 	}
-	ct := analysis.NewCrosstab()
-	for dev, class := range v.classOf {
-		if class == core.ClassM2MMaybe {
-			continue
+	// Chunked class-vs-label join: sweeping the summaries (not the
+	// class map) gives shards a deterministic order, and the
+	// shard-ordered crosstab fold keeps the report bit-identical at
+	// any worker count.
+	parts := pipeline.Map(len(v.sums), v.workers, func(sh pipeline.Shard) *analysis.Crosstab {
+		part := analysis.NewCrosstab()
+		for i := sh.Lo; i < sh.Hi; i++ {
+			sum := &v.sums[i]
+			class := v.classOf[sum.Device]
+			if class == core.ClassM2MMaybe {
+				continue
+			}
+			part.Add(class.String(), v.labelOf[sum.Device].String(), 1)
 		}
-		ct.Add(class.String(), v.labelOf[dev].String(), 1)
+		return part
+	})
+	ct := analysis.NewCrosstab()
+	for _, part := range parts {
+		ct.Merge(part)
 	}
 	// Left heatmap: normalized per class (rows); right: per label.
 	left := analysis.NewTable("class \\ label", "H:H", "V:H", "N:H", "I:H", "H:A", "V:A")
@@ -384,18 +408,33 @@ func runFig9(s *Session) *Report {
 		Title: "Device shares wrt services: connectivity, data, voice per RAT",
 		Paper: "m2m: 77.4% 2G-only connectivity, 56.7% 2G-only data, 24.5% no data, 27.5% no voice, 60.6% 2G voice; feat: 50.9% 2G-only, 56.8% no data, 7.3% no voice",
 	}
+	// The three RAT-usage sweeps share one chunked pass: each shard
+	// fills a crosstab triple, and the triples fold in shard order —
+	// the same shard-ordered-merge pattern as fig5/fig6/groupECDF.
+	type ratTables struct {
+		conn, data, voice *analysis.Crosstab
+	}
+	parts := pipeline.Map(len(v.sums), v.workers, func(sh pipeline.Shard) ratTables {
+		part := ratTables{analysis.NewCrosstab(), analysis.NewCrosstab(), analysis.NewCrosstab()}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			sum := &v.sums[i]
+			class := v.classOf[sum.Device]
+			if class == core.ClassM2MMaybe {
+				continue
+			}
+			part.conn.Add(class.String(), ratBucket(sum.RadioFlags), 1)
+			part.data.Add(class.String(), ratBucket(sum.DataRATs), 1)
+			part.voice.Add(class.String(), ratBucket(sum.VoiceRATs), 1)
+		}
+		return part
+	})
 	conn := analysis.NewCrosstab()
 	data := analysis.NewCrosstab()
 	voice := analysis.NewCrosstab()
-	for i := range v.sums {
-		sum := &v.sums[i]
-		class := v.classOf[sum.Device]
-		if class == core.ClassM2MMaybe {
-			continue
-		}
-		conn.Add(class.String(), ratBucket(sum.RadioFlags), 1)
-		data.Add(class.String(), ratBucket(sum.DataRATs), 1)
-		voice.Add(class.String(), ratBucket(sum.VoiceRATs), 1)
+	for _, part := range parts {
+		conn.Merge(part.conn)
+		data.Merge(part.data)
+		voice.Merge(part.voice)
 	}
 	buckets := []string{"2G", "3G", "4G", "2G+3G", "2G+4G", "3G+4G", "2G+3G+4G", "none"}
 	for name, ct := range map[string]*analysis.Crosstab{"connectivity": conn, "data": data, "voice": voice} {

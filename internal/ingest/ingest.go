@@ -33,6 +33,7 @@ import (
 	"whereroam/internal/cdrs"
 	"whereroam/internal/probe"
 	"whereroam/internal/radio"
+	"whereroam/internal/signaling"
 )
 
 // DefaultDepth is the per-shard channel depth used when a caller
@@ -153,6 +154,29 @@ func (in *CatalogIngester) ReadRecords(r io.Reader) (int, error) {
 			return rd.Count(), err
 		}
 		in.OfferRecord(rec)
+	}
+}
+
+// ReadTransactions decodes a binary signaling wire stream (the
+// internal/signaling codec) and hands each transaction to sink,
+// decoding into caller-owned memory one record at a time — the
+// signaling counterpart of [CatalogIngester.ReadRecords], so both of
+// the repository's wire formats can feed a live consumer (or a
+// persist-and-ingest fanout; see internal/store) without the stream
+// ever materializing. It returns the number of transactions delivered
+// and the first decode error, if any.
+func ReadTransactions(r io.Reader, sink func(signaling.Transaction)) (int, error) {
+	rd := signaling.NewReader(r)
+	var tx signaling.Transaction
+	for {
+		err := rd.Read(&tx)
+		if err == io.EOF {
+			return rd.Count(), nil
+		}
+		if err != nil {
+			return rd.Count(), err
+		}
+		sink(tx)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/probe"
 	"whereroam/internal/radio"
+	"whereroam/internal/signaling"
 )
 
 var (
@@ -230,5 +231,48 @@ func TestOrderedCloseIdempotent(t *testing.T) {
 	o.Drain(func(v int) { got = append(got, v) })
 	if len(got) != 1 || got[0] != 42 {
 		t.Fatalf("drained %v, want [42]", got)
+	}
+}
+
+// ReadTransactions streams the signaling wire format into a sink with
+// no materialization — the symmetric counterpart of ReadRecords, and
+// the bridge that lets archived signaling feeds flow back through the
+// same consumer shape as live ones.
+func TestReadTransactions(t *testing.T) {
+	txs := make([]signaling.Transaction, 500)
+	for i := range txs {
+		txs[i] = signaling.Transaction{
+			Device:    identity.DeviceID(i % 37),
+			Time:      start.Add(time.Duration(i) * time.Second),
+			SIM:       nlSIM,
+			Visited:   host,
+			Procedure: signaling.ProcUpdateLocation,
+			Result:    signaling.ResultOK,
+			RAT:       radio.RAT2G,
+		}
+	}
+	var buf bytes.Buffer
+	if err := signaling.WriteAll(&buf, txs); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+	var got []signaling.Transaction
+	n, err := ReadTransactions(&buf, func(tx signaling.Transaction) { got = append(got, tx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(txs) || !reflect.DeepEqual(txs, got) {
+		t.Fatalf("decoded %d transactions; stream equality: %v", n, reflect.DeepEqual(txs, got))
+	}
+
+	// A truncated stream surfaces its decode error and the prefix.
+	trunc := bytes.NewReader(full[:len(full)-7])
+	got = nil
+	n, err = ReadTransactions(trunc, func(tx signaling.Transaction) { got = append(got, tx) })
+	if err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if n != len(txs)-1 || len(got) != n {
+		t.Fatalf("truncated stream delivered %d transactions, want %d", n, len(txs)-1)
 	}
 }

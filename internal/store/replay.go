@@ -1,0 +1,530 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/pipeline"
+	"whereroam/internal/signaling"
+)
+
+// Filter is a replay predicate: the zero Filter keeps everything, and
+// the chainable constructors narrow it by event-day range, device-ID
+// range or visited network. Filters prune at two levels — whole
+// segments are skipped without reading when their footer index proves
+// no record can match, and surviving segments are filtered record by
+// record.
+type Filter struct {
+	hasDays    bool
+	dayLo      int
+	dayHi      int
+	hasDevs    bool
+	devLo      uint64
+	devHi      uint64
+	hasVisited bool
+	visited    mccmnc.PLMN
+}
+
+// Days narrows the filter to records whose event day (relative to the
+// store's Start) lies in [lo, hi].
+func (f Filter) Days(lo, hi int) Filter {
+	f.hasDays, f.dayLo, f.dayHi = true, lo, hi
+	return f
+}
+
+// Devices narrows the filter to records whose device-ID hash lies in
+// [lo, hi].
+func (f Filter) Devices(lo, hi identity.DeviceID) Filter {
+	f.hasDevs, f.devLo, f.devHi = true, uint64(lo), uint64(hi)
+	return f
+}
+
+// VisitedHost narrows the filter to records generated on the given
+// visited network.
+func (f Filter) VisitedHost(p mccmnc.PLMN) Filter {
+	f.hasVisited, f.visited = true, p
+	return f
+}
+
+// keepSegment reports whether the segment's footer index admits any
+// matching record; a false verdict skips the segment unread.
+func (f Filter) keepSegment(si *SegmentInfo) bool {
+	if si.Records == 0 {
+		return false
+	}
+	if f.hasDays && (si.MinDay > f.dayHi || si.MaxDay < f.dayLo) {
+		return false
+	}
+	if f.hasDevs && (si.MinDevice > f.devHi || si.MaxDevice < f.devLo) {
+		return false
+	}
+	if f.hasVisited && !si.VisitedOverflow {
+		found := false
+		want := f.visited.Concat()
+		for _, v := range si.Visited {
+			if v == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// keepRecord reports whether one record matches the filter; day is
+// the record's event day relative to the store's Start.
+func (f Filter) keepRecord(day int, inf RecordInfo) bool {
+	if f.hasDays && (day < f.dayLo || day > f.dayHi) {
+		return false
+	}
+	if f.hasDevs && (inf.Device < f.devLo || inf.Device > f.devHi) {
+		return false
+	}
+	if f.hasVisited && inf.Visited != f.visited {
+		return false
+	}
+	return true
+}
+
+// ReplayStats instruments one replay: how much of the store was
+// actually read versus pruned away, and how many records survived the
+// filter. BytesRead counts segment-body bytes only — pruned segments
+// contribute nothing, which is what the pruning benchmarks and the
+// acceptance tests assert on.
+type ReplayStats struct {
+	// SegmentsTotal is the number of sealed segments in the store.
+	SegmentsTotal int
+	// SegmentsRead counts segments whose bodies were decoded.
+	SegmentsRead int
+	// SegmentsPruned counts segments skipped by the footer index
+	// without reading.
+	SegmentsPruned int
+	// SegmentsTorn counts unsealed segment files skipped with a
+	// report (a crash mid-write leaves at most one).
+	SegmentsTorn int
+	// BytesRead totals the body bytes decoded.
+	BytesRead int64
+	// RecordsRead counts records decoded from the read segments.
+	RecordsRead int64
+	// RecordsKept counts records that survived the record-level
+	// filter (for a catalog replay: and the store's declared day
+	// window — kept means it reached the catalog builder).
+	RecordsKept int64
+	// RecordsOutsideWindow counts records whose event day falls
+	// outside the store's declared [0, Days) window during a catalog
+	// replay; the builder would silently drop them, so they are
+	// surfaced here instead of inflating RecordsKept. Always zero for
+	// the sequential replays, which deliver every matching record to
+	// the caller regardless of the window.
+	RecordsOutsideWindow int64
+}
+
+// add folds another stats block into s.
+func (s *ReplayStats) add(o ReplayStats) {
+	s.SegmentsRead += o.SegmentsRead
+	s.BytesRead += o.BytesRead
+	s.RecordsRead += o.RecordsRead
+	s.RecordsKept += o.RecordsKept
+	s.RecordsOutsideWindow += o.RecordsOutsideWindow
+}
+
+// Replayer reads a store back: it loads the manifest once, reports
+// torn (unsealed) segment files, and replays sealed segments with
+// index-driven pruning — concurrently into a catalog build
+// ([Replayer.Replay]) or sequentially into a caller sink.
+type Replayer struct {
+	dir  string
+	man  Manifest
+	torn []string
+}
+
+// Open loads the store manifest at dir and scans the directory for
+// torn segment files (present on disk but not covered by the
+// manifest — the residue of a crash mid-write). Torn files are
+// reported, never read.
+func Open(dir string) (*Replayer, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	r := &Replayer{dir: dir}
+	if err := json.Unmarshal(data, &r.man); err != nil {
+		return nil, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	if r.man.Version != manifestVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %d", r.man.Version)
+	}
+	sealed := make(map[string]bool, len(r.man.Segments))
+	for i := range r.man.Segments {
+		sealed[r.man.Segments[i].Name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".wrseg") && !sealed[name] {
+			r.torn = append(r.torn, name)
+		}
+	}
+	sort.Strings(r.torn)
+	return r, nil
+}
+
+// Manifest returns the store's manifest. Callers must treat it as
+// read-only.
+func (r *Replayer) Manifest() *Manifest { return &r.man }
+
+// Torn lists the unsealed segment files found at Open time.
+func (r *Replayer) Torn() []string { return r.torn }
+
+// Dir returns the store directory.
+func (r *Replayer) Dir() string { return r.dir }
+
+// baseStats pre-fills the store-wide counters of a replay.
+func (r *Replayer) baseStats() ReplayStats {
+	return ReplayStats{SegmentsTotal: len(r.man.Segments), SegmentsTorn: len(r.torn)}
+}
+
+// selectSegments applies the segment-level filter, returning the
+// indices of segments to read (in store order) and counting the
+// pruned remainder.
+func (r *Replayer) selectSegments(f Filter, stats *ReplayStats) []int {
+	var selected []int
+	for i := range r.man.Segments {
+		if f.keepSegment(&r.man.Segments[i]) {
+			selected = append(selected, i)
+		} else {
+			stats.SegmentsPruned++
+		}
+	}
+	return selected
+}
+
+// Replay rebuilds the CDR-plane devices-catalog from the store on
+// workers goroutines (the usual convention: below one means one per
+// CPU). Segments prune against the filter's footer index without
+// being read; surviving segments decode concurrently — one shard of
+// contiguous segments per worker callback, each into its own
+// shard-local catalog builder — and the shard builders fold in shard
+// order. Shard boundaries depend only on the selected-segment count
+// and every per-(device, day) aggregate combines associatively, so
+// the catalog is bit-identical at any worker count to a serial build
+// over the same records (and to the live build the archive was tapped
+// from). Torn segments are skipped and counted; a corrupt sealed
+// segment (CRC, length or record-count mismatch) aborts with
+// ErrCorrupt.
+func (r *Replayer) Replay(f Filter, workers int) (*catalog.Catalog, *ReplayStats, error) {
+	if r.man.Kind != KindCDR {
+		return nil, nil, fmt.Errorf("store: cannot build a catalog from a %q store", r.man.Kind)
+	}
+	meta := r.man.Meta()
+	stats := r.baseStats()
+	selected := r.selectSegments(f, &stats)
+
+	type part struct {
+		b     *catalog.Builder
+		stats ReplayStats
+		err   error
+	}
+	parts := pipeline.Map(len(selected), workers, func(sh pipeline.Shard) part {
+		p := part{b: catalog.NewBuilder(meta.Host, meta.Start, meta.Days, nil)}
+		for k := sh.Lo; k < sh.Hi; k++ {
+			si := &r.man.Segments[selected[k]]
+			err := scanSegment(r.dir, si,
+				func(rd io.Reader) wireDecoder[cdrs.Record] { return cdrs.NewReader(rd) },
+				func(rec *cdrs.Record) {
+					p.stats.RecordsRead++
+					inf := cdrInfo(rec)
+					day := dayOf(inf.Time, meta.Start)
+					if !f.keepRecord(day, inf) {
+						return
+					}
+					// The builder silently drops records outside the
+					// declared window; count them apart so RecordsKept
+					// always equals what the catalog actually absorbed.
+					if day < 0 || day >= meta.Days {
+						p.stats.RecordsOutsideWindow++
+						return
+					}
+					p.stats.RecordsKept++
+					p.b.AddRecord(*rec)
+				})
+			if err != nil {
+				// An aborted scan is not a read segment: the counters
+				// only cover segments decoded end to end.
+				p.err = err
+				break
+			}
+			p.stats.SegmentsRead++
+			p.stats.BytesRead += si.BodyBytes
+		}
+		return p
+	})
+	acc := catalog.NewBuilder(meta.Host, meta.Start, meta.Days, nil)
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, nil, parts[i].err
+		}
+		stats.add(parts[i].stats)
+		acc.Merge(parts[i].b)
+	}
+	return acc.Build(), &stats, nil
+}
+
+// ReplayInto streams the store's CDR/xDR records (post-filter, in
+// store order) into a live catalog ingester — the replay twin of
+// [ingest.CatalogIngester.ReadRecords]. The caller still owns the
+// ingester's Build/Close.
+func (r *Replayer) ReplayInto(f Filter, in *ingest.CatalogIngester) (*ReplayStats, error) {
+	if r.man.Kind != KindCDR {
+		return nil, fmt.Errorf("store: cannot ingest a %q store as CDRs", r.man.Kind)
+	}
+	return r.ReplayRecords(f, in.OfferRecord)
+}
+
+// ReplayRecords hands every matching CDR/xDR to sink sequentially, in
+// store order — each device's records arrive in their original
+// archive order, the order contract downstream aggregation rests on.
+func (r *Replayer) ReplayRecords(f Filter, sink func(cdrs.Record)) (*ReplayStats, error) {
+	if r.man.Kind != KindCDR {
+		return nil, fmt.Errorf("store: cannot replay a %q store as CDRs", r.man.Kind)
+	}
+	return replaySeq(r, f,
+		func(rd io.Reader) wireDecoder[cdrs.Record] { return cdrs.NewReader(rd) },
+		cdrInfo, sink)
+}
+
+// ReplayTransactions hands every matching signaling transaction to
+// sink sequentially, in store order.
+func (r *Replayer) ReplayTransactions(f Filter, sink func(signaling.Transaction)) (*ReplayStats, error) {
+	if r.man.Kind != KindSignaling {
+		return nil, fmt.Errorf("store: cannot replay a %q store as signaling", r.man.Kind)
+	}
+	return replaySeq(r, f,
+		func(rd io.Reader) wireDecoder[signaling.Transaction] { return signaling.NewReader(rd) },
+		txInfo, sink)
+}
+
+// replaySeq is the sequential replay loop shared by both planes.
+func replaySeq[T any](r *Replayer, f Filter, newDec func(io.Reader) wireDecoder[T],
+	info func(*T) RecordInfo, sink func(T)) (*ReplayStats, error) {
+	stats := r.baseStats()
+	start := r.man.Start
+	for _, i := range r.selectSegments(f, &stats) {
+		si := &r.man.Segments[i]
+		err := scanSegment(r.dir, si, newDec, func(rec *T) {
+			stats.RecordsRead++
+			inf := info(rec)
+			if f.keepRecord(dayOf(inf.Time, start), inf) {
+				stats.RecordsKept++
+				sink(*rec)
+			}
+		})
+		if err != nil {
+			// Aborted mid-segment: RecordsRead still counts the decoded
+			// prefix, but the segment is not "read" and its body bytes
+			// were not fully decoded.
+			return &stats, err
+		}
+		stats.SegmentsRead++
+		stats.BytesRead += si.BodyBytes
+	}
+	return &stats, nil
+}
+
+// scanSegment decodes one sealed segment body, verifying its length,
+// CRC and record count against the manifest entry, and calls visit
+// for every record. Any mismatch or decode failure reports the
+// segment as corrupt.
+func scanSegment[T any](dir string, si *SegmentInfo, newDec func(io.Reader) wireDecoder[T], visit func(*T)) error {
+	f, err := os.Open(filepath.Join(dir, si.Name))
+	if err != nil {
+		return fmt.Errorf("store: opening segment %s: %w", si.Name, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat segment %s: %w", si.Name, err)
+	}
+	if st.Size() != si.BodyBytes+footerSize {
+		return fmt.Errorf("%w: %s is %d bytes, manifest says %d",
+			ErrCorrupt, si.Name, st.Size(), si.BodyBytes+footerSize)
+	}
+	body := &crcCountReader{r: io.LimitReader(f, si.BodyBytes)}
+	dec := newDec(body)
+	var rec T
+	n := 0
+	for {
+		err := dec.Read(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %s record %d: %v", ErrCorrupt, si.Name, n, err)
+		}
+		visit(&rec)
+		n++
+	}
+	if n != si.Records {
+		return fmt.Errorf("%w: %s decoded %d records, footer sealed %d", ErrCorrupt, si.Name, n, si.Records)
+	}
+	if body.crc != si.BodyCRC {
+		return fmt.Errorf("%w: %s body CRC %08x, footer sealed %08x", ErrCorrupt, si.Name, body.crc, si.BodyCRC)
+	}
+	return nil
+}
+
+// SegmentError is one segment's verification failure.
+type SegmentError struct {
+	// Name is the segment file.
+	Name string
+	// Err describes what failed (CRC, length, footer, decode).
+	Err string
+}
+
+// VerifyReport is the outcome of a full store verification.
+type VerifyReport struct {
+	// Dir is the verified store directory.
+	Dir string
+	// Kind is the store's record plane.
+	Kind string
+	// Segments counts the sealed segments checked.
+	Segments int
+	// Records totals the records decoded across sealed segments.
+	Records int64
+	// Bytes totals the segment bytes checked (bodies plus footers).
+	Bytes int64
+	// Torn lists unsealed segment files (crash residue): present on
+	// disk, absent from the manifest.
+	Torn []string
+	// Corrupt lists sealed segments that failed verification.
+	Corrupt []SegmentError
+}
+
+// OK reports whether the store verified clean: no torn files, no
+// corrupt segments.
+func (v *VerifyReport) OK() bool { return len(v.Torn) == 0 && len(v.Corrupt) == 0 }
+
+// String renders the report, one line per problem.
+func (v *VerifyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "store %s: kind=%s segments=%d records=%d bytes=%d\n",
+		v.Dir, v.Kind, v.Segments, v.Records, v.Bytes)
+	for _, t := range v.Torn {
+		fmt.Fprintf(&b, "TORN    %s: not sealed by the manifest (crash mid-write?)\n", t)
+	}
+	for _, c := range v.Corrupt {
+		fmt.Fprintf(&b, "CORRUPT %s: %s\n", c.Name, c.Err)
+	}
+	if v.OK() {
+		b.WriteString("ok\n")
+	}
+	return b.String()
+}
+
+// Verify re-reads every sealed segment end to end: the footer must
+// decode, match its manifest entry, and seal the exact body the CRC
+// and record count were computed over. Torn files are reported
+// without being read. Verification never aborts early — the report
+// covers the whole store.
+func (r *Replayer) Verify() *VerifyReport {
+	rep := &VerifyReport{
+		Dir:      r.dir,
+		Kind:     r.man.Kind,
+		Segments: len(r.man.Segments),
+		Torn:     append([]string(nil), r.torn...),
+	}
+	for i := range r.man.Segments {
+		si := &r.man.Segments[i]
+		if err := r.verifySegment(si); err != nil {
+			rep.Corrupt = append(rep.Corrupt, SegmentError{Name: si.Name, Err: err.Error()})
+			continue
+		}
+		rep.Records += int64(si.Records)
+		rep.Bytes += si.Bytes
+	}
+	return rep
+}
+
+// verifySegment checks one sealed segment: footer decode and
+// manifest agreement first — every index field pruning trusts,
+// including the visited set — then the full body scan.
+func (r *Replayer) verifySegment(si *SegmentInfo) error {
+	footer, kind, err := r.readFooter(si)
+	if err != nil {
+		return err
+	}
+	if kind != kindByte(r.man.Kind) {
+		return fmt.Errorf("%w: footer kind %d does not match %q store", ErrCorrupt, kind, r.man.Kind)
+	}
+	if footer.Records != si.Records || footer.BodyCRC != si.BodyCRC ||
+		footer.MinDay != si.MinDay || footer.MaxDay != si.MaxDay ||
+		footer.MinDevice != si.MinDevice || footer.MaxDevice != si.MaxDevice ||
+		footer.VisitedOverflow != si.VisitedOverflow ||
+		!equalVisited(footer.Visited, si.Visited) {
+		return fmt.Errorf("%w: footer disagrees with manifest entry", ErrCorrupt)
+	}
+	if r.man.Kind == KindSignaling {
+		return scanSegment(r.dir, si,
+			func(rd io.Reader) wireDecoder[signaling.Transaction] { return signaling.NewReader(rd) },
+			func(*signaling.Transaction) {})
+	}
+	return scanSegment(r.dir, si,
+		func(rd io.Reader) wireDecoder[cdrs.Record] { return cdrs.NewReader(rd) },
+		func(*cdrs.Record) {})
+}
+
+// equalVisited compares two visited-network index lists (both are in
+// first-seen order by construction; nil and empty compare equal).
+func equalVisited(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readFooter loads and decodes a sealed segment's footer, returning
+// the index entry and the footer's kind byte.
+func (r *Replayer) readFooter(si *SegmentInfo) (SegmentInfo, byte, error) {
+	f, err := os.Open(filepath.Join(r.dir, si.Name))
+	if err != nil {
+		return SegmentInfo{}, 0, fmt.Errorf("store: opening segment %s: %w", si.Name, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return SegmentInfo{}, 0, fmt.Errorf("store: stat segment %s: %w", si.Name, err)
+	}
+	if st.Size() < footerSize {
+		return SegmentInfo{}, 0, fmt.Errorf("%w: %s too short for a footer", ErrCorrupt, si.Name)
+	}
+	var buf [footerSize]byte
+	if _, err := f.ReadAt(buf[:], st.Size()-footerSize); err != nil {
+		return SegmentInfo{}, 0, fmt.Errorf("store: reading %s footer: %w", si.Name, err)
+	}
+	footer, err := decodeFooter(buf[:])
+	if err != nil {
+		return SegmentInfo{}, 0, fmt.Errorf("%s: %w", si.Name, err)
+	}
+	return footer, buf[5], nil
+}

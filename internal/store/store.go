@@ -1,0 +1,340 @@
+// Package store implements the segmented, indexed, append-only
+// archive the paper's "national feed archived once, analyzed many
+// times" workflow needs (§2–3): a durable on-disk form of the CDR/xDR
+// and signaling record streams that internal/ingest aggregates live.
+//
+// A store is a directory of fixed-record-count segment files plus a
+// JSON manifest. Each segment body is a standalone stream of the
+// repository's binary wire codecs (internal/cdrs for CDRs/xDRs,
+// internal/signaling for transactions), sealed by a fixed-size footer
+// that records the segment's record count, event-day range, device-ID
+// range, visited-network set and a CRC of the body. The manifest
+// mirrors every sealed footer, so a reader can plan a replay — and
+// prune whole segments against a day/device/visited predicate —
+// without touching segment bodies. A crash mid-segment leaves a file
+// the manifest does not cover ("torn"); verification reports it and
+// replay skips it, while every sealed segment stays readable.
+//
+// Writing is a [probe.Fanout] sink away from the live pipeline: point
+// [SegmentWriter.Sink] at the same records a
+// [whereroam/internal/ingest.CatalogIngester] is aggregating and the
+// feed is persisted and ingested in one pass. Reading back,
+// [Replayer.Replay] rebuilds the CDR-plane devices-catalog from the
+// archive concurrently — one builder per segment shard, merged in
+// shard order — bit-identical to a live build at any worker count
+// (docs/ARCHITECTURE.md derives the argument; the root
+// determinism tests pin it).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"whereroam/internal/cdrs"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/signaling"
+)
+
+// Store kinds: the record plane a store archives. A store holds
+// exactly one kind; the manifest records it.
+const (
+	// KindCDR marks a store of CDR/xDR records (the internal/cdrs
+	// wire codec) — the plane [Replayer.Replay] rebuilds catalogs
+	// from.
+	KindCDR = "cdr"
+	// KindSignaling marks a store of signaling transactions (the
+	// internal/signaling wire codec).
+	KindSignaling = "signaling"
+)
+
+// DefaultSegmentRecords is the records-per-segment roll threshold
+// used when a writer is configured with a non-positive value: large
+// enough that footer and manifest overhead is noise, small enough
+// that day- and device-range pruning has segments to skip.
+const DefaultSegmentRecords = 8192
+
+// ManifestName is the store-level manifest file inside a store
+// directory.
+const ManifestName = "MANIFEST.json"
+
+// manifestVersion is the manifest schema version writers emit.
+const manifestVersion = 1
+
+// Store errors.
+var (
+	// ErrCorrupt marks a sealed segment whose body no longer matches
+	// its footer/manifest: a CRC mismatch, a record-count mismatch, a
+	// resized file, or an undecodable record.
+	ErrCorrupt = errors.New("store: segment corrupt")
+	// ErrClosed is returned by appends after Close.
+	ErrClosed = errors.New("store: writer closed")
+)
+
+// Meta is the stream-level metadata a store carries for its readers:
+// the observing host and the observation window the records belong
+// to. Replay uses it to rebuild catalogs with the same window the
+// live build used; the event-day index in segment footers is relative
+// to Start.
+type Meta struct {
+	// Host is the observing MNO (zero for planes without a single
+	// observer, e.g. a signaling store).
+	Host mccmnc.PLMN
+	// Start is the window start; segment day ranges count from it.
+	Start time.Time
+	// Days is the window length in days.
+	Days int
+}
+
+// Manifest is the store-level index: one entry per sealed segment,
+// mirroring that segment's footer, plus the stream metadata. It is
+// rewritten atomically (write-then-rename) at every segment seal, so
+// after a crash it covers exactly the sealed prefix of the store.
+type Manifest struct {
+	// Version is the manifest schema version.
+	Version int `json:"version"`
+	// Kind is the store's record plane (KindCDR or KindSignaling).
+	Kind string `json:"kind"`
+	// Host is the observing MNO as a concatenated PLMN ("23410"), or
+	// empty when the store has none.
+	Host string `json:"host,omitempty"`
+	// Start is the observation-window start.
+	Start time.Time `json:"start"`
+	// Days is the observation-window length.
+	Days int `json:"days"`
+	// SegmentRecords is the configured records-per-segment roll
+	// threshold.
+	SegmentRecords int `json:"segment_records"`
+	// TotalRecords counts the records across all sealed segments.
+	TotalRecords int64 `json:"total_records"`
+	// Segments lists the sealed segments in write order.
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// Meta returns the manifest's stream metadata. The host is the zero
+// PLMN when the manifest carries none or it fails to parse.
+func (m *Manifest) Meta() Meta {
+	meta := Meta{Start: m.Start, Days: m.Days}
+	if m.Host != "" {
+		if p, err := mccmnc.Parse(m.Host); err == nil {
+			meta.Host = p
+		}
+	}
+	return meta
+}
+
+// SegmentInfo is the manifest's (and footer's) index entry for one
+// sealed segment: everything pruning needs without reading the body.
+type SegmentInfo struct {
+	// Name is the segment file name inside the store directory.
+	Name string `json:"name"`
+	// Records is the number of records in the segment.
+	Records int `json:"records"`
+	// Bytes is the full file size, body plus footer.
+	Bytes int64 `json:"bytes"`
+	// BodyBytes is the codec-stream length the CRC covers.
+	BodyBytes int64 `json:"body_bytes"`
+	// BodyCRC is the CRC-32C of the body bytes.
+	BodyCRC uint32 `json:"body_crc"`
+	// MinDay and MaxDay bound the records' event days relative to the
+	// store's Start (the same truncation the catalog builder uses).
+	MinDay int `json:"min_day"`
+	// MaxDay is the inclusive upper event-day bound.
+	MaxDay int `json:"max_day"`
+	// MinDevice and MaxDevice bound the records' device-ID hashes.
+	MinDevice uint64 `json:"min_device"`
+	// MaxDevice is the inclusive upper device-hash bound.
+	MaxDevice uint64 `json:"max_device"`
+	// Visited lists the distinct visited networks seen in the
+	// segment (concatenated PLMNs), complete only when
+	// VisitedOverflow is false.
+	Visited []string `json:"visited,omitempty"`
+	// VisitedOverflow marks a segment with more distinct visited
+	// networks than the footer indexes; visited-based pruning must
+	// then keep the segment.
+	VisitedOverflow bool `json:"visited_overflow,omitempty"`
+}
+
+// Segment footer binary layout (fixed size, appended after the codec
+// stream):
+//
+//	offset  size  field
+//	0       4     magic "WRSF"
+//	4       1     footer version
+//	5       1     kind (0 = cdr, 1 = signaling)
+//	6       4     record count (big endian)
+//	10      4     min day (big endian, two's complement)
+//	14      4     max day
+//	18      8     min device hash
+//	26      8     max device hash
+//	34      4     CRC-32C of the body bytes
+//	38      1     visited-network count (≤ maxFooterVisited)
+//	39      1     visited overflow flag
+//	40      80    16 × (MCC uint16, MNC uint16, MNC length byte)
+//	120     4     CRC-32C of footer bytes [0, 120)
+const (
+	footerMagic      = "WRSF"
+	footerVersion    = 1
+	footerSize       = 124
+	maxFooterVisited = 16
+)
+
+// crcTable is the Castagnoli polynomial both body and footer CRCs
+// use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// kindByte maps a store kind to its footer encoding.
+func kindByte(kind string) byte {
+	if kind == KindSignaling {
+		return 1
+	}
+	return 0
+}
+
+// dayOf maps an event time to its window day index with the same
+// integer truncation the catalog builder's day() uses, so pruning and
+// replay agree with the live build about which day a record belongs
+// to.
+func dayOf(t, start time.Time) int {
+	return int(t.Sub(start) / (24 * time.Hour))
+}
+
+// encodeFooter renders a segment's footer.
+func encodeFooter(kind byte, si *SegmentInfo, visited []mccmnc.PLMN) [footerSize]byte {
+	var b [footerSize]byte
+	copy(b[0:4], footerMagic)
+	b[4] = footerVersion
+	b[5] = kind
+	binary.BigEndian.PutUint32(b[6:10], uint32(si.Records))
+	binary.BigEndian.PutUint32(b[10:14], uint32(int32(si.MinDay)))
+	binary.BigEndian.PutUint32(b[14:18], uint32(int32(si.MaxDay)))
+	binary.BigEndian.PutUint64(b[18:26], si.MinDevice)
+	binary.BigEndian.PutUint64(b[26:34], si.MaxDevice)
+	binary.BigEndian.PutUint32(b[34:38], si.BodyCRC)
+	n := len(visited)
+	if n > maxFooterVisited {
+		n = maxFooterVisited
+	}
+	b[38] = byte(n)
+	if si.VisitedOverflow {
+		b[39] = 1
+	}
+	for i := 0; i < n; i++ {
+		off := 40 + 5*i
+		binary.BigEndian.PutUint16(b[off:off+2], visited[i].MCC)
+		binary.BigEndian.PutUint16(b[off+2:off+4], visited[i].MNC)
+		b[off+4] = visited[i].MNCLen
+	}
+	binary.BigEndian.PutUint32(b[120:124], crc32.Checksum(b[:120], crcTable))
+	return b
+}
+
+// decodeFooter parses and validates a segment footer, returning the
+// index entry it encodes (Name, Bytes and BodyBytes are the caller's
+// to fill — the footer does not store them).
+func decodeFooter(b []byte) (SegmentInfo, error) {
+	var si SegmentInfo
+	if len(b) != footerSize {
+		return si, fmt.Errorf("%w: footer is %d bytes, want %d", ErrCorrupt, len(b), footerSize)
+	}
+	if string(b[0:4]) != footerMagic {
+		return si, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	if b[4] != footerVersion {
+		return si, fmt.Errorf("%w: unsupported footer version %d", ErrCorrupt, b[4])
+	}
+	if crc32.Checksum(b[:120], crcTable) != binary.BigEndian.Uint32(b[120:124]) {
+		return si, fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
+	}
+	si.Records = int(binary.BigEndian.Uint32(b[6:10]))
+	si.MinDay = int(int32(binary.BigEndian.Uint32(b[10:14])))
+	si.MaxDay = int(int32(binary.BigEndian.Uint32(b[14:18])))
+	si.MinDevice = binary.BigEndian.Uint64(b[18:26])
+	si.MaxDevice = binary.BigEndian.Uint64(b[26:34])
+	si.BodyCRC = binary.BigEndian.Uint32(b[34:38])
+	nVisited := int(b[38])
+	if nVisited > maxFooterVisited {
+		return si, fmt.Errorf("%w: footer names %d visited networks", ErrCorrupt, nVisited)
+	}
+	si.VisitedOverflow = b[39] != 0
+	for i := 0; i < nVisited; i++ {
+		off := 40 + 5*i
+		p := mccmnc.PLMN{
+			MCC:    binary.BigEndian.Uint16(b[off : off+2]),
+			MNC:    binary.BigEndian.Uint16(b[off+2 : off+4]),
+			MNCLen: b[off+4],
+		}
+		si.Visited = append(si.Visited, p.Concat())
+	}
+	return si, nil
+}
+
+// wireEncoder is the streaming-writer shape both binary codecs share
+// (cdrs.Writer and signaling.Writer).
+type wireEncoder[T any] interface {
+	Write(*T) error
+	Flush() error
+}
+
+// wireDecoder is the streaming-reader shape both binary codecs share.
+type wireDecoder[T any] interface {
+	Read(*T) error
+}
+
+// RecordInfo is the index-relevant view of one archived record: the
+// fields segment footers summarize and pruning predicates match.
+type RecordInfo struct {
+	// Device is the record's device-ID hash.
+	Device uint64
+	// Time is the record's event time.
+	Time time.Time
+	// Visited is the network the record was generated on.
+	Visited mccmnc.PLMN
+}
+
+// cdrInfo extracts the index fields of a CDR/xDR.
+func cdrInfo(r *cdrs.Record) RecordInfo {
+	return RecordInfo{Device: uint64(r.Device), Time: r.Time, Visited: r.Visited}
+}
+
+// txInfo extracts the index fields of a signaling transaction.
+func txInfo(tx *signaling.Transaction) RecordInfo {
+	return RecordInfo{Device: uint64(tx.Device), Time: tx.Time, Visited: tx.Visited}
+}
+
+// crcCountReader tracks the CRC-32C and length of everything read
+// through it — the replay-side verification of a segment body.
+type crcCountReader struct {
+	r   io.Reader
+	crc uint32
+	n   int64
+}
+
+func (c *crcCountReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc = crc32.Update(c.crc, crcTable, p[:n])
+		c.n += int64(n)
+	}
+	return n, err
+}
+
+// crcCountWriter tracks the CRC-32C and length of everything written
+// through it — the seal-side footer fields.
+type crcCountWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcCountWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.crc = crc32.Update(c.crc, crcTable, p[:n])
+		c.n += int64(n)
+	}
+	return n, err
+}

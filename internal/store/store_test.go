@@ -1,0 +1,588 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"whereroam/internal/apn"
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/signaling"
+)
+
+var (
+	testHost  = mccmnc.MustParse("23410")
+	testHome  = mccmnc.MustParse("20404")
+	testStart = time.Date(2019, 10, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func testMeta(days int) Meta { return Meta{Host: testHost, Start: testStart, Days: days} }
+
+// feedRecords synthesizes a deterministic time-ordered CDR feed: one
+// data and one voice record per (device, day), devices cycling
+// through a few visited networks.
+func feedRecords(devices, days int) []cdrs.Record {
+	a := apn.MustParse("smhp.centricaplc.com")
+	visited := []mccmnc.PLMN{testHost, mccmnc.MustParse("26201")}
+	var out []cdrs.Record
+	for day := 0; day < days; day++ {
+		base := testStart.Add(time.Duration(day) * 24 * time.Hour)
+		for d := 0; d < devices; d++ {
+			dev := identity.DeviceID(0x1000 + uint64(d)*17)
+			v := visited[d%len(visited)]
+			out = append(out, cdrs.Record{
+				Device: dev, Time: base.Add(time.Duration(d) * time.Second),
+				SIM: testHome, Visited: v, Kind: cdrs.KindData, RAT: 1,
+				Duration: 45 * time.Second, Bytes: uint64(100 + d), APN: a,
+			})
+			out = append(out, cdrs.Record{
+				Device: dev, Time: base.Add(time.Duration(d)*time.Second + 12*time.Hour),
+				SIM: testHome, Visited: v, Kind: cdrs.KindVoice, RAT: 1,
+				Duration: time.Duration(10+d%50) * time.Second,
+			})
+		}
+	}
+	return out
+}
+
+// writeStore archives recs into a fresh store under dir.
+func writeStore(t *testing.T, dir string, days, segRecords int, recs []cdrs.Record) {
+	t.Helper()
+	w, err := NewWriter(dir, testMeta(days), segRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildCatalog aggregates records serially — the live-build reference
+// replay must match bit for bit.
+func buildCatalog(days int, recs []cdrs.Record, keep func(*cdrs.Record) bool) *catalog.Catalog {
+	b := catalog.NewBuilder(testHost, testStart, days, nil)
+	for i := range recs {
+		if keep == nil || keep(&recs[i]) {
+			b.AddRecord(recs[i])
+		}
+	}
+	return b.Build()
+}
+
+func TestWriteReplayRoundTrip(t *testing.T) {
+	const days = 6
+	recs := feedRecords(40, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 64, recs)
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := r.Manifest()
+	if man.Kind != KindCDR || man.TotalRecords != int64(len(recs)) {
+		t.Fatalf("manifest kind=%q total=%d, want cdr/%d", man.Kind, man.TotalRecords, len(recs))
+	}
+	if len(man.Segments) < 3 {
+		t.Fatalf("expected several segments, got %d", len(man.Segments))
+	}
+	if rep := r.Verify(); !rep.OK() {
+		t.Fatalf("fresh store fails verification:\n%s", rep)
+	}
+
+	// Sequential replay reproduces the archived stream byte for byte.
+	var got []cdrs.Record
+	stats, err := r.ReplayRecords(Filter{}, func(rec cdrs.Record) { got = append(got, rec) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatal("sequential replay differs from the archived feed")
+	}
+	if stats.RecordsRead != int64(len(recs)) || stats.RecordsKept != stats.RecordsRead {
+		t.Fatalf("stats read/kept = %d/%d, want %d", stats.RecordsRead, stats.RecordsKept, len(recs))
+	}
+	if stats.SegmentsPruned != 0 || stats.SegmentsRead != len(man.Segments) {
+		t.Fatalf("unfiltered replay pruned %d / read %d of %d segments",
+			stats.SegmentsPruned, stats.SegmentsRead, len(man.Segments))
+	}
+
+	// Catalog replay matches a serial live build at every worker count.
+	live := buildCatalog(days, recs, nil)
+	for _, workers := range []int{1, 3, 0} {
+		cat, _, err := r.Replay(Filter{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live.Records, cat.Records) {
+			t.Fatalf("workers=%d: replayed catalog differs from the live build", workers)
+		}
+		if cat.Host != testHost || cat.Days != days {
+			t.Fatalf("workers=%d: replayed catalog window %v/%d", workers, cat.Host, cat.Days)
+		}
+	}
+
+	// The ingester bridge builds the same catalog.
+	sb := catalog.NewShardedBuilder(testHost, testStart, days, nil, 4)
+	in := ingest.NewCatalogIngester(sb, 0)
+	if _, err := r.ReplayInto(Filter{}, in); err != nil {
+		t.Fatal(err)
+	}
+	if cat := in.Build(2); !reflect.DeepEqual(live.Records, cat.Records) {
+		t.Fatal("ReplayInto catalog differs from the live build")
+	}
+}
+
+// A time-ordered feed gives day-correlated segments, so a day filter
+// must skip whole segments — reading provably fewer bytes — while
+// producing exactly the day-sliced catalog.
+func TestPrunedReplayDayRange(t *testing.T) {
+	const days = 8
+	recs := feedRecords(30, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 50, recs)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, full, err := r.Replay(Filter{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter{}.Days(3, 4)
+	cat, pruned, err := r.Replay(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.SegmentsPruned == 0 {
+		t.Fatal("day filter over a time-ordered archive pruned no segments")
+	}
+	if pruned.BytesRead >= full.BytesRead {
+		t.Fatalf("pruned replay read %d bytes, full read %d", pruned.BytesRead, full.BytesRead)
+	}
+	want := buildCatalog(days, recs, func(rec *cdrs.Record) bool {
+		day := int(rec.Time.Sub(testStart) / (24 * time.Hour))
+		return day >= 3 && day <= 4
+	})
+	if !reflect.DeepEqual(want.Records, cat.Records) {
+		t.Fatal("day-pruned replay differs from the day-sliced live build")
+	}
+}
+
+// A device-clustered feed prunes on the device-hash index the same
+// way.
+func TestPrunedReplayDeviceRange(t *testing.T) {
+	const days = 3
+	var recs []cdrs.Record
+	for d := 0; d < 60; d++ {
+		dev := identity.DeviceID(uint64(d) << 32)
+		for day := 0; day < days; day++ {
+			recs = append(recs, cdrs.Record{
+				Device: dev, Time: testStart.Add(time.Duration(day)*24*time.Hour + time.Duration(d)*time.Minute),
+				SIM: testHome, Visited: testHost, Kind: cdrs.KindData, RAT: 1,
+				Duration: 30 * time.Second, Bytes: 64,
+			})
+		}
+	}
+	// Cluster by device so segment device ranges are narrow.
+	dir := t.TempDir()
+	writeStore(t, dir, days, 9, recs)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := identity.DeviceID(uint64(10)<<32), identity.DeviceID(uint64(20)<<32)
+	cat, stats, err := r.Replay(Filter{}.Devices(lo, hi), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsPruned == 0 {
+		t.Fatal("device filter over a device-clustered archive pruned no segments")
+	}
+	want := buildCatalog(days, recs, func(rec *cdrs.Record) bool {
+		return rec.Device >= lo && rec.Device <= hi
+	})
+	if !reflect.DeepEqual(want.Records, cat.Records) {
+		t.Fatal("device-pruned replay differs from the device-sliced live build")
+	}
+}
+
+// Visited-network pruning skips segments whose complete footer set
+// lacks the host.
+func TestPrunedReplayVisitedHost(t *testing.T) {
+	const days = 2
+	other := mccmnc.MustParse("26201")
+	var recs []cdrs.Record
+	for d := 0; d < 40; d++ {
+		v := testHost
+		if d >= 20 {
+			v = other
+		}
+		recs = append(recs, cdrs.Record{
+			Device: identity.DeviceID(100 + uint64(d)), Time: testStart.Add(time.Duration(d) * time.Minute),
+			SIM: testHome, Visited: v, Kind: cdrs.KindData, RAT: 1,
+			Duration: 30 * time.Second, Bytes: 1,
+		})
+	}
+	dir := t.TempDir()
+	writeStore(t, dir, days, 10, recs)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, stats, err := r.Replay(Filter{}.VisitedHost(other), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsPruned == 0 {
+		t.Fatal("visited filter pruned no segments")
+	}
+	want := buildCatalog(days, recs, func(rec *cdrs.Record) bool { return rec.Visited == other })
+	if !reflect.DeepEqual(want.Records, cat.Records) {
+		t.Fatal("visited-pruned replay differs from the sliced live build")
+	}
+}
+
+// A crash mid-write leaves a segment file the manifest never sealed:
+// verification must report it torn and replay must skip it with a
+// report while every sealed segment still replays.
+func TestTornFinalSegment(t *testing.T) {
+	const days = 4
+	recs := feedRecords(20, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 32, recs)
+
+	// Simulate the crash: a partial next segment, never sealed.
+	torn := filepath.Join(dir, "seg-999999.wrseg")
+	if err := os.WriteFile(torn, []byte("WRDR\x01\x00partial-record-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Torn(); len(got) != 1 || got[0] != "seg-999999.wrseg" {
+		t.Fatalf("torn = %v, want the unsealed segment", got)
+	}
+	rep := r.Verify()
+	if rep.OK() || len(rep.Torn) != 1 || len(rep.Corrupt) != 0 {
+		t.Fatalf("verify should report exactly the torn file:\n%s", rep)
+	}
+
+	cat, stats, err := r.Replay(Filter{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsTorn != 1 {
+		t.Fatalf("replay reported %d torn segments, want 1", stats.SegmentsTorn)
+	}
+	live := buildCatalog(days, recs, nil)
+	if !reflect.DeepEqual(live.Records, cat.Records) {
+		t.Fatal("replay over a store with a torn tail lost sealed records")
+	}
+}
+
+// A bit flip in a sealed segment body must fail that segment's CRC:
+// verification pins the segment and replay refuses the store.
+func TestBitFlipFailsCRC(t *testing.T) {
+	const days = 3
+	recs := feedRecords(15, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 24, recs)
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := r.Manifest().Segments[1]
+	path := filepath.Join(dir, victim.Name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[victim.BodyBytes/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := r.Verify()
+	if rep.OK() || len(rep.Corrupt) != 1 || rep.Corrupt[0].Name != victim.Name {
+		t.Fatalf("verify should pin the flipped segment:\n%s", rep)
+	}
+	if _, _, err := r.Replay(Filter{}, 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of a corrupt store returned %v, want ErrCorrupt", err)
+	}
+	// Pruning the corrupt segment away replays the rest cleanly.
+	f := Filter{}.Days(0, victim.MinDay-1)
+	if _, _, err := r.Replay(f, 1); err != nil {
+		t.Fatalf("replay pruned past the corrupt segment still failed: %v", err)
+	}
+}
+
+// An empty store (a feed that produced nothing) replays to an empty
+// catalog, not an error.
+func TestEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, testMeta(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := r.Verify(); !rep.OK() || rep.Segments != 0 {
+		t.Fatalf("empty store verification:\n%s", rep)
+	}
+	cat, stats, err := r.Replay(Filter{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Records) != 0 || stats.RecordsRead != 0 {
+		t.Fatalf("empty store replayed %d records / %d catalog rows", stats.RecordsRead, len(cat.Records))
+	}
+	if cat.Host != testHost || cat.Days != 5 {
+		t.Fatalf("empty replayed catalog window %v/%d", cat.Host, cat.Days)
+	}
+}
+
+// A writer refuses to open over an existing store rather than
+// clobbering it.
+func TestWriterRefusesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 2, 0, feedRecords(2, 2))
+	if _, err := NewWriter(dir, testMeta(2), 0); err == nil {
+		t.Fatal("NewWriter over an existing store did not fail")
+	}
+}
+
+// Concurrent producers (the shape of the emission-shard fanout tap)
+// must archive every record exactly once, and the replayed catalog
+// must match a serial build — per-producer order is per-device order.
+func TestConcurrentAppendsReplayDeterministic(t *testing.T) {
+	const days = 4
+	perDev := feedRecords(24, days)
+	// Partition the feed by device: one producer per device group.
+	byDev := map[identity.DeviceID][]cdrs.Record{}
+	for _, rec := range perDev {
+		byDev[rec.Device] = append(byDev[rec.Device], rec)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(dir, testMeta(days), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, seq := range byDev {
+		wg.Add(1)
+		go func(seq []cdrs.Record) {
+			defer wg.Done()
+			for i := range seq {
+				if err := w.Append(seq[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(seq)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := buildCatalog(days, perDev, nil)
+	for _, workers := range []int{1, 4} {
+		cat, _, err := r.Replay(Filter{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live.Records, cat.Records) {
+			t.Fatalf("workers=%d: concurrently archived feed replays differently from the live build", workers)
+		}
+	}
+}
+
+// The signaling plane shares the archive/replay path: a transaction
+// stream round-trips bit for bit through a signaling store.
+func TestSignalingStoreRoundTrip(t *testing.T) {
+	var txs []signaling.Transaction
+	for i := 0; i < 300; i++ {
+		txs = append(txs, signaling.Transaction{
+			Device:    identity.DeviceID(10 + i%40),
+			Time:      testStart.Add(time.Duration(i) * time.Minute),
+			SIM:       testHome,
+			Visited:   testHost,
+			Procedure: signaling.ProcUpdateLocation,
+			Result:    signaling.ResultOK,
+			RAT:       1,
+		})
+	}
+	dir := t.TempDir()
+	w, err := NewSignalingWriter(dir, Meta{Start: testStart, Days: 2}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range txs {
+		if err := w.Append(txs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Manifest().Kind != KindSignaling {
+		t.Fatalf("manifest kind %q", r.Manifest().Kind)
+	}
+	if rep := r.Verify(); !rep.OK() {
+		t.Fatalf("signaling store verification:\n%s", rep)
+	}
+	var got []signaling.Transaction
+	if _, err := r.ReplayTransactions(Filter{}, func(tx signaling.Transaction) { got = append(got, tx) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(txs, got) {
+		t.Fatal("signaling replay differs from the archived stream")
+	}
+	// Cross-plane misuse errors instead of misdecoding.
+	if _, _, err := r.Replay(Filter{}, 1); err == nil {
+		t.Fatal("catalog replay of a signaling store did not fail")
+	}
+	if _, err := r.ReplayRecords(Filter{}, func(cdrs.Record) {}); err == nil {
+		t.Fatal("CDR replay of a signaling store did not fail")
+	}
+}
+
+// A straggler producer offering after a clean Close gets ErrClosed
+// but must not retroactively poison the writer: Err() stays nil and a
+// repeated Close still reports success for the sealed archive.
+func TestAppendAfterCloseDoesNotPoison(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, testMeta(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := feedRecords(3, 2)
+	for i := range recs {
+		if err := w.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close returned %v, want ErrClosed", err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("straggler append poisoned the writer: Err() = %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("repeated close after straggler append returned %v", err)
+	}
+	if r, err := Open(dir); err != nil {
+		t.Fatal(err)
+	} else if rep := r.Verify(); !rep.OK() {
+		t.Fatalf("archive no longer verifies:\n%s", rep)
+	}
+}
+
+// Verification must cross-check every index field pruning trusts: a
+// manifest whose visited set was tampered with (while body and CRC
+// stay intact) must fail verify, not silently mis-prune later.
+func TestVerifyCatchesManifestIndexTamper(t *testing.T) {
+	const days = 2
+	recs := feedRecords(10, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 8, recs)
+
+	manPath := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	man.Segments[0].Visited = man.Segments[0].Visited[:1]
+	tampered, err := json.Marshal(&man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Verify()
+	if rep.OK() || len(rep.Corrupt) == 0 || rep.Corrupt[0].Name != man.Segments[0].Name {
+		t.Fatalf("tampered manifest visited set passed verification:\n%s", rep)
+	}
+}
+
+// Records outside the store's declared day window never reach the
+// catalog builder; the stats must say so instead of counting them
+// kept.
+func TestReplayCountsOutOfWindowRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, testMeta(2), 8) // window: days 0..1
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := feedRecords(4, 4) // emits days 0..3
+	for i := range recs {
+		if err := w.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, stats, err := r.Replay(Filter{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecordsOutsideWindow != int64(len(recs))/2 {
+		t.Fatalf("RecordsOutsideWindow = %d, want %d", stats.RecordsOutsideWindow, len(recs)/2)
+	}
+	if stats.RecordsKept != int64(len(recs))/2 {
+		t.Fatalf("RecordsKept = %d, want %d", stats.RecordsKept, len(recs)/2)
+	}
+	want := buildCatalog(2, recs, nil)
+	if !reflect.DeepEqual(want.Records, cat.Records) {
+		t.Fatal("windowed replay differs from the windowed live build")
+	}
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"whereroam/internal/cdrs"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/signaling"
+)
+
+// SegmentWriter archives a record stream into a store directory:
+// records append to the current segment through the plane's binary
+// wire codec, segments seal with a footer every SegmentRecords
+// records, and the manifest is atomically rewritten at every seal.
+// All methods are safe for concurrent producers (appends serialize on
+// an internal mutex, so each producer's record order is preserved —
+// the per-device order contract replay rests on). Errors are sticky:
+// the first I/O failure fails every later append and is returned by
+// Close.
+//
+// [Writer] and [SignalingWriter] are its two instantiations; build
+// them with [NewWriter] and [NewSignalingWriter].
+type SegmentWriter[T any] struct {
+	dir        string
+	kind       string
+	meta       Meta
+	segRecords int
+	newEnc     func(io.Writer) wireEncoder[T]
+	info       func(*T) RecordInfo
+
+	mu      sync.Mutex
+	err     error
+	closed  bool
+	f       *os.File
+	body    *crcCountWriter
+	enc     wireEncoder[T]
+	cur     SegmentInfo
+	visited []mccmnc.PLMN
+	man     Manifest
+}
+
+// Writer archives a CDR/xDR record stream (the internal/cdrs wire
+// codec) — the store kind [Replayer.Replay] rebuilds devices-catalogs
+// from.
+type Writer = SegmentWriter[cdrs.Record]
+
+// SignalingWriter archives a signaling-transaction stream (the
+// internal/signaling wire codec).
+type SignalingWriter = SegmentWriter[signaling.Transaction]
+
+// NewWriter creates a CDR/xDR store at dir (created if absent; must
+// not already hold a store) rolling segments every segmentRecords
+// records (non-positive means [DefaultSegmentRecords]).
+func NewWriter(dir string, meta Meta, segmentRecords int) (*Writer, error) {
+	return newSegmentWriter(dir, KindCDR, meta, segmentRecords,
+		func(w io.Writer) wireEncoder[cdrs.Record] { return cdrs.NewWriter(w) }, cdrInfo)
+}
+
+// NewSignalingWriter creates a signaling-transaction store at dir;
+// same directory and segment-roll contract as [NewWriter].
+func NewSignalingWriter(dir string, meta Meta, segmentRecords int) (*SignalingWriter, error) {
+	return newSegmentWriter(dir, KindSignaling, meta, segmentRecords,
+		func(w io.Writer) wireEncoder[signaling.Transaction] { return signaling.NewWriter(w) }, txInfo)
+}
+
+func newSegmentWriter[T any](dir, kind string, meta Meta, segmentRecords int,
+	newEnc func(io.Writer) wireEncoder[T], info func(*T) RecordInfo) (*SegmentWriter[T], error) {
+	if segmentRecords < 1 {
+		segmentRecords = DefaultSegmentRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a store manifest", dir)
+	}
+	w := &SegmentWriter[T]{
+		dir:        dir,
+		kind:       kind,
+		meta:       meta,
+		segRecords: segmentRecords,
+		newEnc:     newEnc,
+		info:       info,
+		man: Manifest{
+			Version:        manifestVersion,
+			Kind:           kind,
+			Start:          meta.Start,
+			Days:           meta.Days,
+			SegmentRecords: segmentRecords,
+		},
+	}
+	if meta.Host != (mccmnc.PLMN{}) {
+		w.man.Host = meta.Host.Concat()
+	}
+	// An empty store is still a store: write the manifest up front so
+	// a feed that produces no records leaves a valid, replayable
+	// (empty) archive rather than a bare directory.
+	if err := w.writeManifest(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append archives one record, sealing the current segment when it
+// reaches the roll threshold. Safe for concurrent producers.
+func (w *SegmentWriter[T]) Append(rec T) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		// Not sticky: a straggler producer offering after a clean Close
+		// is the caller's bug to see, but it must not retroactively
+		// mark a fully sealed, valid archive as failed through Err()
+		// or a repeated Close().
+		return ErrClosed
+	}
+	if w.f == nil {
+		if err := w.openSegment(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if err := w.enc.Write(&rec); err != nil {
+		w.err = err
+		return err
+	}
+	inf := w.info(&rec)
+	day := dayOf(inf.Time, w.meta.Start)
+	if day < w.cur.MinDay {
+		w.cur.MinDay = day
+	}
+	if day > w.cur.MaxDay {
+		w.cur.MaxDay = day
+	}
+	if inf.Device < w.cur.MinDevice {
+		w.cur.MinDevice = inf.Device
+	}
+	if inf.Device > w.cur.MaxDevice {
+		w.cur.MaxDevice = inf.Device
+	}
+	w.noteVisited(inf.Visited)
+	w.cur.Records++
+	if w.cur.Records >= w.segRecords {
+		if err := w.seal(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Sink adapts the writer to a probe tap / fanout sink: errors stick
+// inside the writer and surface from [SegmentWriter.Err] and
+// [SegmentWriter.Close].
+func (w *SegmentWriter[T]) Sink() func(T) {
+	return func(rec T) { _ = w.Append(rec) }
+}
+
+// Count returns how many records have been appended (sealed or not).
+func (w *SegmentWriter[T]) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.man.TotalRecords + int64(w.cur.Records)
+}
+
+// Segments returns how many segments have been sealed.
+func (w *SegmentWriter[T]) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.man.Segments)
+}
+
+// Err returns the writer's sticky error, if any.
+func (w *SegmentWriter[T]) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Dir returns the store directory.
+func (w *SegmentWriter[T]) Dir() string { return w.dir }
+
+// Close seals the in-progress segment (if it holds records), writes
+// the final manifest and releases the writer. It returns the writer's
+// first error. Idempotent.
+func (w *SegmentWriter[T]) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.err != nil {
+		if w.f != nil {
+			w.f.Close()
+		}
+		return w.err
+	}
+	if w.f != nil {
+		if err := w.seal(); err != nil {
+			w.err = err
+			return w.err
+		}
+	}
+	if err := w.writeManifest(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// openSegment starts a fresh segment file and resets the footer
+// accumulators.
+func (w *SegmentWriter[T]) openSegment() error {
+	name := fmt.Sprintf("seg-%06d.wrseg", len(w.man.Segments))
+	f, err := os.Create(filepath.Join(w.dir, name))
+	if err != nil {
+		return fmt.Errorf("store: creating segment %s: %w", name, err)
+	}
+	w.f = f
+	w.body = &crcCountWriter{w: f}
+	w.enc = w.newEnc(w.body)
+	w.cur = SegmentInfo{
+		Name:      name,
+		MinDay:    math.MaxInt32,
+		MaxDay:    math.MinInt32,
+		MinDevice: math.MaxUint64,
+	}
+	w.visited = w.visited[:0]
+	return nil
+}
+
+// noteVisited indexes a record's visited network in the footer
+// accumulator, flipping the overflow flag once the footer is full.
+func (w *SegmentWriter[T]) noteVisited(p mccmnc.PLMN) {
+	for _, v := range w.visited {
+		if v == p {
+			return
+		}
+	}
+	if len(w.visited) >= maxFooterVisited {
+		w.cur.VisitedOverflow = true
+		return
+	}
+	w.visited = append(w.visited, p)
+}
+
+// seal flushes the codec stream, appends the footer, closes the
+// segment file, and atomically publishes the updated manifest.
+func (w *SegmentWriter[T]) seal() error {
+	if err := w.enc.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: flushing %s: %w", w.cur.Name, err)
+	}
+	w.cur.BodyBytes = w.body.n
+	w.cur.BodyCRC = w.body.crc
+	w.cur.Bytes = w.body.n + footerSize
+	footer := encodeFooter(kindByte(w.kind), &w.cur, w.visited)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: writing %s footer: %w", w.cur.Name, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: syncing %s: %w", w.cur.Name, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", w.cur.Name, err)
+	}
+	w.cur.Visited = make([]string, len(w.visited))
+	for i, p := range w.visited {
+		w.cur.Visited[i] = p.Concat()
+	}
+	w.man.Segments = append(w.man.Segments, w.cur)
+	w.man.TotalRecords += int64(w.cur.Records)
+	w.f, w.body, w.enc = nil, nil, nil
+	w.cur = SegmentInfo{}
+	return w.writeManifest()
+}
+
+// writeManifest atomically replaces the store manifest: write to a
+// temp file, fsync it, rename over the manifest, fsync the directory.
+// The temp-file fsync matters — without it a crash after the rename
+// could persist the rename's metadata but not the data blocks,
+// leaving a truncated MANIFEST.json that makes the whole store
+// unopenable instead of the promised previous-seal view.
+func (w *SegmentWriter[T]) writeManifest() error {
+	data, err := json.MarshalIndent(&w.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(w.dir, ManifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, ManifestName)); err != nil {
+		return fmt.Errorf("store: publishing manifest: %w", err)
+	}
+	// Persist the rename (and any new segment file's directory entry).
+	if d, err := os.Open(w.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -35,6 +35,7 @@ import (
 	"whereroam/internal/probe"
 	"whereroam/internal/settlement"
 	"whereroam/internal/signaling"
+	"whereroam/internal/store"
 )
 
 // Identity plane.
@@ -203,6 +204,52 @@ var (
 	// StreamM2M delivers the §3 platform transaction stream to a sink
 	// in deterministic order under a bounded producer window.
 	StreamM2M = dataset.StreamM2M
+	// ReadTransactions decodes a binary signaling wire stream into a
+	// sink record by record — the signaling twin of
+	// CatalogIngester.ReadRecords.
+	ReadTransactions = ingest.ReadTransactions
+)
+
+// Fanout forwards each record to several sinks in order — the
+// persist-and-ingest primitive: point one sink at an archive writer
+// and another at a live consumer or ingester.
+func Fanout[T any](sinks ...func(T)) func(T) { return probe.Fanout(sinks...) }
+
+// Archive plane: the segmented, indexed, append-only store that makes
+// record feeds durable — archived once while a live build ingests
+// them, replayed many times with index-driven pruning (see
+// internal/store and docs/ARCHITECTURE.md).
+type (
+	// ArchiveMeta is the stream metadata a store carries (observing
+	// host, window start, window length).
+	ArchiveMeta = store.Meta
+	// ArchiveWriter persists a CDR/xDR feed into segment files; its
+	// Sink is a valid probe fanout target.
+	ArchiveWriter = store.Writer
+	// SignalingArchiveWriter persists a signaling-transaction feed.
+	SignalingArchiveWriter = store.SignalingWriter
+	// ArchiveReplayer reads a store back: verification, pruned
+	// sequential replay, and the concurrent catalog rebuild.
+	ArchiveReplayer = store.Replayer
+	// ArchiveFilter prunes a replay by day range, device range or
+	// visited network; the zero filter keeps everything.
+	ArchiveFilter = store.Filter
+	// ArchiveStats instruments a replay: segments read vs pruned vs
+	// torn, bytes read, records kept.
+	ArchiveStats = store.ReplayStats
+	// ArchiveManifest is the store-level segment index.
+	ArchiveManifest = store.Manifest
+)
+
+// Archive constructors.
+var (
+	// NewArchiveWriter creates a CDR/xDR store at a directory;
+	// non-positive segment size means store.DefaultSegmentRecords.
+	NewArchiveWriter = store.NewWriter
+	// NewSignalingArchiveWriter creates a signaling-transaction store.
+	NewSignalingArchiveWriter = store.NewSignalingWriter
+	// OpenArchive loads a store's manifest for verification or replay.
+	OpenArchive = store.Open
 )
 
 // NewStreamingSession is NewSessionWorkers with the bounded-memory
