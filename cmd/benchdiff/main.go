@@ -50,6 +50,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if base.GoMaxProcs != fresh.GoMaxProcs {
+		// Make the reduced gate impossible to miss in CI logs: on a
+		// core-count mismatch only serial artefacts, heap peaks and
+		// machine-independent ratios are gated.
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: NOTE: baseline is GOMAXPROCS=%d, candidate is GOMAXPROCS=%d — speedups not gated.\n"+
+				"benchdiff: refresh the committed baseline on a matching runner via the bench-baseline workflow_dispatch job.\n",
+			base.GoMaxProcs, fresh.GoMaxProcs)
+	}
+
 	tol := benchfmt.Tolerance{NsFrac: *nsTol, MemFrac: *memTol, MinHeapDeltaBytes: *heapMiB << 20}
 	diff := benchfmt.Compare(base, fresh, tol)
 	fmt.Print(diff)

@@ -6,7 +6,11 @@
 // ns/op it records each configuration's heap high-water mark, which
 // is where the streaming path earns its keep: the batch capture's
 // peak grows linearly with the capture while the streaming ingest
-// stays flat at the router's channel windows.
+// stays flat at the router's channel windows. The gen_fleet pair
+// replays that comparison for synthesis itself at 10x the benchmark
+// scale — GenerateMNO materializing the whole fleet and catalog
+// versus StreamMNO draining into a sink — and the resulting
+// "gen_heap" peak ratio is gated machine-independently.
 //
 // Usage:
 //
@@ -21,55 +25,23 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"whereroam/internal/benchfmt"
+	"whereroam/internal/catalog"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
 	"whereroam/internal/store"
 )
 
-// heapPeak runs fn once and returns the peak heap growth it caused: a
-// sampler goroutine polls HeapAlloc while fn executes and the pre-run
-// baseline (taken after a forced GC) is subtracted. Polling
-// undershoots very short spikes, but the structures that matter here
-// — materialized event slices versus bounded channel windows — live
-// for most of the run.
+// heapPeak runs fn once and returns the peak heap growth it caused
+// (benchfmt.StartHeapWatch's contract: max HeapAlloc sample during fn
+// minus the post-GC pre-run baseline).
 func heapPeak(fn func()) int64 {
-	runtime.GC()
-	var base runtime.MemStats
-	runtime.ReadMemStats(&base)
-
-	var peak atomic.Uint64
-	stop := make(chan struct{})
-	sampled := make(chan struct{})
-	go func() {
-		defer close(sampled)
-		var ms runtime.MemStats
-		tick := time.NewTicker(time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				runtime.ReadMemStats(&ms)
-				if ms.HeapAlloc > peak.Load() {
-					peak.Store(ms.HeapAlloc)
-				}
-			}
-		}
-	}()
+	stop := benchfmt.StartHeapWatch()
 	fn()
-	close(stop)
-	<-sampled
-	p := int64(peak.Load()) - int64(base.HeapAlloc)
-	if p < 0 {
-		p = 0
-	}
-	return p
+	return stop()
 }
 
 func measure(workers int, fn func(workers int)) benchfmt.Artefact {
@@ -174,6 +146,7 @@ func main() {
 		Artefacts:  map[string]benchfmt.Artefact{},
 		Speedups:   map[string]float64{},
 		MemRatios:  map[string]float64{},
+		Ratios:     map[string]float64{},
 	}
 	for _, pair := range []struct {
 		name string
@@ -197,6 +170,59 @@ func main() {
 			rep.Speedups[pair.name])
 	}
 
+	// Out-of-core generation pair, measured at 10x the benchmark scale
+	// — the population the materialized path starts to hurt at. Both
+	// sides run once at full parallelism with the heap sampler on; the
+	// out-of-core side streams into a counting sink, so its peak is
+	// the counting pre-pass plus the bounded in-flight window rather
+	// than the whole fleet and catalog.
+	genCfg := dataset.DefaultMNOConfig()
+	genCfg.Devices = int(float64(genCfg.Devices) * *scale * 10)
+	genCfg.Workers = 0
+	genMeasure := func(fn func()) benchfmt.Artefact {
+		var ns int64
+		peak := heapPeak(func() {
+			t0 := time.Now()
+			fn()
+			ns = time.Since(t0).Nanoseconds()
+		})
+		return benchfmt.Artefact{
+			NsPerOp:       ns,
+			Workers:       rep.GoMaxProcs,
+			Iterations:    1,
+			Seconds:       float64(ns) / 1e9,
+			HeapPeakBytes: peak,
+		}
+	}
+	genMat := genMeasure(func() {
+		ds := dataset.GenerateMNO(genCfg)
+		if len(ds.Catalog.Records) == 0 {
+			log.Fatal("materialized generation built an empty catalog")
+		}
+		runtime.KeepAlive(ds)
+	})
+	genOOC := genMeasure(func() {
+		var recs int64
+		out := dataset.StreamMNO(genCfg, dataset.MNOSink{
+			Record: func(catalog.DailyRecord) { recs++ },
+		})
+		if recs == 0 || out.Records != recs {
+			log.Fatalf("out-of-core generation streamed %d records (reported %d)", recs, out.Records)
+		}
+	})
+	rep.Artefacts["gen_fleet_materialized"] = genMat
+	rep.Artefacts["gen_fleet_outofcore"] = genOOC
+	if genOOC.HeapPeakBytes > 0 {
+		// Peak-over-peak, bigger is better: how many times more heap
+		// the materialized build needs than the out-of-core one for
+		// the same output. Machine-independent (same process, same
+		// population), so it belongs in Ratios and stays gated across
+		// a GOMAXPROCS mismatch.
+		rep.Ratios["gen_heap"] = float64(genMat.HeapPeakBytes) / float64(genOOC.HeapPeakBytes)
+		log.Printf("gen at 10x: materialized peak %d MiB, out-of-core peak %d MiB, ratio %.2fx",
+			genMat.HeapPeakBytes>>20, genOOC.HeapPeakBytes>>20, rep.Ratios["gen_heap"])
+	}
+
 	// Pruning effectiveness, from the SERIAL pair so the ratio is
 	// machine-independent (full and pruned decode the same archive in
 	// the same process; core count cancels out). It goes into Ratios,
@@ -206,9 +232,7 @@ func main() {
 	fullArt := rep.Artefacts["store_replay_full_serial"]
 	prunedArt := rep.Artefacts["store_replay_pruned_serial"]
 	if prunedArt.NsPerOp > 0 {
-		rep.Ratios = map[string]float64{
-			"store_prune": float64(fullArt.NsPerOp) / float64(prunedArt.NsPerOp),
-		}
+		rep.Ratios["store_prune"] = float64(fullArt.NsPerOp) / float64(prunedArt.NsPerOp)
 		log.Printf("store pruned replay: %.2fx faster than full replay (serial pair)",
 			rep.Ratios["store_prune"])
 	}

@@ -12,6 +12,9 @@
 //	fedsim -sites 2                 # first N default hosts
 //	fedsim -hosts 23410,26202      # explicit visited MNOs
 //	fedsim -stream                  # per-site catalogs via the streaming ingest router
+//	fedsim -outofcore               # bounded-memory build: counting pre-pass, sites one
+//	                                # at a time, fleet plane materialized only on demand
+//	fedsim -gen -outofcore -max-heap-mib 512  # generation only, self-asserting the heap peak
 //	fedsim -archive /data/fed       # persist each site's CDR feed to /data/fed/site-<plmn>
 //	fedsim -replay /data/fed        # replay every per-site store, then exit
 //	fedsim -experiment fed-smip     # one experiment (fed-sites, fed-agreement,
@@ -29,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"whereroam/internal/benchfmt"
 	"whereroam/internal/dataset"
 	"whereroam/internal/experiments"
 	"whereroam/internal/mccmnc"
@@ -46,6 +50,9 @@ func main() {
 		hosts   = flag.String("hosts", "", "comma-separated visited-MNO PLMNs (overrides -sites)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker pool size (results are identical for any value)")
 		stream  = flag.Bool("stream", false, "build site catalogs through the bounded-memory streaming ingest router")
+		ooc     = flag.Bool("outofcore", false, "build the federation out of core: sites one at a time, fleet plane lazy")
+		genOnly = flag.Bool("gen", false, "generate the federation dataset and print its shape without running experiments")
+		heapMiB = flag.Int64("max-heap-mib", 0, "fail if the process heap peak exceeds this many MiB (0 = no assertion)")
 		archive = flag.String("archive", "", "persist each site's CDR/xDR feed to a per-site store under this directory")
 		replay  = flag.String("replay", "", "verify (strictly: torn/corrupt segments fail) and replay every per-site store under this directory, then exit; use roamstore for tolerant replay")
 	)
@@ -61,9 +68,42 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var stopWatch func() int64
+	if *heapMiB > 0 {
+		stopWatch = benchfmt.StartHeapWatch()
+	}
+	assertHeap := func() {
+		if stopWatch == nil {
+			return
+		}
+		peak := stopWatch() >> 20
+		if peak > *heapMiB {
+			log.Fatalf("heap peak %d MiB exceeds budget %d MiB", peak, *heapMiB)
+		}
+		log.Printf("heap peak %d MiB within budget %d MiB", peak, *heapMiB)
+	}
+
 	sess := experiments.NewFederation(*seed, *scale, *workers, plmns...)
 	sess.Streaming = *stream
+	sess.BoundedMemory = *ooc
 	sess.ArchiveDir = *archive
+
+	if *genOnly {
+		start := time.Now()
+		fed := sess.FederationData()
+		records := 0
+		for _, site := range fed.Sites {
+			records += len(site.Catalog.Records)
+		}
+		mode := "materialized"
+		if *ooc {
+			mode = "out-of-core"
+		}
+		fmt.Printf("generated %d sites, %d catalog records (%s) in %v\n",
+			len(fed.Sites), records, mode, time.Since(start).Round(time.Millisecond))
+		assertHeap()
+		return
+	}
 
 	var runners []experiments.Runner
 	for _, r := range experiments.All() {
@@ -89,6 +129,7 @@ func main() {
 		fmt.Println(rep)
 		fmt.Printf("(%s ran in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
+	assertHeap()
 }
 
 // replaySites verifies and replays every per-site store under dir

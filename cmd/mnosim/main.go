@@ -2,9 +2,19 @@
 // the daily devices-catalog as CSV, plus an optional ground-truth
 // class file for validation.
 //
+// With -outofcore the dataset never materializes: the out-of-core
+// generator streams devices and records straight into the CSV
+// writers under a bounded device residency, so the process peak stays
+// near the counting pre-pass regardless of -devices. -max-heap-mib
+// turns the run into a self-asserting memory experiment: the process
+// samples its own heap and exits non-zero if the peak exceeded the
+// budget — the hook CI's scale-smoke job uses to prove the
+// out-of-core path fits where the materialized one does not.
+//
 // Usage:
 //
 //	mnosim -devices 30000 -days 22 -seed 1 -out catalog.csv -truth truth.csv
+//	mnosim -devices 300000 -outofcore -max-heap-mib 512 -out catalog.csv
 package main
 
 import (
@@ -16,66 +26,121 @@ import (
 	"runtime"
 	"time"
 
+	"whereroam/internal/benchfmt"
+	"whereroam/internal/catalog"
 	"whereroam/internal/dataset"
+	"whereroam/internal/devices"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mnosim: ")
 	var (
-		devices = flag.Int("devices", 30000, "distinct devices across the window")
-		days    = flag.Int("days", 22, "observation window in days")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker pool size (output is identical for any value)")
-		out     = flag.String("out", "catalog.csv", "devices-catalog output path")
-		truth   = flag.String("truth", "", "optional ground-truth class CSV output path")
+		devN        = flag.Int("devices", 30000, "distinct devices across the window")
+		days        = flag.Int("days", 22, "observation window in days")
+		seed        = flag.Uint64("seed", 1, "generator seed")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "synthesis worker pool size (output is identical for any value)")
+		out         = flag.String("out", "catalog.csv", "devices-catalog output path")
+		truth       = flag.String("truth", "", "optional ground-truth class CSV output path")
+		outOfCore   = flag.Bool("outofcore", false, "stream the generation into the CSV writers without materializing the dataset")
+		maxResident = flag.Int("max-resident", 0, "out-of-core device residency budget (0 = one per worker)")
+		maxHeapMiB  = flag.Int64("max-heap-mib", 0, "fail if the process heap peak exceeds this many MiB (0 = no assertion)")
 	)
 	flag.Parse()
 
 	cfg := dataset.DefaultMNOConfig()
-	cfg.Devices = *devices
+	cfg.Devices = *devN
 	cfg.Days = *days
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.MaxResidentDevices = *maxResident
 
-	start := time.Now()
-	ds := dataset.GenerateMNO(cfg)
-	log.Printf("generated %d catalog records for %d devices in %v",
-		len(ds.Catalog.Records), len(ds.Devices), time.Since(start).Round(time.Millisecond))
+	var stopWatch func() int64
+	if *maxHeapMiB > 0 {
+		stopWatch = benchfmt.StartHeapWatch()
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ds.Catalog.WriteCSV(f); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s (%d records)\n", *out, len(ds.Catalog.Records))
-
+	var tw *csv.Writer
+	var tf *os.File
 	if *truth != "" {
-		tf, err := os.Create(*truth)
+		if tf, err = os.Create(*truth); err != nil {
+			log.Fatal(err)
+		}
+		tw = csv.NewWriter(tf)
+		if err := tw.Write([]string{"device", "class"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	var records int64
+	var devCount int
+	if *outOfCore {
+		cw, err := catalog.NewCSVWriter(f, cfg.Host, cfg.Days)
 		if err != nil {
 			log.Fatal(err)
 		}
-		w := csv.NewWriter(tf)
-		if err := w.Write([]string{"device", "class"}); err != nil {
+		stream := dataset.StreamMNO(cfg, dataset.MNOSink{
+			Device: func(d devices.Device, _ bool) {
+				if tw != nil {
+					if err := tw.Write([]string{d.ID.String(), d.Class.String()}); err != nil {
+						log.Fatal(err)
+					}
+				}
+			},
+			Record: func(rec catalog.DailyRecord) {
+				if err := cw.Write(&rec); err != nil {
+					log.Fatal(err)
+				}
+			},
+		})
+		if err := cw.Flush(); err != nil {
 			log.Fatal(err)
 		}
-		for _, d := range ds.Devices {
-			if err := w.Write([]string{d.ID.String(), d.Class.String()}); err != nil {
-				log.Fatal(err)
+		records, devCount = stream.Records, stream.Devices
+		log.Printf("streamed %d catalog records for %d devices in %v (peak residency %d)",
+			records, devCount, time.Since(start).Round(time.Millisecond), stream.ResidentPeak)
+	} else {
+		ds := dataset.GenerateMNO(cfg)
+		log.Printf("generated %d catalog records for %d devices in %v",
+			len(ds.Catalog.Records), len(ds.Devices), time.Since(start).Round(time.Millisecond))
+		if err := ds.Catalog.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if tw != nil {
+			for _, d := range ds.Devices {
+				if err := tw.Write([]string{d.ID.String(), d.Class.String()}); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
-		w.Flush()
-		if err := w.Error(); err != nil {
+		records, devCount = int64(len(ds.Catalog.Records)), len(ds.Devices)
+	}
+
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d records)\n", *out, records)
+	if tw != nil {
+		tw.Flush()
+		if err := tw.Error(); err != nil {
 			log.Fatal(err)
 		}
 		if err := tf.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s (%d devices)\n", *truth, len(ds.Devices))
+		fmt.Printf("wrote %s (%d devices)\n", *truth, devCount)
+	}
+
+	if stopWatch != nil {
+		peak := stopWatch() >> 20
+		if peak > *maxHeapMiB {
+			log.Fatalf("heap peak %d MiB exceeds budget %d MiB", peak, *maxHeapMiB)
+		}
+		log.Printf("heap peak %d MiB within budget %d MiB", peak, *maxHeapMiB)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"whereroam/internal/catalog"
 	"whereroam/internal/core"
 	"whereroam/internal/dataset"
+	"whereroam/internal/devices"
 	"whereroam/internal/identity"
 	"whereroam/internal/signaling"
 	"whereroam/internal/store"
@@ -564,6 +565,122 @@ func TestStreamM2MArchiveRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(live, replayed) {
 		t.Fatal("replayed signaling stream differs from the live ordered stream")
+	}
+}
+
+// The out-of-core MNO generator must reproduce the materialized
+// dataset bit for bit at every worker count and under a residency
+// budget: same devices in the same order, same catalog records, same
+// ground truth and IR.88 verdicts. This is the acceptance contract of
+// the counting pre-pass — per-shard IMSI block offsets must hand every
+// device exactly the IMSI the serial allocation pass would have.
+func TestOutOfCoreMNOMatchesMaterialized(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := dataset.DefaultMNOConfig()
+		cfg.Seed = seed
+		cfg.Devices = 1500
+		cfg.Workers = 1
+		mat := dataset.GenerateMNO(cfg)
+
+		for _, run := range []struct {
+			workers int
+			budget  int
+		}{{1, 0}, {4, 0}, {0, 0}, {4, 2}} {
+			scfg := cfg
+			scfg.Workers = run.workers
+			scfg.MaxResidentDevices = run.budget
+			var devs []devices.Device
+			declared := map[identity.DeviceID]bool{}
+			truth := map[identity.DeviceID]devices.Class{}
+			var recs []catalog.DailyRecord
+			stream := dataset.StreamMNO(scfg, dataset.MNOSink{
+				Device: func(dev devices.Device, dec bool) {
+					devs = append(devs, dev)
+					truth[dev.ID] = dev.Class
+					if dec {
+						declared[dev.ID] = true
+					}
+				},
+				Record: func(rec catalog.DailyRecord) { recs = append(recs, rec) },
+			})
+			if !reflect.DeepEqual(mat.Devices, devs) {
+				t.Errorf("seed %d workers %d budget %d: streamed devices differ from materialized",
+					seed, run.workers, run.budget)
+			}
+			if !reflect.DeepEqual(mat.Catalog.Records, recs) {
+				t.Errorf("seed %d workers %d budget %d: streamed catalog records differ from materialized",
+					seed, run.workers, run.budget)
+			}
+			if !reflect.DeepEqual(mat.Truth, truth) {
+				t.Errorf("seed %d workers %d budget %d: ground truth differs", seed, run.workers, run.budget)
+			}
+			if !reflect.DeepEqual(mat.Declared, declared) {
+				t.Errorf("seed %d workers %d budget %d: IR.88 verdicts differ", seed, run.workers, run.budget)
+			}
+			if stream.Records != int64(len(recs)) {
+				t.Errorf("seed %d workers %d budget %d: stream reports %d records, sink saw %d",
+					seed, run.workers, run.budget, stream.Records, len(recs))
+			}
+			if run.budget > 0 && stream.ResidentPeak > run.budget {
+				t.Errorf("seed %d workers %d: resident peak %d exceeds budget %d",
+					seed, run.workers, stream.ResidentPeak, run.budget)
+			}
+		}
+	}
+}
+
+// The bounded-memory federation build must reproduce the materialized
+// build's per-site catalogs, presence sets and truth maps bit for bit
+// at every worker count — and materializing the fleet lazily
+// afterwards (EnsureFleet) must reproduce the shared fleet plane too.
+func TestOutOfCoreFederationMatchesMaterialized(t *testing.T) {
+	base := dataset.DefaultFederationConfig()
+	base.FleetDevices, base.NativePerSite, base.Days = 250, 150, 8
+	base.Workers = 1
+	mat := dataset.GenerateFederation(base)
+
+	for _, workers := range []int{1, 4, 0} {
+		cfg := base
+		cfg.Workers = workers
+		cfg.BoundedMemory = true
+		fed := dataset.GenerateFederation(cfg)
+		if fed.Fleet != nil || fed.Schedule != nil {
+			t.Fatalf("workers=%d: bounded build materialized the fleet plane eagerly", workers)
+		}
+		for j := range mat.Sites {
+			a, b := mat.Sites[j], fed.Sites[j]
+			if !reflect.DeepEqual(a.Catalog.Records, b.Catalog.Records) {
+				t.Errorf("workers=%d site %d: bounded catalog differs from materialized", workers, j)
+			}
+			if !reflect.DeepEqual(a.Present, b.Present) {
+				t.Errorf("workers=%d site %d: fleet presence differs", workers, j)
+			}
+			if !reflect.DeepEqual(a.Truth, b.Truth) {
+				t.Errorf("workers=%d site %d: local truth differs", workers, j)
+			}
+		}
+		fed.EnsureFleet()
+		if !reflect.DeepEqual(mat.Fleet, fed.Fleet) {
+			t.Errorf("workers=%d: lazily materialized fleet differs", workers)
+		}
+		if !reflect.DeepEqual(mat.Schedule, fed.Schedule) {
+			t.Errorf("workers=%d: lazily materialized schedule differs", workers)
+		}
+		if !reflect.DeepEqual(mat.Truth, fed.Truth) {
+			t.Errorf("workers=%d: lazily materialized fleet truth differs", workers)
+		}
+	}
+
+	// The bounded build composes with the streaming/batch switch being
+	// irrelevant to it: a streaming materialized build matches too.
+	scfg := base
+	scfg.Streaming = true
+	scfg.Workers = 4
+	stream := dataset.GenerateFederation(scfg)
+	for j := range mat.Sites {
+		if !reflect.DeepEqual(mat.Sites[j].Catalog.Records, stream.Sites[j].Catalog.Records) {
+			t.Errorf("site %d: streaming materialized catalog differs from batch", j)
+		}
 	}
 }
 

@@ -23,52 +23,85 @@ var csvHeader = []string{
 	"voice_rats", "apns", "lat", "lon", "gyration_km", "has_location",
 }
 
-// WriteCSV writes the catalog (header line carries host and days as a
-// comment-style first record).
-func (c *Catalog) WriteCSV(w io.Writer) error {
+// CSVWriter emits catalog records in the WriteCSV interchange layout
+// one record at a time — the out-of-core counterpart of
+// Catalog.WriteCSV for producers (StreamMNO sinks, replay tools) that
+// never materialize a Catalog. The meta and header rows are written by
+// NewCSVWriter; the caller streams records through Write and must
+// Flush once at the end.
+type CSVWriter struct {
+	cw  *csv.Writer
+	row []string
+}
+
+// NewCSVWriter starts a catalog CSV stream on w, writing the
+// comment-style meta row (host, days) and the column header
+// immediately.
+func NewCSVWriter(w io.Writer, host mccmnc.PLMN, days int) (*CSVWriter, error) {
 	cw := csv.NewWriter(w)
-	meta := []string{"#host", c.Host.Concat(), "days", strconv.Itoa(c.Days)}
+	meta := []string{"#host", host.Concat(), "days", strconv.Itoa(days)}
 	if err := cw.Write(meta); err != nil {
-		return err
+		return nil, err
 	}
 	if err := cw.Write(csvHeader); err != nil {
+		return nil, err
+	}
+	return &CSVWriter{cw: cw, row: make([]string, len(csvHeader))}, nil
+}
+
+// Write appends one record row.
+func (w *CSVWriter) Write(r *DailyRecord) error {
+	visited := make([]string, len(r.Visited))
+	for j, v := range r.Visited {
+		visited[j] = v.Concat()
+	}
+	apns := make([]string, len(r.APNs))
+	for j, a := range r.APNs {
+		apns[j] = a.String()
+	}
+	row := w.row
+	row[0] = r.Device.String()
+	row[1] = strconv.Itoa(r.Day)
+	row[2] = r.SIM.Concat()
+	row[3] = r.TAC.String()
+	row[4] = strings.Join(visited, ";")
+	row[5] = strconv.Itoa(r.Events)
+	row[6] = strconv.Itoa(r.FailedEvents)
+	row[7] = strconv.Itoa(r.Calls)
+	row[8] = strconv.FormatFloat(r.CallSeconds, 'f', 1, 64)
+	row[9] = strconv.FormatUint(r.Bytes, 10)
+	row[10] = strconv.Itoa(int(r.RadioFlags))
+	row[11] = strconv.Itoa(int(r.DataRATs))
+	row[12] = strconv.Itoa(int(r.VoiceRATs))
+	row[13] = strings.Join(apns, ";")
+	row[14] = strconv.FormatFloat(r.Centroid.Lat, 'f', 6, 64)
+	row[15] = strconv.FormatFloat(r.Centroid.Lon, 'f', 6, 64)
+	row[16] = strconv.FormatFloat(r.GyrationKm, 'f', 4, 64)
+	row[17] = strconv.FormatBool(r.HasLocation)
+	return w.cw.Write(row)
+}
+
+// Flush drains the underlying csv.Writer and reports any deferred
+// write error. Call it once after the last Write.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// WriteCSV writes the catalog (header line carries host and days as a
+// comment-style first record). The output is byte-identical to
+// streaming the same records through a CSVWriter.
+func (c *Catalog) WriteCSV(w io.Writer) error {
+	cw, err := NewCSVWriter(w, c.Host, c.Days)
+	if err != nil {
 		return err
 	}
-	row := make([]string, len(csvHeader))
 	for i := range c.Records {
-		r := &c.Records[i]
-		visited := make([]string, len(r.Visited))
-		for j, v := range r.Visited {
-			visited[j] = v.Concat()
-		}
-		apns := make([]string, len(r.APNs))
-		for j, a := range r.APNs {
-			apns[j] = a.String()
-		}
-		row[0] = r.Device.String()
-		row[1] = strconv.Itoa(r.Day)
-		row[2] = r.SIM.Concat()
-		row[3] = r.TAC.String()
-		row[4] = strings.Join(visited, ";")
-		row[5] = strconv.Itoa(r.Events)
-		row[6] = strconv.Itoa(r.FailedEvents)
-		row[7] = strconv.Itoa(r.Calls)
-		row[8] = strconv.FormatFloat(r.CallSeconds, 'f', 1, 64)
-		row[9] = strconv.FormatUint(r.Bytes, 10)
-		row[10] = strconv.Itoa(int(r.RadioFlags))
-		row[11] = strconv.Itoa(int(r.DataRATs))
-		row[12] = strconv.Itoa(int(r.VoiceRATs))
-		row[13] = strings.Join(apns, ";")
-		row[14] = strconv.FormatFloat(r.Centroid.Lat, 'f', 6, 64)
-		row[15] = strconv.FormatFloat(r.Centroid.Lon, 'f', 6, 64)
-		row[16] = strconv.FormatFloat(r.GyrationKm, 'f', 4, 64)
-		row[17] = strconv.FormatBool(r.HasLocation)
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(&c.Records[i]); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Flush()
 }
 
 // ReadCSV reads a catalog in the WriteCSV layout.

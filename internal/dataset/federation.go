@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"whereroam/internal/catalog"
@@ -65,6 +66,19 @@ type FederationConfig struct {
 	// visited operator. The build panics on archive I/O errors,
 	// mirroring the config-validation panics.
 	ArchiveDir string
+	// BoundedMemory switches the build to the out-of-core pipeline: a
+	// counting pre-pass turns the fleet's serial IMSI allocation into
+	// per-shard block offsets, and sites are then built one at a time
+	// by re-drafting each device from its RNG substream and streaming
+	// its records straight into the site's catalog ingester — the full
+	// fleet, the native populations and the per-site observation lists
+	// are never materialized. The catalogs, Present/Truth sets and
+	// archives are bit-identical to the materialized build at every
+	// worker count. Fleet, Schedule, the dataset-level Truth map and
+	// each site's Natives slice start unmaterialized; call
+	// FederationDataset.EnsureFleet to fill the fleet-plane views on
+	// demand (the sites' catalogs stay as built).
+	BoundedMemory bool
 }
 
 // DefaultFederationHosts is the standard three-site footprint: the
@@ -131,6 +145,41 @@ type FederationDataset struct {
 	// cfg is the build configuration, retained for the plane
 	// generators (scale, streaming switch, worker budget).
 	cfg FederationConfig
+	// fleetOnce guards the lazy fleet materialization of a
+	// bounded-memory build (see EnsureFleet).
+	fleetOnce sync.Once
+}
+
+// EnsureFleet materializes Fleet, Schedule and the dataset-level Truth
+// map on a bounded-memory dataset, rebuilding the fleet from the
+// retained configuration (the per-device RNG substreams make the
+// rebuild bit-identical to what a materialized GenerateFederation
+// would have produced). It is a no-op when the fleet is already
+// resident, and safe for concurrent callers.
+func (fed *FederationDataset) EnsureFleet() {
+	fed.fleetOnce.Do(func() {
+		if fed.members != nil {
+			return
+		}
+		root := rng.New(fed.cfg.Seed).Split("federation")
+		fed.adoptFleet(generateFleet(fed.cfg, root, fed.GSMA, fed.World))
+	})
+}
+
+// adoptFleet installs the materialized fleet into the dataset's
+// exported fleet-plane views.
+func (fed *FederationDataset) adoptFleet(fleet []fleetMember) {
+	fed.members = fleet
+	fed.Fleet = make([]devices.Device, len(fleet))
+	fed.Schedule = make([][]int8, len(fleet))
+	if fed.Truth == nil {
+		fed.Truth = make(map[identity.DeviceID]devices.Class, len(fleet))
+	}
+	for i := range fleet {
+		fed.Fleet[i] = fleet[i].dev
+		fed.Schedule[i] = fleet[i].sched
+		fed.Truth[fleet[i].dev.ID] = fleet[i].dev.Class
+	}
 }
 
 // ScheduledSite returns the site index device i (in Fleet order) is
@@ -246,6 +295,46 @@ func siteKey(p mccmnc.PLMN) uint64 {
 // or per-(device, site) substream, so the dataset is bit-identical
 // across worker counts and across the batch/streaming switch.
 func GenerateFederation(cfg FederationConfig) *FederationDataset {
+	cfg = validateFederationConfig(cfg)
+
+	db := gsma.Synthesize(cfg.GSMASeed)
+	world := netsim.NewWorld(netsim.DefaultConfig())
+	root := rng.New(cfg.Seed).Split("federation")
+
+	fed := &FederationDataset{
+		Hosts: append([]mccmnc.PLMN(nil), cfg.Hosts...),
+		Start: cfg.Start,
+		Days:  cfg.Days,
+		GSMA:  db,
+		World: world,
+		cfg:   cfg,
+	}
+
+	if cfg.BoundedMemory {
+		generateFederationBounded(cfg, fed, root)
+		return fed
+	}
+
+	fed.Truth = make(map[identity.DeviceID]devices.Class, cfg.FleetDevices)
+	fleet := generateFleet(cfg, root, db, world)
+	fed.adoptFleet(fleet)
+
+	// Site plane: every site generates independently from its own
+	// host-keyed substream, so the fan-out is free to run sites
+	// concurrently on the shared worker budget.
+	fed.Sites = make([]*FederationSite, len(cfg.Hosts))
+	pipeline.Run(len(cfg.Hosts), cfg.Workers, func(sh pipeline.Shard) {
+		for j := sh.Lo; j < sh.Hi; j++ {
+			fed.Sites[j] = generateSite(cfg, j, root, db, fleet)
+		}
+	})
+	return fed
+}
+
+// validateFederationConfig normalizes the defaults and panics on the
+// configurations the generator cannot honour, so the materialized and
+// bounded builds reject identically.
+func validateFederationConfig(cfg FederationConfig) FederationConfig {
 	if len(cfg.Hosts) == 0 {
 		cfg.Hosts = DefaultFederationHosts()
 	}
@@ -268,41 +357,7 @@ func GenerateFederation(cfg FederationConfig) *FederationDataset {
 			}
 		}
 	}
-
-	db := gsma.Synthesize(cfg.GSMASeed)
-	world := netsim.NewWorld(netsim.DefaultConfig())
-	root := rng.New(cfg.Seed).Split("federation")
-
-	fed := &FederationDataset{
-		Hosts: append([]mccmnc.PLMN(nil), cfg.Hosts...),
-		Start: cfg.Start,
-		Days:  cfg.Days,
-		GSMA:  db,
-		World: world,
-		Truth: make(map[identity.DeviceID]devices.Class, cfg.FleetDevices),
-		cfg:   cfg,
-	}
-
-	fleet := generateFleet(cfg, root, db, world)
-	fed.members = fleet
-	fed.Fleet = make([]devices.Device, len(fleet))
-	fed.Schedule = make([][]int8, len(fleet))
-	for i := range fleet {
-		fed.Fleet[i] = fleet[i].dev
-		fed.Schedule[i] = fleet[i].sched
-		fed.Truth[fleet[i].dev.ID] = fleet[i].dev.Class
-	}
-
-	// Site plane: every site generates independently from its own
-	// host-keyed substream, so the fan-out is free to run sites
-	// concurrently on the shared worker budget.
-	fed.Sites = make([]*FederationSite, len(cfg.Hosts))
-	pipeline.Run(len(cfg.Hosts), cfg.Workers, func(sh pipeline.Shard) {
-		for j := sh.Lo; j < sh.Hi; j++ {
-			fed.Sites[j] = generateSite(cfg, j, root, db, fleet)
-		}
-	})
-	return fed
+	return cfg
 }
 
 // fleetDraft is the pass-1 outcome for one fleet device.
@@ -313,46 +368,96 @@ type fleetDraft struct {
 	src   *rng.Source
 }
 
-// generateFleet runs the shared fleet's three passes and the
-// site-presence draw.
-func generateFleet(cfg FederationConfig, root *rng.Source, db *gsma.DB, world *netsim.World) []fleetMember {
-	froot := root.Split("fleet")
-	classPick := rng.NewWeighted(froot.Split("class"),
+// fleetPicks builds the fleet's shared class samplers (stateless per
+// draw, like mnoPicks) from the fleet substream root.
+func fleetPicks(froot *rng.Source) (classPick, m2mPick *rng.Weighted) {
+	classPick = rng.NewWeighted(froot.Split("class"),
 		[]float64{fleetShareSmart, fleetShareFeat, fleetShareM2M})
 	m2mWeights := make([]float64, len(m2mMix))
 	for i, m := range m2mMix {
 		m2mWeights[i] = m.share
 	}
-	m2mPick := rng.NewWeighted(froot.Split("m2m"), m2mWeights)
+	m2mPick = rng.NewWeighted(froot.Split("m2m"), m2mWeights)
+	return classPick, m2mPick
+}
+
+// drawFleetDraft replays fleet device i's pass-1 draws (class, home
+// operator, IMSI block) from the fleet root. Both the materialized
+// draft pass and the out-of-core counting/emission walks go through
+// this helper, so they see bit-identical draws.
+func drawFleetDraft(froot *rng.Source, i int, classPick, m2mPick *rng.Weighted) fleetDraft {
+	src := froot.SplitN("device", uint64(i))
+	var class devices.Class
+	switch classPick.DrawFrom(src) {
+	case 0:
+		class = devices.ClassSmartphone
+	case 1:
+		class = devices.ClassFeaturePhone
+	default:
+		class = m2mMix[m2mPick.DrawFrom(src)].class
+	}
+	var home mccmnc.PLMN
+	switch class {
+	case devices.ClassSmartphone:
+		home = drawHome(src.Split("home"), smartHomes)
+	case devices.ClassFeaturePhone:
+		home = drawHome(src.Split("home"), featHomes)
+	default:
+		home = drawHome(src.Split("home"), m2mHomes[class])
+	}
+	base := uint64(fleetPhoneBase)
+	if class.IsM2M() {
+		base = M2MBlockBase
+	}
+	return fleetDraft{class: class, home: home, base: base, src: src}
+}
+
+// finishFleetMember runs one drafted fleet device through pass 3:
+// profile, identity, site presence and the per-day schedule. The
+// device's substream is not advanced past this point: per-site
+// emission derives from it with read-only splits, which is what lets
+// sites generate concurrently (and, out-of-core, lets any site rebuild
+// the member independently).
+func finishFleetMember(d *fleetDraft, imsi identity.IMSI, cfg FederationConfig, db *gsma.DB, world *netsim.World) fleetMember {
+	psrc := d.src.Split("profile")
+	prof, info := classProfile(psrc, d.class, cfg.Days, mccmnc.PLMN{}, d.home, true, db)
+	homeCountry, _ := mccmnc.CountryByMCC(d.home.MCC)
+	mob := classMobility(d.src.Split("mobility"), d.class,
+		geo.Point{Lat: homeCountry.Lat, Lon: homeCountry.Lon})
+	dev := devices.Assemble(d.class, imsi, info, prof, mob, false)
+
+	// Site presence: an anchor among the allowed sites plus each
+	// further allowed site with probability AttachProb.
+	ssrc := d.src.Split("sites")
+	sites := make([]bool, len(cfg.Hosts))
+	anchor := -1
+	var allowed []int
+	for j, host := range cfg.Hosts {
+		if host != d.home && world.RoamingAllowed(d.home, host) {
+			allowed = append(allowed, j)
+		}
+	}
+	if len(allowed) > 0 {
+		anchor = allowed[ssrc.Intn(len(allowed))]
+		for _, j := range allowed {
+			sites[j] = j == anchor || ssrc.Bool(cfg.AttachProb)
+		}
+	}
+	sched := drawSchedule(d.src.Split("schedule"), d.class, sites, anchor, cfg.Days)
+	return fleetMember{dev: dev, src: d.src, sites: sites, sched: sched}
+}
+
+// generateFleet runs the shared fleet's three passes and the
+// site-presence draw.
+func generateFleet(cfg FederationConfig, root *rng.Source, db *gsma.DB, world *netsim.World) []fleetMember {
+	froot := root.Split("fleet")
+	classPick, m2mPick := fleetPicks(froot)
 
 	// Pass 1 (parallel): class and home-operator draws.
 	drafts := make([]fleetDraft, cfg.FleetDevices)
 	pipeline.Run(cfg.FleetDevices, cfg.Workers, func(sh pipeline.Shard) {
 		for i := sh.Lo; i < sh.Hi; i++ {
-			src := froot.SplitN("device", uint64(i))
-			var class devices.Class
-			switch classPick.DrawFrom(src) {
-			case 0:
-				class = devices.ClassSmartphone
-			case 1:
-				class = devices.ClassFeaturePhone
-			default:
-				class = m2mMix[m2mPick.DrawFrom(src)].class
-			}
-			var home mccmnc.PLMN
-			switch class {
-			case devices.ClassSmartphone:
-				home = drawHome(src.Split("home"), smartHomes)
-			case devices.ClassFeaturePhone:
-				home = drawHome(src.Split("home"), featHomes)
-			default:
-				home = drawHome(src.Split("home"), m2mHomes[class])
-			}
-			base := uint64(fleetPhoneBase)
-			if class.IsM2M() {
-				base = M2MBlockBase
-			}
-			drafts[i] = fleetDraft{class: class, home: home, base: base, src: src}
+			drafts[i] = drawFleetDraft(froot, i, classPick, m2mPick)
 		}
 	})
 
@@ -363,40 +468,11 @@ func generateFleet(cfg FederationConfig, root *rng.Source, db *gsma.DB, world *n
 		imsis[i] = alloc.Next(drafts[i].home, drafts[i].base)
 	}
 
-	// Pass 3 (parallel): profiles, identity and site presence. The
-	// device's substream is not advanced after this pass: per-site
-	// emission derives from it with read-only splits, which is what
-	// lets sites generate concurrently.
+	// Pass 3 (parallel): profiles, identity and site presence.
 	fleet := make([]fleetMember, cfg.FleetDevices)
 	pipeline.Run(cfg.FleetDevices, cfg.Workers, func(sh pipeline.Shard) {
 		for i := sh.Lo; i < sh.Hi; i++ {
-			d := &drafts[i]
-			psrc := d.src.Split("profile")
-			prof, info := classProfile(psrc, d.class, cfg.Days, mccmnc.PLMN{}, d.home, true, db)
-			homeCountry, _ := mccmnc.CountryByMCC(d.home.MCC)
-			mob := classMobility(d.src.Split("mobility"), d.class,
-				geo.Point{Lat: homeCountry.Lat, Lon: homeCountry.Lon})
-			dev := devices.Assemble(d.class, imsis[i], info, prof, mob, false)
-
-			// Site presence: an anchor among the allowed sites plus
-			// each further allowed site with probability AttachProb.
-			ssrc := d.src.Split("sites")
-			sites := make([]bool, len(cfg.Hosts))
-			anchor := -1
-			var allowed []int
-			for j, host := range cfg.Hosts {
-				if host != d.home && world.RoamingAllowed(d.home, host) {
-					allowed = append(allowed, j)
-				}
-			}
-			if len(allowed) > 0 {
-				anchor = allowed[ssrc.Intn(len(allowed))]
-				for _, j := range allowed {
-					sites[j] = j == anchor || ssrc.Bool(cfg.AttachProb)
-				}
-			}
-			sched := drawSchedule(d.src.Split("schedule"), d.class, sites, anchor, cfg.Days)
-			fleet[i] = fleetMember{dev: dev, src: d.src, sites: sites, sched: sched}
+			fleet[i] = finishFleetMember(&drafts[i], imsis[i], cfg, db, world)
 		}
 	})
 	return fleet
@@ -611,8 +687,9 @@ func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, 
 	emit := func(taps func(sh pipeline.Shard) (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record])) {
 		pipeline.Run(len(locals), cfg.Workers, func(sh pipeline.Shard) {
 			radioTap, cdrTap := taps(sh)
+			var bufs emitBufs
 			for i := sh.Lo; i < sh.Hi; i++ {
-				emitDeviceDaysSched(locals[i].emit, host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &locals[i].dev, locals[i].presentDay)
+				emitDeviceDaysSched(locals[i].emit, host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &locals[i].dev, locals[i].presentDay, &bufs)
 			}
 		})
 	}

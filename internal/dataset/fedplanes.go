@@ -54,6 +54,7 @@ type fedM2MDevice struct {
 // member stream, so the plane never perturbs the catalog plane's
 // draws (nor vice versa).
 func fedM2MPopulation(fed *FederationDataset) []fedM2MDevice {
+	fed.EnsureFleet()
 	devs := make([]fedM2MDevice, 0, len(fed.members))
 	for i := range fed.members {
 		m := &fed.members[i]
@@ -231,6 +232,7 @@ type FederationSMIP struct {
 // bit-identical across worker counts and the batch/streaming switch,
 // exactly like the federation's main site catalogs.
 func GenerateFederationSMIP(fed *FederationDataset) *FederationSMIP {
+	fed.EnsureFleet()
 	cfg := fed.cfg
 	// Archiving belongs to the main site catalogs: the federation
 	// build already wrote one store per site under ArchiveDir, and a

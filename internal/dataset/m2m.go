@@ -125,11 +125,20 @@ type m2mDraft struct {
 	src  *rng.Source
 }
 
+// m2mPlatformBase is the MSIN base of the platform's per-HMNO IMSI
+// blocks.
+const m2mPlatformBase = 7_000_000_000
+
 // m2mPopulation runs the population passes every M2M path shares:
 // building the world, the parallel per-device home-operator draft
-// (pass 1) and the serial index-order IMSI allocation (pass 2). The
-// expensive schedule walk (pass 3) is left to the caller, which
-// chooses where the probe output goes.
+// (pass 1), and the device-identity assignment. Identity used to be a
+// serial index-order IMSI allocation; it is now a counting pre-pass —
+// pass 1 counts each shard's draws per home operator, a prefix-sum
+// turns the counts into per-shard block offsets, and a second parallel
+// pass hands device i the IMSI the serial walk would have: base +
+// (devices of the same home before it). The expensive schedule walk
+// (pass 3) is left to the caller, which chooses where the probe output
+// goes.
 func m2mPopulation(cfg M2MConfig) (setup m2mSetup, specs []hmnoSpec, drafts []m2mDraft, devIDs []identity.DeviceID) {
 	if cfg.Devices <= 0 || cfg.Days <= 0 {
 		panic("dataset: M2M config needs positive Devices and Days")
@@ -140,7 +149,6 @@ func m2mPopulation(cfg M2MConfig) (setup m2mSetup, specs []hmnoSpec, drafts []m2
 		M2MDataset: &M2MDataset{Start: cfg.Start, Days: cfg.Days},
 		world:      netsim.NewWorld(netsim.DefaultConfig()),
 	}
-	alloc := devices.NewIMSIAllocator()
 
 	weights := make([]float64, len(specs))
 	for i, s := range specs {
@@ -149,17 +157,34 @@ func m2mPopulation(cfg M2MConfig) (setup m2mSetup, specs []hmnoSpec, drafts []m2
 	hmnoPick := rng.NewWeighted(root.Split("hmno"), weights)
 
 	drafts = make([]m2mDraft, cfg.Devices)
-	pipeline.Run(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) {
+	specCounts := pipeline.Map(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) []uint64 {
+		counts := make([]uint64, len(specs))
 		for i := sh.Lo; i < sh.Hi; i++ {
 			src := root.SplitN("device", uint64(i))
 			drafts[i] = m2mDraft{spec: hmnoPick.DrawFrom(src), src: src}
+			counts[drafts[i].spec]++
 		}
+		return counts
 	})
 
-	devIDs = make([]identity.DeviceID, cfg.Devices)
-	for i := range drafts {
-		devIDs[i] = identity.HashDevice(alloc.Next(specs[drafts[i].spec].plmn, 7_000_000_000))
+	running := make([]uint64, len(specs))
+	shardOffs := make([][]uint64, len(specCounts))
+	for s, counts := range specCounts {
+		shardOffs[s] = append([]uint64(nil), running...)
+		for k, n := range counts {
+			running[k] += n
+		}
 	}
+
+	devIDs = make([]identity.DeviceID, cfg.Devices)
+	pipeline.Run(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) {
+		off := shardOffs[sh.Index]
+		for i := sh.Lo; i < sh.Hi; i++ {
+			s := drafts[i].spec
+			devIDs[i] = identity.HashDevice(identity.IMSI{PLMN: specs[s].plmn, MSIN: m2mPlatformBase + off[s]})
+			off[s]++
+		}
+	})
 	return setup, specs, drafts, devIDs
 }
 

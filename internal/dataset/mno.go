@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"sort"
 	"time"
 
 	"whereroam/internal/catalog"
@@ -35,6 +36,13 @@ type MNOConfig struct {
 	// GSMA PRD is binding but adoption in the wild is partial). Zero
 	// disables transparency.
 	TransparencyAdoption float64
+	// MaxResidentDevices caps how many devices the out-of-core
+	// generator (StreamMNO) materializes concurrently: it clamps the
+	// emission worker pool to at most this many workers, so at no point
+	// are more than MaxResidentDevices device structs alive in the
+	// producers. Zero means one resident device per worker. The
+	// materialized generator (GenerateMNO) ignores it.
+	MaxResidentDevices int
 }
 
 // DefaultMNOConfig returns the standard scaled-down configuration.
@@ -191,29 +199,13 @@ func GenerateMNO(cfg MNOConfig) *MNODataset {
 	}
 	cat := &catalog.Catalog{Host: cfg.Host, Days: cfg.Days}
 	alloc := devices.NewIMSIAllocator()
-
-	classPick := rng.NewWeighted(root.Split("class"), []float64{shareSmart, shareFeat, shareM2M})
-	m2mWeights := make([]float64, len(m2mMix))
-	for i, m := range m2mMix {
-		m2mWeights[i] = m.share
-	}
-	m2mPick := rng.NewWeighted(root.Split("m2m"), m2mWeights)
+	classPick, m2mPick := mnoPicks(root)
 
 	// Pass 1 (parallel): class and home draws per device.
 	drafts := make([]deviceDraft, cfg.Devices)
 	pipeline.Run(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) {
 		for i := sh.Lo; i < sh.Hi; i++ {
-			src := root.SplitN("device", uint64(i))
-			var class devices.Class
-			switch classPick.DrawFrom(src) {
-			case 0:
-				class = devices.ClassSmartphone
-			case 1:
-				class = devices.ClassFeaturePhone
-			default:
-				class = m2mMix[m2mPick.DrawFrom(src)].class
-			}
-			drafts[i] = draftDevice(src, cfg, class)
+			drafts[i] = drawMNODraft(root, i, cfg, classPick, m2mPick)
 		}
 	})
 
@@ -231,10 +223,12 @@ func GenerateMNO(cfg MNOConfig) *MNODataset {
 	}
 	outs := pipeline.Map(cfg.Devices, cfg.Workers, func(sh pipeline.Shard) shardOut {
 		out := shardOut{devs: make([]devices.Device, 0, sh.Len())}
+		var visits []geo.Visit
+		appendRec := func(rec catalog.DailyRecord) { out.recs = append(out.recs, rec) }
 		for i := sh.Lo; i < sh.Hi; i++ {
 			dev := finishDevice(&drafts[i], imsis[i], cfg, db, centre)
 			out.devs = append(out.devs, dev)
-			emitDeviceDays(drafts[i].src.Split("days"), cfg.Host, cfg.Start, cfg.Days, &out.recs, &dev)
+			emitDeviceDays(drafts[i].src.Split("days"), cfg.Host, cfg.Start, cfg.Days, appendRec, &dev, &visits)
 		}
 		return out
 	})
@@ -257,34 +251,89 @@ const M2MBlockBase = 6_000_000_000
 // buildTransparency publishes IR.88 declarations for the adopting
 // subset of home operators and computes the capture-time verdicts.
 func (ds *MNODataset) buildTransparency(cfg MNOConfig, alloc *devices.IMSIAllocator, src *rng.Source) {
-	ds.Transparency = core.NewRegistry()
-	ds.Declared = map[identity.DeviceID]bool{}
-	if cfg.TransparencyAdoption <= 0 {
-		return
-	}
-	// Collect the home operators with M2M blocks.
-	homes := map[mccmnc.PLMN]bool{}
+	// Collect the home operators with M2M blocks and their block sizes.
+	m2mTotals := map[mccmnc.PLMN]uint64{}
 	for _, d := range ds.Devices {
 		if d.IMSI.MSIN >= M2MBlockBase && d.IMSI.MSIN < SMIPNativeBase {
-			homes[d.Home] = true
+			m2mTotals[d.Home] = alloc.Allocated(d.Home, M2MBlockBase)
 		}
 	}
-	for home := range homes {
-		key := uint64(home.MCC)<<16 | uint64(home.MNC)
-		if !src.SplitN("adopt", key).Bool(cfg.TransparencyAdoption) {
-			continue
-		}
-		n := alloc.Allocated(home, M2MBlockBase)
-		ds.Transparency.Add(core.Declaration{
-			Home:   home,
-			Ranges: []identity.IMSIRange{{PLMN: home, Lo: M2MBlockBase, Hi: M2MBlockBase + n - 1}},
-		})
-	}
+	ds.Transparency = transparencyRegistry(cfg.TransparencyAdoption, src, m2mTotals)
+	ds.Declared = map[identity.DeviceID]bool{}
 	for _, d := range ds.Devices {
 		if ds.Transparency.MatchIMSI(d.IMSI) {
 			ds.Declared[d.ID] = true
 		}
 	}
+}
+
+// transparencyRegistry builds the IR.88 registry from the per-home M2M
+// block sizes: each home with a non-empty dedicated block adopts with
+// the given probability (a per-home draw keyed by its PLMN, so the
+// verdict never depends on iteration order) and declares exactly the
+// range it allocated. Both generation paths — materialized and
+// out-of-core — publish through here, which is what keeps their
+// capture-time verdicts identical.
+func transparencyRegistry(adoption float64, src *rng.Source, m2mTotals map[mccmnc.PLMN]uint64) *core.Registry {
+	reg := core.NewRegistry()
+	if adoption <= 0 {
+		return reg
+	}
+	homes := make([]mccmnc.PLMN, 0, len(m2mTotals))
+	for home := range m2mTotals {
+		homes = append(homes, home)
+	}
+	sort.Slice(homes, func(i, j int) bool {
+		return siteKey(homes[i]) < siteKey(homes[j])
+	})
+	for _, home := range homes {
+		n := m2mTotals[home]
+		if n == 0 {
+			continue
+		}
+		key := uint64(home.MCC)<<16 | uint64(home.MNC)
+		if !src.SplitN("adopt", key).Bool(adoption) {
+			continue
+		}
+		reg.Add(core.Declaration{
+			Home:   home,
+			Ranges: []identity.IMSIRange{{PLMN: home, Lo: M2MBlockBase, Hi: M2MBlockBase + n - 1}},
+		})
+	}
+	return reg
+}
+
+// mnoPicks builds the shared class samplers every MNO generation pass
+// draws from. The samplers are stateless per draw (DrawFrom consumes
+// the device's stream, not their own), so the counting pre-pass, the
+// draft pass and the emission pass can all share one pair.
+func mnoPicks(root *rng.Source) (classPick, m2mPick *rng.Weighted) {
+	classPick = rng.NewWeighted(root.Split("class"), []float64{shareSmart, shareFeat, shareM2M})
+	m2mWeights := make([]float64, len(m2mMix))
+	for i, m := range m2mMix {
+		m2mWeights[i] = m.share
+	}
+	m2mPick = rng.NewWeighted(root.Split("m2m"), m2mWeights)
+	return classPick, m2mPick
+}
+
+// drawMNODraft replays device i's draft draws from the root stream:
+// the class pick followed by draftDevice. Every pass that needs the
+// draft — GenerateMNO's pass 1, the out-of-core counting pre-pass and
+// the out-of-core emission walk — goes through this one helper, which
+// is what guarantees they all see bit-identical draws.
+func drawMNODraft(root *rng.Source, i int, cfg MNOConfig, classPick, m2mPick *rng.Weighted) deviceDraft {
+	src := root.SplitN("device", uint64(i))
+	var class devices.Class
+	switch classPick.DrawFrom(src) {
+	case 0:
+		class = devices.ClassSmartphone
+	case 1:
+		class = devices.ClassFeaturePhone
+	default:
+		class = m2mMix[m2mPick.DrawFrom(src)].class
+	}
+	return draftDevice(src, cfg, class)
 }
 
 // deviceDraft is the outcome of the parallel draft pass: everything
@@ -431,18 +480,23 @@ func SMIPNativeRange(host mccmnc.PLMN, count uint64) identity.IMSIRange {
 	return identity.IMSIRange{PLMN: host, Lo: SMIPNativeBase, Hi: SMIPNativeBase + count}
 }
 
-// emitDeviceDays samples the device's daily activity and appends the
-// resulting catalog records to *recs (a shard-local slice under the
-// parallel generators; shards concatenate in shard order).
-func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, recs *[]catalog.DailyRecord, dev *devices.Device) {
+// emitDeviceDays samples the device's daily activity and hands each
+// resulting catalog record to emit, in day order. The parallel
+// generators pass a shard-local append; the out-of-core generator
+// passes its fan-in sink. visits is a per-shard scratch buffer reused
+// across devices so the per-day mobility sampling allocates nothing on
+// the steady state; pass a pointer to a nil slice to start one.
+func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, emit func(catalog.DailyRecord), dev *devices.Device, visits *[]geo.Visit) {
 	p := dev.Profile
 	// Native smartphones occasionally travel abroad (H:A days,
-	// captured via CDRs only — no radio events).
-	outboundDays := map[int]mccmnc.PLMN{}
+	// captured via CDRs only — no radio events). The map is allocated
+	// only for the travelling few; lookups on the nil map are fine.
+	var outboundDays map[int]mccmnc.PLMN
 	if dev.Class == devices.ClassSmartphone && dev.Home == host && src.Bool(outboundProb) {
 		tripLen := 1 + src.Intn(3)
 		tripStart := src.Intn(days)
 		dest := drawHome(src.Split("trip"), smartHomes)
+		outboundDays = make(map[int]mccmnc.PLMN, tripLen)
 		for d := tripStart; d < tripStart+tripLen && d < days; d++ {
 			outboundDays[d] = dest
 		}
@@ -519,19 +573,20 @@ func emitDeviceDays(src *rng.Source, host mccmnc.PLMN, start time.Time, days int
 		// daily metrics (outbound days have no host-side location).
 		if !isAbroad {
 			dayStart := start.Add(time.Duration(day) * 24 * time.Hour)
-			visits := make([]geo.Visit, 0, 8)
+			vs := (*visits)[:0]
 			for h := 0; h < 24; h += 3 {
-				visits = append(visits, geo.Visit{
+				vs = append(vs, geo.Visit{
 					At:     dev.Mobility.Position(dayStart.Add(time.Duration(h) * time.Hour)),
 					Weight: 3,
 				})
 			}
-			if c, ok := geo.Centroid(visits); ok {
+			*visits = vs
+			if c, ok := geo.Centroid(vs); ok {
 				rec.Centroid = c
-				rec.GyrationKm = geo.Gyration(visits)
+				rec.GyrationKm = geo.Gyration(vs)
 				rec.HasLocation = true
 			}
 		}
-		*recs = append(*recs, rec)
+		emit(rec)
 	}
 }

@@ -1,0 +1,400 @@
+package dataset
+
+// This file holds the out-of-core generators: the bounded-memory
+// twins of the materialized generation paths. The materialized passes
+// hold every draft (and then every device) resident because the
+// serial IMSI allocation is order-dependent; the out-of-core passes
+// replace it with a counting pre-pass — replay the cheap draft draws,
+// count allocations per (home, base) block per canonical shard,
+// prefix-sum the counts into per-shard starting offsets — after which
+// any shard can compute its devices' IMSIs independently, and a
+// device can be drafted, finished, emitted and released without its
+// neighbours ever being resident. Per-device RNG substreams
+// (rng.Source.SplitN is O(1) and never advances the parent) are what
+// make the replay free and bit-exact.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/cdrs"
+	"whereroam/internal/core"
+	"whereroam/internal/devices"
+	"whereroam/internal/geo"
+	"whereroam/internal/gsma"
+	"whereroam/internal/identity"
+	"whereroam/internal/ingest"
+	"whereroam/internal/mccmnc"
+	"whereroam/internal/netsim"
+	"whereroam/internal/pipeline"
+	"whereroam/internal/probe"
+	"whereroam/internal/radio"
+	"whereroam/internal/rng"
+	"whereroam/internal/store"
+)
+
+// outOfCoreDepth is the per-shard fan-in window of the out-of-core
+// generators. It is deliberately much smaller than ingest.DefaultDepth:
+// in-flight records are the only per-population state the streaming
+// path holds, so shards × depth bounds its working set.
+const outOfCoreDepth = 64
+
+// blockKey identifies one IMSI allocation block: the (home operator,
+// MSIN base) pair devices.IMSIAllocator keys its sequential counters
+// by.
+type blockKey struct {
+	home mccmnc.PLMN
+	base uint64
+}
+
+// blockCounts is the outcome of a counting pre-pass over one
+// population: per canonical shard, the starting allocation offset of
+// every block the shard draws from (the prefix-sum of earlier shards'
+// counts), plus the grand totals per block. Device i in shard s with
+// block k gets MSIN base + offsets[s][k] + (its rank among the shard's
+// earlier k-devices) — exactly the IMSI a serial index-order
+// allocation would have handed it.
+type blockCounts struct {
+	offsets []map[blockKey]uint64
+	totals  map[blockKey]uint64
+}
+
+// shardOffsets clones shard s's starting offsets so an emission walk
+// can advance them in place (a walk per site, out-of-core, revisits
+// the same shard several times).
+func (c *blockCounts) shardOffsets(s int) map[blockKey]uint64 {
+	off := make(map[blockKey]uint64, len(c.offsets[s]))
+	for k, v := range c.offsets[s] {
+		off[k] = v
+	}
+	return off
+}
+
+// countBlocks runs the counting pre-pass: key replays device i's draft
+// draws and returns its allocation block (it must be worker-count
+// invariant, which per-device substream replay guarantees). The
+// parallel count is O(devices) time and O(shards × blocks) space — the
+// whole residue of the serial allocation barrier.
+func countBlocks(n, workers int, key func(i int) blockKey) blockCounts {
+	perShard := pipeline.Map(n, workers, func(sh pipeline.Shard) map[blockKey]uint64 {
+		counts := map[blockKey]uint64{}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			counts[key(i)]++
+		}
+		return counts
+	})
+	running := map[blockKey]uint64{}
+	offsets := make([]map[blockKey]uint64, len(perShard))
+	for s, counts := range perShard {
+		off := make(map[blockKey]uint64, len(counts))
+		for k := range counts {
+			off[k] = running[k]
+		}
+		offsets[s] = off
+		for k, cnt := range counts {
+			running[k] += cnt
+		}
+	}
+	return blockCounts{offsets: offsets, totals: running}
+}
+
+// MNOSink receives the out-of-core MNO generator's output. Both
+// callbacks are optional (nil skips the plane); they run on the
+// calling goroutine, in the exact order the materialized generator
+// would have produced: devices in device-index order, each followed by
+// its daily catalog records in day order. A sink that stalls blocks
+// the producers through the fan-in windows — backpressure, not
+// buffering.
+type MNOSink struct {
+	// Device receives each synthesized device with its capture-time
+	// IR.88 verdict (the MNODataset.Declared entry).
+	Device func(dev devices.Device, declared bool)
+	// Record receives the device's daily catalog records.
+	Record func(rec catalog.DailyRecord)
+}
+
+// MNOStream summarizes an out-of-core MNO generation run: the
+// dataset-level constants of the equivalent MNODataset minus every
+// per-device container.
+type MNOStream struct {
+	Host  mccmnc.PLMN
+	Start time.Time
+	Days  int
+	GSMA  *gsma.DB
+	// Transparency is the IR.88 registry the declaring home operators
+	// published — identical to the materialized dataset's (it is built
+	// from the counting totals before emission starts).
+	Transparency *core.Registry
+	// Devices and Records count what the sink was offered.
+	Devices int
+	Records int64
+	// ResidentPeak is the high-water mark of concurrently resident
+	// devices observed during emission. With MaxResidentDevices set it
+	// never exceeds the budget; otherwise it is bounded by the worker
+	// count.
+	ResidentPeak int
+}
+
+// mnoItem is one element of the out-of-core MNO fan-in stream: a
+// device announcement or one of its daily records.
+type mnoItem struct {
+	dev      devices.Device
+	declared bool
+	rec      catalog.DailyRecord
+	isRec    bool
+}
+
+// StreamMNO is the out-of-core twin of GenerateMNO: the same
+// population, bit for bit, delivered to sink device by device instead
+// of materialized into an MNODataset. Memory stays bounded by the
+// worker count (or cfg.MaxResidentDevices), the fan-in windows and the
+// counting pre-pass's per-shard offset maps — never by cfg.Devices.
+//
+// The sink observes the exact serial order of the materialized
+// generator at any worker count: emission shards run ahead on bounded
+// per-shard windows (ingest.Ordered) and the caller drains them in
+// shard order. Collecting the sink's devices and records therefore
+// reproduces MNODataset.Devices and MNODataset.Catalog.Records
+// bit-identically — the equality determinism_test.go pins.
+func StreamMNO(cfg MNOConfig, sink MNOSink) *MNOStream {
+	if cfg.Devices <= 0 || cfg.Days <= 0 {
+		panic("dataset: MNO config needs positive Devices and Days")
+	}
+	db := gsma.Synthesize(cfg.GSMASeed)
+	root := rng.New(cfg.Seed).Split("mno")
+	hostCountry, _ := mccmnc.CountryByMCC(cfg.Host.MCC)
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+	classPick, m2mPick := mnoPicks(root)
+
+	// Counting pre-pass: replay the draft draws, keep only the block
+	// counts. This is the entire replacement for the serial IMSI pass —
+	// and for the all-drafts-resident barrier it imposed.
+	counts := countBlocks(cfg.Devices, cfg.Workers, func(i int) blockKey {
+		d := drawMNODraft(root, i, cfg, classPick, m2mPick)
+		return blockKey{home: d.home, base: d.base}
+	})
+
+	// The IR.88 registry derives from the totals alone, so it can be
+	// built before emission and consulted per device on the way out.
+	m2mTotals := map[mccmnc.PLMN]uint64{}
+	for k, n := range counts.totals {
+		if k.base == M2MBlockBase {
+			m2mTotals[k.home] = n
+		}
+	}
+	reg := transparencyRegistry(cfg.TransparencyAdoption, root.Split("ir88"), m2mTotals)
+
+	out := &MNOStream{
+		Host:         cfg.Host,
+		Start:        cfg.Start,
+		Days:         cfg.Days,
+		GSMA:         db,
+		Transparency: reg,
+		Devices:      cfg.Devices,
+	}
+
+	// The residency budget clamps the emission pool: at most one
+	// device is resident per worker, so capping workers caps residency
+	// (output is worker-count invariant, so the clamp is free).
+	workers := pipeline.Workers(cfg.Workers)
+	if cfg.MaxResidentDevices > 0 && workers > cfg.MaxResidentDevices {
+		workers = cfg.MaxResidentDevices
+	}
+
+	var resident, peak atomic.Int64
+	ord := ingest.NewOrdered[mnoItem](pipeline.ShardCount(cfg.Devices), outOfCoreDepth)
+	done := make(chan any, 1)
+	go func() {
+		defer func() {
+			p := recover()
+			ord.CloseAll()
+			done <- p
+		}()
+		pipeline.Run(cfg.Devices, workers, func(sh pipeline.Shard) {
+			defer ord.CloseShard(sh.Index)
+			send := ord.Sink(sh.Index)
+			off := counts.shardOffsets(sh.Index)
+			var visits []geo.Visit
+			emit := func(rec catalog.DailyRecord) { send(mnoItem{rec: rec, isRec: true}) }
+			for i := sh.Lo; i < sh.Hi; i++ {
+				cur := resident.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				d := drawMNODraft(root, i, cfg, classPick, m2mPick)
+				k := blockKey{home: d.home, base: d.base}
+				imsi := identity.IMSI{PLMN: d.home, MSIN: d.base + off[k]}
+				off[k]++
+				dev := finishDevice(&d, imsi, cfg, db, centre)
+				send(mnoItem{dev: dev, declared: reg.MatchIMSI(imsi)})
+				emitDeviceDays(d.src.Split("days"), cfg.Host, cfg.Start, cfg.Days, emit, &dev, &visits)
+				resident.Add(-1)
+			}
+		})
+	}()
+	ord.Drain(func(it mnoItem) {
+		if it.isRec {
+			out.Records++
+			if sink.Record != nil {
+				sink.Record(it.rec)
+			}
+			return
+		}
+		if sink.Device != nil {
+			sink.Device(it.dev, it.declared)
+		}
+	})
+	if p := <-done; p != nil {
+		panic(p)
+	}
+	out.ResidentPeak = int(peak.Load())
+	return out
+}
+
+// generateFederationBounded is the out-of-core site plane: the fleet's
+// serial IMSI allocation becomes a counting pre-pass, and each site is
+// then built in turn by re-drafting every device from its RNG
+// substream and streaming its records straight into the site's catalog
+// ingester. Sites run one at a time so only one grid, one ingester and
+// O(workers) devices are ever resident; within a site the walk fans
+// out over the usual shard pool (catalog aggregation is insensitive to
+// cross-device arrival order, so no fan-in ordering is needed).
+func generateFederationBounded(cfg FederationConfig, fed *FederationDataset, root *rng.Source) {
+	froot := root.Split("fleet")
+	classPick, m2mPick := fleetPicks(froot)
+	counts := countBlocks(cfg.FleetDevices, cfg.Workers, func(i int) blockKey {
+		d := drawFleetDraft(froot, i, classPick, m2mPick)
+		return blockKey{home: d.home, base: d.base}
+	})
+
+	fed.Sites = make([]*FederationSite, len(cfg.Hosts))
+	for j := range cfg.Hosts {
+		fed.Sites[j] = generateSiteBounded(cfg, j, root, froot, fed.GSMA, fed.World, classPick, m2mPick, &counts)
+	}
+}
+
+// siteTruth is one emission shard's contribution to a bounded site's
+// Present/Truth bookkeeping.
+type siteTruth struct {
+	truth   map[identity.DeviceID]devices.Class
+	present []identity.DeviceID
+}
+
+// generateSiteBounded builds one visited operator's catalog without
+// materializing its population: natives and fleet visitors are
+// re-drafted shard by shard and released as soon as their records are
+// in the ingest router.
+func generateSiteBounded(cfg FederationConfig, j int, root, froot *rng.Source, db *gsma.DB, world *netsim.World,
+	classPick, m2mPick *rng.Weighted, counts *blockCounts) *FederationSite {
+
+	host := cfg.Hosts[j]
+	sroot := root.SplitN("site", siteKey(host))
+	hostCountry, _ := mccmnc.CountryByMCC(host.MCC)
+	centre := geo.Point{Lat: hostCountry.Lat, Lon: hostCountry.Lon}
+	grid := radio.NewGrid(hostCountry, 60, 60, radio.DefaultSpacingDeg)
+
+	site := &FederationSite{
+		Index:   j,
+		Host:    host,
+		Present: make(map[identity.DeviceID]bool),
+		Truth:   make(map[identity.DeviceID]devices.Class, cfg.NativePerSite),
+	}
+
+	sb := catalog.NewShardedBuilder(host, cfg.Start, cfg.Days, grid, pipeline.Workers(cfg.Workers))
+	in := ingest.NewCatalogIngester(sb, 0)
+	defer in.Close()
+	cdrSink := in.OfferRecord
+	if cfg.ArchiveDir != "" {
+		dir := filepath.Join(cfg.ArchiveDir, "site-"+host.Concat())
+		w, err := store.NewWriter(dir, store.Meta{Host: host, Start: cfg.Start, Days: cfg.Days}, 0)
+		if err != nil {
+			panic(fmt.Sprintf("dataset: federation archive: %v", err))
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				panic(fmt.Sprintf("dataset: federation archive: %v", err))
+			}
+		}()
+		cdrSink = probe.Fanout(w.Sink(), in.OfferRecord)
+	}
+	newTaps := func() (*probe.Tap[radio.Event], *probe.Tap[cdrs.Record]) {
+		return probe.NewTap("site-probe", cfg.Seed, in.OfferRadio),
+			probe.NewTap("site-mediation", cfg.Seed, cdrSink)
+	}
+
+	// Natives: the site's single allocation block hands out sequential
+	// MSINs in index order, so device i's IMSI is nativeBase + i — no
+	// pre-pass needed.
+	nativeWeights := make([]float64, len(nativeMix))
+	for i, m := range nativeMix {
+		nativeWeights[i] = m.share
+	}
+	nativePick := rng.NewWeighted(sroot.Split("nativeclass"), nativeWeights)
+	nativeTruths := pipeline.Map(cfg.NativePerSite, cfg.Workers, func(sh pipeline.Shard) map[identity.DeviceID]devices.Class {
+		radioTap, cdrTap := newTaps()
+		var bufs emitBufs
+		truth := make(map[identity.DeviceID]devices.Class, sh.Len())
+		for i := sh.Lo; i < sh.Hi; i++ {
+			src := sroot.SplitN("native", uint64(i))
+			class := nativeMix[nativePick.DrawFrom(src)].class
+			imsi := identity.IMSI{PLMN: host, MSIN: nativeBase + uint64(i)}
+			prof, info := classProfile(src.Split("profile"), class, cfg.Days, host, host, false, db)
+			mob := classMobility(src.Split("mobility"), class, centre)
+			dev := devices.Assemble(class, imsi, info, prof, mob, false)
+			truth[dev.ID] = class
+			emitDeviceDaysSched(src.Split("days"), host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &dev, nil, &bufs)
+		}
+		return truth
+	})
+	for _, t := range nativeTruths {
+		for id, class := range t {
+			site.Truth[id] = class
+		}
+	}
+
+	// Fleet visitors: re-draft, offset-allocate, finish, gate on the
+	// schedule, emit, release. Present/Truth accumulate per shard and
+	// merge in shard order.
+	fleetTruths := pipeline.Map(cfg.FleetDevices, cfg.Workers, func(sh pipeline.Shard) *siteTruth {
+		radioTap, cdrTap := newTaps()
+		var bufs emitBufs
+		off := counts.shardOffsets(sh.Index)
+		st := &siteTruth{truth: map[identity.DeviceID]devices.Class{}}
+		for i := sh.Lo; i < sh.Hi; i++ {
+			d := drawFleetDraft(froot, i, classPick, m2mPick)
+			k := blockKey{home: d.home, base: d.base}
+			imsi := identity.IMSI{PLMN: d.home, MSIN: d.base + off[k]}
+			off[k]++
+			m := finishFleetMember(&d, imsi, cfg, db, world)
+			if m.daysAt(j) == 0 {
+				continue
+			}
+			vsrc := m.src.SplitN("visit", siteKey(host))
+			dev := m.dev
+			dev.Mobility = classMobility(vsrc.Split("mobility"), dev.Class, centre)
+			sched := m.sched
+			st.truth[dev.ID] = dev.Class
+			st.present = append(st.present, dev.ID)
+			emitDeviceDaysSched(vsrc.Split("days"), host, cfg.Start, cfg.Days, grid, radioTap, cdrTap, &dev,
+				func(day int) bool { return int(sched[day]) == j }, &bufs)
+		}
+		return st
+	})
+	for _, st := range fleetTruths {
+		for id, class := range st.truth {
+			site.Truth[id] = class
+		}
+		for _, id := range st.present {
+			site.Present[id] = true
+		}
+	}
+
+	site.Catalog = in.Build(cfg.Workers)
+	return site
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/pipeline"
+	"whereroam/internal/rng"
+)
+
+// A residency budget must actually bound how many devices are alive at
+// once inside StreamMNO — the clamped worker pool is the mechanism, so
+// the observed peak can never exceed the budget — and the budgeted run
+// must still emit exactly the unbudgeted output.
+func TestStreamMNOBudgetRespected(t *testing.T) {
+	cfg := DefaultMNOConfig()
+	cfg.Seed = 7
+	cfg.Devices = 1200
+	cfg.Workers = 4
+
+	var free []catalog.DailyRecord
+	unbudgeted := StreamMNO(cfg, MNOSink{
+		Record: func(rec catalog.DailyRecord) { free = append(free, rec) },
+	})
+	if unbudgeted.ResidentPeak < 1 || unbudgeted.ResidentPeak > 4 {
+		t.Fatalf("unbudgeted resident peak %d outside worker pool [1,4]", unbudgeted.ResidentPeak)
+	}
+
+	cfg.MaxResidentDevices = 2
+	var capped []catalog.DailyRecord
+	budgeted := StreamMNO(cfg, MNOSink{
+		Record: func(rec catalog.DailyRecord) { capped = append(capped, rec) },
+	})
+	if budgeted.ResidentPeak > 2 {
+		t.Fatalf("resident peak %d exceeds budget 2", budgeted.ResidentPeak)
+	}
+	if budgeted.ResidentPeak < 1 {
+		t.Fatalf("resident peak %d implausible: at least one device must be resident", budgeted.ResidentPeak)
+	}
+	if !reflect.DeepEqual(free, capped) {
+		t.Fatalf("budgeted run emitted different records than unbudgeted run")
+	}
+	if budgeted.Devices != cfg.Devices || unbudgeted.Devices != cfg.Devices {
+		t.Fatalf("device counts %d/%d, want %d", budgeted.Devices, unbudgeted.Devices, cfg.Devices)
+	}
+}
+
+// The counting pre-pass must agree with the serial IMSI allocator: for
+// every shard layout, base + shard offset + within-shard rank has to
+// equal what a single ordered pass over all devices would allocate.
+func TestCountBlocksMatchesSerialAllocation(t *testing.T) {
+	root := rng.New(11).Split("mno")
+	cfg := DefaultMNOConfig()
+	classPick, m2mPick := mnoPicks(root)
+
+	const n = 700
+	keys := make([]blockKey, n)
+	for i := 0; i < n; i++ {
+		d := drawMNODraft(root, i, cfg, classPick, m2mPick)
+		keys[i] = blockKey{home: d.home, base: d.base}
+	}
+
+	for _, workers := range []int{1, 3, 8, 0} {
+		counts := countBlocks(n, workers, func(i int) blockKey { return keys[i] })
+		serial := map[blockKey]uint64{}
+		for _, sh := range pipeline.Shards(n, pipeline.ShardCount(n)) {
+			off := counts.shardOffsets(sh.Index)
+			for i := sh.Lo; i < sh.Hi; i++ {
+				got := keys[i].base + off[keys[i]]
+				off[keys[i]]++
+				want := keys[i].base + serial[keys[i]]
+				serial[keys[i]]++
+				if got != want {
+					t.Fatalf("workers=%d device %d: offset allocation %d, serial allocator %d", workers, i, got, want)
+				}
+			}
+		}
+		for k, total := range serial {
+			if counts.totals[k] != total {
+				t.Fatalf("workers=%d block %v: total %d, want %d", workers, k, counts.totals[k], total)
+			}
+		}
+	}
+}

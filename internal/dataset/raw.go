@@ -102,6 +102,7 @@ func (g *smipEmission) emitCohorts(taps func(label string, sh pipeline.Shard) (*
 		outs := pipeline.Map(co.count, g.cfg.Workers, func(sh pipeline.Shard) []devices.Device {
 			radioTap, cdrTap := taps(co.label, sh)
 			devs := make([]devices.Device, 0, sh.Len())
+			var bufs emitBufs
 			for i := sh.Lo; i < sh.Hi; i++ {
 				src := g.root.SplitN(co.label, uint64(i))
 				var prof devices.Profile
@@ -116,7 +117,7 @@ func (g *smipEmission) emitCohorts(taps func(label string, sh pipeline.Shard) (*
 				mob := mobility.NewStationary(src.Split("mob"), g.centre, 40)
 				dev := devices.Assemble(devices.ClassSmartMeter, imsis[i], info, prof, mob, false)
 				devs = append(devs, dev)
-				emitDeviceDaysRaw(src.Split("days"), g.cfg.Host, g.cfg.Start, g.cfg.Days, g.grid, radioTap, cdrTap, &dev)
+				emitDeviceDaysRaw(src.Split("days"), g.cfg.Host, g.cfg.Start, g.cfg.Days, g.grid, radioTap, cdrTap, &dev, &bufs)
 			}
 			return devs
 		})
@@ -211,6 +212,19 @@ func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
 	return g.ds, raw
 }
 
+// emitBufs carries the per-day scratch slices the raw emission path
+// fills and drains for every emitted day. Allocate one per emission
+// shard and pass it to every device in the shard: the backing arrays
+// are then reused across devices instead of reallocated per device,
+// which is where the steady-state allocation rate of the raw capture
+// paths used to come from. Taps and builders copy records by value on
+// Offer, so reuse is safe. The zero value is ready to use; nil means
+// "allocate locally" (one-shot callers).
+type emitBufs struct {
+	evs  []radio.Event
+	recs []cdrs.Record
+}
+
 // emitDeviceDaysRaw synthesizes per-event streams for one device
 // observed from host over the [start, start+days) window. A day's
 // events are generated first and offered time-sorted (stable, so
@@ -219,8 +233,8 @@ func GenerateSMIPRaw(cfg SMIPConfig) (*SMIPDataset, *RawStreams) {
 // global sort and the streaming ingest router preserve — the
 // per-device order contract the catalogs' bit-identity rests on.
 func emitDeviceDaysRaw(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid,
-	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device) {
-	emitDeviceDaysSched(src, host, start, days, grid, radioTap, cdrTap, dev, nil)
+	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device, bufs *emitBufs) {
+	emitDeviceDaysSched(src, host, start, days, grid, radioTap, cdrTap, dev, nil, bufs)
 }
 
 // emitDeviceDaysSched is emitDeviceDaysRaw with a presence gate: when
@@ -230,12 +244,19 @@ func emitDeviceDaysRaw(src *rng.Source, host mccmnc.PLMN, start time.Time, days 
 // others. The gate is consulted before the daily-activity draw: being
 // scheduled elsewhere is not "inactive here", it is "not here".
 func emitDeviceDaysSched(src *rng.Source, host mccmnc.PLMN, start time.Time, days int, grid *radio.Grid,
-	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device, presentDay func(int) bool) {
+	radioTap *probe.Tap[radio.Event], cdrTap *probe.Tap[cdrs.Record], dev *devices.Device, presentDay func(int) bool, bufs *emitBufs) {
 
+	if bufs == nil {
+		bufs = &emitBufs{}
+	}
 	p := dev.Profile
 	daySeconds := int64(24 * 3600)
-	var dayEvs []radio.Event
-	var dayRecs []cdrs.Record
+	dayEvs := bufs.evs
+	dayRecs := bufs.recs
+	defer func() {
+		bufs.evs = dayEvs
+		bufs.recs = dayRecs
+	}()
 	for day := p.PresenceStart; day < p.PresenceStart+p.PresenceDays && day < days; day++ {
 		if presentDay != nil && !presentDay(day) {
 			continue

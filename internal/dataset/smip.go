@@ -94,6 +94,8 @@ func GenerateSMIP(cfg SMIPConfig) *SMIPDataset {
 		NBIoT:  map[identity.DeviceID]bool{},
 	}
 	cat := &catalog.Catalog{Host: cfg.Host, Days: cfg.Days}
+	appendRec := func(rec catalog.DailyRecord) { cat.Records = append(cat.Records, rec) }
+	var visits []geo.Visit
 
 	for i := 0; i < cfg.NativeMeters; i++ {
 		src := root.SplitN("native", uint64(i))
@@ -104,7 +106,7 @@ func GenerateSMIP(cfg SMIPConfig) *SMIPDataset {
 		dev := devices.Assemble(devices.ClassSmartMeter, imsi, info, prof, mob, false)
 		ds.Devices = append(ds.Devices, dev)
 		ds.Native[dev.ID] = true
-		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, &cat.Records, &dev)
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, appendRec, &dev, &visits)
 	}
 	for i := 0; i < cfg.RoamingMeters; i++ {
 		src := root.SplitN("roaming", uint64(i))
@@ -125,7 +127,7 @@ func GenerateSMIP(cfg SMIPConfig) *SMIPDataset {
 		if migrated {
 			ds.NBIoT[dev.ID] = true
 		}
-		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, &cat.Records, &dev)
+		emitDeviceDays(src.Split("days"), cfg.Host, cfg.Start, cfg.Days, appendRec, &dev, &visits)
 	}
 	ds.Catalog = cat
 	ds.NativeRange = SMIPNativeRange(cfg.Host, alloc.Allocated(cfg.Host, SMIPNativeBase))

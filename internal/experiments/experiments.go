@@ -110,6 +110,14 @@ type Federation struct {
 	// bit-identical to the batch one. The MNO dataset has no
 	// per-event form and always builds directly.
 	Streaming bool
+	// BoundedMemory switches the federation build to the out-of-core
+	// generator (dataset.FederationConfig.BoundedMemory): a counting
+	// pre-pass allocates IMSI blocks, sites build one at a time, and
+	// the shared fleet plane stays unmaterialized until a consumer —
+	// the fed-m2m/fed-smip planes, Sites(), or label validation —
+	// asks for it via EnsureFleet. Site catalogs, presence and truth
+	// are bit-identical to the materialized build.
+	BoundedMemory bool
 	// Hosts lists the federation's visited-MNO sites. Empty means the
 	// default three-site footprint (dataset.DefaultFederationHosts)
 	// when a fed-* runner or Sites() forces the federation plane; the

@@ -74,6 +74,7 @@ func (s *Federation) FederationData() *dataset.FederationDataset {
 		cfg.NativePerSite = s.scaled(cfg.NativePerSite)
 		cfg.Workers = s.Workers
 		cfg.Streaming = s.Streaming
+		cfg.BoundedMemory = s.BoundedMemory
 		cfg.ArchiveDir = s.ArchiveDir
 		s.fed = dataset.GenerateFederation(cfg)
 	}
@@ -152,6 +153,7 @@ func (s *Federation) Sites() []*Site {
 
 func runFedSites(s *Session) *Report {
 	fed := s.FederationData()
+	fed.EnsureFleet()
 	sites := s.Sites()
 	r := &Report{
 		ID:    "fed-sites",
@@ -206,6 +208,7 @@ func runFedSites(s *Session) *Report {
 
 func runFedAgreement(s *Session) *Report {
 	fed := s.FederationData()
+	fed.EnsureFleet()
 	sites := s.Sites()
 	r := &Report{
 		ID:    "fed-agreement",
@@ -344,6 +347,7 @@ func runFedAgreement(s *Session) *Report {
 
 func runFedValidation(s *Session) *Report {
 	fed := s.FederationData()
+	fed.EnsureFleet()
 	sites := s.Sites()
 	r := &Report{
 		ID:    "fed-validation",

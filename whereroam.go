@@ -191,6 +191,13 @@ type (
 	// RecordStream is a bounded channel-based record source (the
 	// PacketSource idiom), generic over the record type.
 	RecordStream[T any] = probe.Stream[T]
+	// MNOSink receives an out-of-core MNO generation: one Device
+	// callback per device (with its IR.88 verdict) and one Record
+	// callback per catalog record, in the materialized order.
+	MNOSink = dataset.MNOSink
+	// MNOStream summarizes a finished out-of-core MNO generation —
+	// counts, transparency registry and the peak device residency.
+	MNOStream = dataset.MNOStream
 )
 
 // Streaming constructors and generators.
@@ -208,6 +215,10 @@ var (
 	// sink record by record — the signaling twin of
 	// CatalogIngester.ReadRecords.
 	ReadTransactions = ingest.ReadTransactions
+	// StreamMNO is GenerateMNO's out-of-core twin: it synthesizes the
+	// §4 dataset into an MNOSink under a bounded device residency,
+	// bit-identical to the materialized build at any worker count.
+	StreamMNO = dataset.StreamMNO
 )
 
 // Fanout forwards each record to several sinks in order — the
