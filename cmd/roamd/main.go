@@ -1,0 +1,68 @@
+// Command roamd serves catalog, classification and analysis queries
+// over archived CDR stores. It mounts every site-<plmn> store under
+// an archive root (the layout fedsim -archive writes), builds hot
+// catalog slices on demand via pruned replay, and keeps them in a
+// size-bounded LRU behind an HTTP/JSON API.
+//
+// Usage:
+//
+//	roamd -archive DIR [-addr :8080] [-cache-mb 256] [-workers N]
+//
+// Endpoints (all GET):
+//
+//	/v1/healthz                          liveness
+//	/v1/statsz                           cache counters + mounts
+//	/v1/sites                            mounted sites
+//	/v1/sites/{site}/stats               whole-window operator stats
+//	/v1/sites/{site}/days?lo=&hi=        day-range summary
+//	/v1/sites/{site}/devices[?limit=]    device hashes
+//	/v1/sites/{site}/devices/{device}    single-device lookup
+//	/v1/sites/{site}/analysis/{series}   analysis series
+//	/v1/compare                          cross-site comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+
+	"whereroam/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("roamd: ")
+	var (
+		archive = flag.String("archive", "", "archive root containing site-<plmn> store directories (required)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		cacheMB = flag.Int("cache-mb", 256, "slice cache bound in MiB (0 = unbounded)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "replay parallelism per slice fill")
+	)
+	flag.Parse()
+	if *archive == "" {
+		fmt.Fprintln(os.Stderr, "usage: roamd -archive DIR [-addr :8080] [-cache-mb 256] [-workers N]")
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:       *workers,
+		MaxCacheBytes: int64(*cacheMB) << 20,
+	})
+	names, err := srv.MountSites(*archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mounted %d sites from %s: %s", len(names), *archive, strings.Join(names, " "))
+	for _, si := range srv.Sites() {
+		log.Printf("  site %s: host=%s days=%d segments=%d records=%d",
+			si.Site, si.Host, si.Days, si.Segments, si.Records)
+	}
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command roamload drives a live roamd with a closed-loop mixed
+// workload — zipfian-popular device lookups, day-slice summaries,
+// stats, analysis and comparison queries — and reports p50/p99
+// latency and throughput. With -out it writes the measurements as a
+// benchfmt report so cmd/benchdiff can gate serving performance.
+//
+// Usage:
+//
+//	roamload -addr http://127.0.0.1:8080 [-duration 5s] [-concurrency 4]
+//	         [-seed 1] [-zipf 1.2] [-min-qps 0] [-out BENCH.json]
+//
+// The exit status is non-zero when any request returned a 4xx/5xx or
+// the measured qps fell below -min-qps, so CI smoke jobs can assert
+// "non-zero qps, zero 5xx" from the exit code alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"whereroam/internal/benchfmt"
+	"whereroam/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("roamload: ")
+	var (
+		addr        = flag.String("addr", "", "base URL of the roamd under test (required)")
+		duration    = flag.Duration("duration", 5*time.Second, "load duration")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers")
+		seed        = flag.Int64("seed", 1, "request-stream seed")
+		zipf        = flag.Float64("zipf", 1.2, "zipfian device-popularity skew (>1)")
+		minQPS      = flag.Float64("min-qps", 0, "fail when measured qps falls below this")
+		out         = flag.String("out", "", "write a benchfmt report here")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: roamload -addr URL [-duration 5s] [-concurrency 4] [-min-qps 0] [-out BENCH.json]")
+		os.Exit(2)
+	}
+
+	res, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     *addr,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Seed:        *seed,
+		ZipfS:       *zipf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("%d requests in %.2fs → %.1f qps (5xx=%d 4xx=%d transport=%d)",
+		res.Requests, res.Seconds, res.QPS, res.Errors5xx, res.Errors4xx, res.TransportErrors)
+	ops := make([]string, 0, len(res.Ops))
+	for op := range res.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		o := res.Ops[op]
+		log.Printf("  %-14s count=%-6d p50=%s p99=%s mean=%s",
+			o.Op, o.Count, time.Duration(o.P50Ns), time.Duration(o.P99Ns), time.Duration(o.MeanNs))
+	}
+
+	if *out != "" {
+		rep := benchfmt.NewReport(1)
+		for _, op := range ops {
+			o := res.Ops[op]
+			if o.Count == 0 {
+				continue
+			}
+			rep.Artefacts["load_"+op] = benchfmt.Artefact{
+				NsPerOp:    o.MeanNs,
+				P50Ns:      o.P50Ns,
+				P99Ns:      o.P99Ns,
+				QPS:        float64(o.Count) / res.Seconds,
+				Workers:    *concurrency,
+				Iterations: int(o.Count),
+				Seconds:    res.Seconds,
+			}
+		}
+		if err := rep.Write(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	failed := false
+	if res.Errors5xx > 0 || res.Errors4xx > 0 || res.TransportErrors > 0 {
+		log.Printf("FAIL: request errors (5xx=%d 4xx=%d transport=%d)",
+			res.Errors5xx, res.Errors4xx, res.TransportErrors)
+		failed = true
+	}
+	if res.Requests == 0 || res.QPS <= 0 {
+		log.Print("FAIL: no completed requests")
+		failed = true
+	}
+	if *minQPS > 0 && res.QPS < *minQPS {
+		log.Printf("FAIL: qps %.1f below floor %.1f", res.QPS, *minQPS)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,7 @@ var strictGodoc = map[string]bool{
 	"internal/dataset":     true,
 	"internal/experiments": true,
 	"internal/store":       true,
+	"internal/serve":       true,
 }
 
 // packageDirs returns every directory under the module root that

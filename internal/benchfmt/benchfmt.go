@@ -80,6 +80,14 @@ type Artefact struct {
 	// maximum live-heap sample observed while the configuration
 	// executed once, minus the pre-run baseline.
 	HeapPeakBytes int64 `json:"heap_peak_bytes"`
+	// P50Ns and P99Ns are request-latency percentiles for serving
+	// artefacts (zero for throughput-only artefacts, which omits the
+	// latency comparisons).
+	P50Ns int64 `json:"p50_ns,omitempty"`
+	// P99Ns is the 99th-percentile request latency.
+	P99Ns int64 `json:"p99_ns,omitempty"`
+	// QPS is the measured request throughput for serving artefacts.
+	QPS float64 `json:"qps,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -102,6 +110,20 @@ type Report struct {
 	// even when the baseline's GOMAXPROCS differs from the
 	// candidate's.
 	Ratios map[string]float64 `json:"ratios,omitempty"`
+}
+
+// NewReport returns an empty report stamped with this process's
+// parallelism and the given scale, every map allocated.
+func NewReport(scale float64) *Report {
+	return &Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scale,
+		Artefacts:  map[string]Artefact{},
+		Speedups:   map[string]float64{},
+		MemRatios:  map[string]float64{},
+		Ratios:     map[string]float64{},
+	}
 }
 
 // Load reads a Report from a JSON file.
@@ -264,6 +286,25 @@ func Compare(base, cand *Report, tol Tolerance) *Diff {
 			Cand:       float64(c.NsPerOp),
 			Regression: float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol.NsFrac),
 		})
+		// Serving artefacts additionally carry latency percentiles and
+		// throughput; gate them only when both sides measured them, so
+		// throughput-only artefacts are unaffected.
+		if b.P99Ns > 0 && c.P99Ns > 0 {
+			d.Findings = append(d.Findings, Finding{
+				Name:       name + " p99_ns",
+				Base:       float64(b.P99Ns),
+				Cand:       float64(c.P99Ns),
+				Regression: float64(c.P99Ns) > float64(b.P99Ns)*(1+tol.NsFrac),
+			})
+		}
+		if b.QPS > 0 && c.QPS > 0 {
+			d.Findings = append(d.Findings, Finding{
+				Name:       name + " qps",
+				Base:       b.QPS,
+				Cand:       c.QPS,
+				Regression: c.QPS < b.QPS*(1-tol.NsFrac),
+			})
+		}
 		if b.HeapPeakBytes == 0 {
 			// A zero baseline means the sampler caught no peak above
 			// the pre-run heap (short configurations routinely sample

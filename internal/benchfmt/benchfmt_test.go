@@ -235,3 +235,53 @@ func TestCompareGatesRatiosAcrossGoMaxProcs(t *testing.T) {
 		t.Fatalf("collapsed prune ratio not flagged; diff:\n%s", d)
 	}
 }
+
+// serveReport builds a one-artefact serving baseline carrying the
+// latency/throughput fields.
+func serveReport(p99 int64, qps float64) *Report {
+	return &Report{
+		GoMaxProcs: 1, NumCPU: 1, Scale: 0.16,
+		Artefacts: map[string]Artefact{
+			"serve_device_lookup": {NsPerOp: 5_000, P50Ns: 4_000, P99Ns: p99, QPS: qps, Workers: 1},
+		},
+	}
+}
+
+// Serving artefacts' latency tail and throughput are gated: a p99
+// blow-up or a qps collapse beyond tolerance fails even when the mean
+// ns/op holds steady.
+func TestCompareGatesServingLatencyAndThroughput(t *testing.T) {
+	base := serveReport(20_000, 200_000)
+
+	d := Compare(base, serveReport(40_000, 200_000), DefaultTolerance()) // p99 2x
+	found := false
+	for _, f := range d.Regressions() {
+		if f.Name == "serve_device_lookup p99_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("doubled p99 not flagged:\n%s", d)
+	}
+
+	d = Compare(base, serveReport(20_000, 100_000), DefaultTolerance()) // qps halved
+	found = false
+	for _, f := range d.Regressions() {
+		if f.Name == "serve_device_lookup qps" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halved qps not flagged:\n%s", d)
+	}
+
+	// A throughput-only artefact (zero percentiles on either side)
+	// never grows latency findings.
+	blank := serveReport(0, 0)
+	d = Compare(blank, serveReport(40_000, 1), DefaultTolerance())
+	for _, f := range d.Findings {
+		if strings.Contains(f.Name, "p99") || strings.Contains(f.Name, "qps") {
+			t.Fatalf("latency finding on throughput-only baseline: %v", f)
+		}
+	}
+}

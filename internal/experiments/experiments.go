@@ -270,7 +270,7 @@ var canonicalOrder = map[string]int{
 	"abl-classifier": 15, "abl-gyration": 16, "abl-policy": 17,
 	"ext-revenue": 18, "ext-transparency": 19, "ext-nbiot": 20, "ext-latency": 21,
 	"fed-sites": 22, "fed-agreement": 23, "fed-validation": 24,
-	"fed-smip": 25, "fed-m2m": 26,
+	"fed-smip": 25, "fed-m2m": 26, "fed-serve": 27,
 }
 
 func register(id, title string, run func(*Session) *Report) {

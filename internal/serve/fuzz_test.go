@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzQueryParams fuzzes the request-decoding surface: arbitrary
+// query strings and device path elements must decode to an error or
+// a valid result, never panic, and successful decodes must satisfy
+// the documented invariants.
+func FuzzQueryParams(f *testing.F) {
+	f.Add("lo=0&hi=4&limit=10", 5)
+	f.Add("lo=2&hi=2", 5)
+	f.Add("limit=100", 30)
+	f.Add("", 1)
+	f.Add("lo=-1&hi=3", 5)
+	f.Add("lo=4&hi=1", 5)
+	f.Add("lo=0", 5)
+	f.Add("lo=0&hi=99999999999999999999", 5)
+	f.Add("a=%zz&lo=0&hi=1", 5)
+	f.Add("0123456789abcdef", 7)
+
+	f.Fuzz(func(t *testing.T, raw string, days int) {
+		opts, err := DecodeQuery(raw, days)
+		if err == nil {
+			if opts.HasRange {
+				if opts.Lo < 0 || opts.Hi < opts.Lo {
+					t.Fatalf("DecodeQuery(%q, %d) accepted range [%d, %d]", raw, days, opts.Lo, opts.Hi)
+				}
+				if days > 0 && opts.Hi >= days {
+					t.Fatalf("DecodeQuery(%q, %d) accepted out-of-window hi %d", raw, days, opts.Hi)
+				}
+			}
+			if opts.Limit < 0 {
+				t.Fatalf("DecodeQuery(%q, %d) accepted negative limit %d", raw, days, opts.Limit)
+			}
+		}
+		if dev, err := ParseDevice(raw); err == nil {
+			if got := dev.String(); len(got) != 16 {
+				t.Fatalf("ParseDevice(%q) round-trips to %q", raw, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mix weights the request types of a load run. Zero weights disable
+// the type; an all-zero mix defaults to DefaultMix.
+type Mix struct {
+	// DeviceLookup weights single-device lookups (zipfian-popular
+	// devices).
+	DeviceLookup int
+	// DaySlice weights day-range summary requests.
+	DaySlice int
+	// Stats weights whole-window site-stats requests.
+	Stats int
+	// Analysis weights analysis-series requests.
+	Analysis int
+	// Compare weights cross-site comparison requests.
+	Compare int
+}
+
+// DefaultMix is a read-mostly operator workload: lookups dominate,
+// with a steady background of slice and analysis queries.
+var DefaultMix = Mix{DeviceLookup: 6, DaySlice: 2, Stats: 1, Analysis: 1, Compare: 1}
+
+// total sums the weights.
+func (m Mix) total() int {
+	return m.DeviceLookup + m.DaySlice + m.Stats + m.Analysis + m.Compare
+}
+
+// LoadConfig parameterizes a closed-loop load run against a live
+// roamd.
+type LoadConfig struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client to use (http.DefaultClient when nil).
+	Client *http.Client
+	// Concurrency is the number of closed-loop workers (default 1).
+	Concurrency int
+	// Duration bounds the run's wall time (default 5s).
+	Duration time.Duration
+	// Seed seeds the per-worker request streams; runs with the same
+	// seed issue the same request sequence per worker.
+	Seed int64
+	// Mix weights the request types (DefaultMix when all-zero).
+	Mix Mix
+	// ZipfS is the zipfian skew of device popularity (must exceed 1;
+	// default 1.2). Popular devices stay cache-hot, the tail forces
+	// pruned replays — the access pattern the LRU is sized for.
+	ZipfS float64
+	// MaxDevices caps the per-site device population the generator
+	// targets (default 512).
+	MaxDevices int
+}
+
+// OpStats is one request type's latency summary from a load run.
+type OpStats struct {
+	// Op names the request type.
+	Op string `json:"op"`
+	// Count is the number of completed requests.
+	Count int64 `json:"count"`
+	// P50Ns and P99Ns are latency percentiles in nanoseconds.
+	P50Ns int64 `json:"p50_ns"`
+	// P99Ns is the 99th-percentile latency.
+	P99Ns int64 `json:"p99_ns"`
+	// MeanNs is the mean latency.
+	MeanNs int64 `json:"mean_ns"`
+}
+
+// LoadResult is the outcome of a load run.
+type LoadResult struct {
+	// Requests counts completed requests across all workers.
+	Requests int64 `json:"requests"`
+	// Errors5xx counts responses with status >= 500 — the smoke
+	// gate's "zero 5xx" assertion reads this.
+	Errors5xx int64 `json:"errors_5xx"`
+	// Errors4xx counts responses with status in [400, 500) — the
+	// generator only issues valid requests, so any 4xx is a bug.
+	Errors4xx int64 `json:"errors_4xx"`
+	// TransportErrors counts requests that failed below HTTP.
+	TransportErrors int64 `json:"transport_errors"`
+	// Seconds is the measured wall time.
+	Seconds float64 `json:"seconds"`
+	// QPS is Requests over Seconds.
+	QPS float64 `json:"qps"`
+	// Ops summarizes latency per request type, keyed by op name.
+	Ops map[string]*OpStats `json:"ops"`
+}
+
+// target is the discovered surface of one mounted site.
+type target struct {
+	site    string
+	days    int
+	devices []string
+}
+
+// workerState accumulates one worker's measurements; merged after
+// the run so the hot path takes no locks.
+type workerState struct {
+	lats            map[string][]int64
+	requests        int64
+	errors5xx       int64
+	errors4xx       int64
+	transportErrors int64
+}
+
+// RunLoad drives a live daemon with a closed-loop mixed workload and
+// summarizes latency and throughput. Device popularity is zipfian per
+// worker; every issued request is valid, so 4xx/5xx responses are
+// scored as errors.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.MaxDevices <= 0 {
+		cfg.MaxDevices = 512
+	}
+	targets, err := discover(client, cfg.BaseURL, cfg.MaxDevices)
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	states := make([]*workerState, cfg.Concurrency)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Concurrency; w++ {
+		st := &workerState{lats: map[string][]int64{}}
+		states[w] = st
+		wg.Add(1)
+		go func(worker int, st *workerState) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			zipfs := make([]*rand.Zipf, len(targets))
+			for i, t := range targets {
+				if n := len(t.devices); n > 0 {
+					zipfs[i] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(n-1))
+				}
+			}
+			for time.Now().Before(deadline) {
+				op, url := nextRequest(rng, cfg.Mix, cfg.BaseURL, targets, zipfs)
+				t0 := time.Now()
+				status, err := get(client, url)
+				lat := time.Since(t0).Nanoseconds()
+				st.requests++
+				switch {
+				case err != nil:
+					st.transportErrors++
+					continue
+				case status >= 500:
+					st.errors5xx++
+				case status >= 400:
+					st.errors4xx++
+				}
+				st.lats[op] = append(st.lats[op], lat)
+			}
+		}(w, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := &LoadResult{Seconds: elapsed, Ops: map[string]*OpStats{}}
+	merged := map[string][]int64{}
+	for _, st := range states {
+		res.Requests += st.requests
+		res.Errors5xx += st.errors5xx
+		res.Errors4xx += st.errors4xx
+		res.TransportErrors += st.transportErrors
+		for op, ls := range st.lats {
+			merged[op] = append(merged[op], ls...)
+		}
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.Requests) / elapsed
+	}
+	for op, ls := range merged {
+		res.Ops[op] = summarize(op, ls)
+	}
+	return res, nil
+}
+
+// Op names used in LoadResult.Ops and the bench artefacts.
+const (
+	// OpDeviceLookup is the single-device lookup request type.
+	OpDeviceLookup = "device_lookup"
+	// OpDaySlice is the day-range summary request type.
+	OpDaySlice = "day_slice"
+	// OpStatsReq is the whole-window site-stats request type.
+	OpStatsReq = "stats"
+	// OpAnalysis is the analysis-series request type.
+	OpAnalysis = "analysis"
+	// OpCompare is the cross-site comparison request type.
+	OpCompare = "compare"
+)
+
+// nextRequest draws one request from the mix.
+func nextRequest(rng *rand.Rand, mix Mix, base string, targets []target, zipfs []*rand.Zipf) (string, string) {
+	ti := rng.Intn(len(targets))
+	t := targets[ti]
+	pick := rng.Intn(mix.total())
+	if pick -= mix.DeviceLookup; pick < 0 {
+		if z := zipfs[ti]; z != nil {
+			dev := t.devices[int(z.Uint64())]
+			return OpDeviceLookup, fmt.Sprintf("%s/v1/sites/%s/devices/%s", base, t.site, dev)
+		}
+		return OpStatsReq, fmt.Sprintf("%s/v1/sites/%s/stats", base, t.site)
+	}
+	if pick -= mix.DaySlice; pick < 0 {
+		days := t.days
+		if days <= 0 {
+			days = 1
+		}
+		lo := rng.Intn(days)
+		hi := lo + rng.Intn(3)
+		if hi >= days {
+			hi = days - 1
+		}
+		return OpDaySlice, fmt.Sprintf("%s/v1/sites/%s/days?lo=%d&hi=%d", base, t.site, lo, hi)
+	}
+	if pick -= mix.Stats; pick < 0 {
+		return OpStatsReq, fmt.Sprintf("%s/v1/sites/%s/stats", base, t.site)
+	}
+	if pick -= mix.Analysis; pick < 0 {
+		names := SeriesNames()
+		return OpAnalysis, fmt.Sprintf("%s/v1/sites/%s/analysis/%s", base, t.site, names[rng.Intn(len(names))])
+	}
+	return OpCompare, base + "/v1/compare"
+}
+
+// get issues one GET and drains the body.
+func get(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// discover fetches the mount table and per-site device populations
+// the generator targets.
+func discover(client *http.Client, base string, maxDevices int) ([]target, error) {
+	var sites []SiteInfo
+	if err := getJSON(client, base+"/v1/sites", &sites); err != nil {
+		return nil, fmt.Errorf("serve: discovering sites: %w", err)
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("serve: daemon has no mounted sites")
+	}
+	targets := make([]target, 0, len(sites))
+	for _, si := range sites {
+		var body struct {
+			Devices []string `json:"devices"`
+		}
+		url := fmt.Sprintf("%s/v1/sites/%s/devices?limit=%d", base, si.Site, maxDevices)
+		if err := getJSON(client, url, &body); err != nil {
+			return nil, fmt.Errorf("serve: discovering devices of %s: %w", si.Site, err)
+		}
+		targets = append(targets, target{site: si.Site, days: si.Days, devices: body.Devices})
+	}
+	return targets, nil
+}
+
+// getJSON fetches and decodes one JSON response.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, data)
+	}
+	return json.Unmarshal(data, v)
+}
+
+// summarize computes one op's latency summary (nearest-rank
+// percentiles over the sorted sample).
+func summarize(op string, ls []int64) *OpStats {
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	st := &OpStats{Op: op, Count: int64(len(ls))}
+	if len(ls) == 0 {
+		return st
+	}
+	var sum int64
+	for _, l := range ls {
+		sum += l
+	}
+	st.MeanNs = sum / int64(len(ls))
+	st.P50Ns = ls[(len(ls)-1)*50/100]
+	st.P99Ns = ls[(len(ls)-1)*99/100]
+	return st
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"whereroam/internal/identity"
+)
+
+// QueryOpts is the decoded form of a request's query string: an
+// optional inclusive day range and an optional result limit. Decoding
+// is strict — every malformed parameter is a client error (HTTP 400),
+// never a silently widened query.
+type QueryOpts struct {
+	// Lo and Hi bound the day range (inclusive window day indices);
+	// meaningful only when HasRange is set.
+	Lo int
+	// Hi is the inclusive upper day bound.
+	Hi int
+	// HasRange reports whether the query carried lo/hi parameters.
+	HasRange bool
+	// Limit caps list responses; 0 means no limit requested.
+	Limit int
+}
+
+// DecodeQuery parses a raw query string against a store's declared
+// window length. It is the serving layer's untrusted-input surface
+// and is fuzzed (FuzzQueryParams): it must return an error for
+// malformed input, never panic, and on success the invariants
+// 0 <= Lo <= Hi < days and Limit >= 0 hold.
+func DecodeQuery(rawQuery string, days int) (QueryOpts, error) {
+	var o QueryOpts
+	vals, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return o, fmt.Errorf("serve: bad query string: %v", err)
+	}
+	loS, hiS := vals.Get("lo"), vals.Get("hi")
+	if (loS == "") != (hiS == "") {
+		return o, fmt.Errorf("serve: day range needs both lo and hi")
+	}
+	if loS != "" {
+		lo, err := strconv.Atoi(loS)
+		if err != nil {
+			return o, fmt.Errorf("serve: bad lo %q", loS)
+		}
+		hi, err := strconv.Atoi(hiS)
+		if err != nil {
+			return o, fmt.Errorf("serve: bad hi %q", hiS)
+		}
+		if lo < 0 || hi < lo {
+			return o, fmt.Errorf("serve: bad day range [%d, %d]", lo, hi)
+		}
+		if days > 0 && hi >= days {
+			return o, fmt.Errorf("serve: day range [%d, %d] outside %d-day window", lo, hi, days)
+		}
+		o.Lo, o.Hi, o.HasRange = lo, hi, true
+	}
+	if limS := vals.Get("limit"); limS != "" {
+		lim, err := strconv.Atoi(limS)
+		if err != nil || lim < 0 {
+			return o, fmt.Errorf("serve: bad limit %q", limS)
+		}
+		o.Limit = lim
+	}
+	return o, nil
+}
+
+// ParseDevice parses a device path element: the 16-hex-digit
+// anonymized hash identity.DeviceID.String prints.
+func ParseDevice(s string) (identity.DeviceID, error) {
+	dev, err := identity.ParseDeviceID(s)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad device %q: %v", s, err)
+	}
+	return dev, nil
+}

@@ -1,0 +1,477 @@
+// Package serve is the archive serving layer: a read-only HTTP/JSON
+// query daemon over one or more segmented CDR archive stores (the
+// site-<plmn> layout the federation's ArchiveDir writes).
+//
+// The server mounts each store at startup and builds hot read models
+// ("slices") on demand: a store.Filter-pruned replay rebuilds the
+// requested catalog slice, then summaries, classification and roaming
+// labels are derived once and cached. Slices live in a size-bounded
+// LRU with single-flight fill — concurrent requests for the same cold
+// slice share one replay — and are immutable, so any number of
+// request goroutines read them without locks.
+//
+// Responses are deterministic given a sealed store: replay is
+// bit-identical at any worker count (the store package's contract),
+// slice derivation orders every aggregation, and the view types
+// marshal with sorted map keys. The same compute functions
+// (ComputeStats, ComputeDaySlice, ComputeDeviceView, ComputeSeries)
+// back both the HTTP handlers and the fed-serve experiments runner,
+// which is what pins the daemon's responses bit-identical to the
+// runner's reported values.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/store"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the replay/summary parallelism per slice fill
+	// (0 or 1 means serial; results are bit-identical either way).
+	Workers int
+	// MaxCacheBytes bounds the slice cache's estimated resident cost;
+	// non-positive means effectively unbounded.
+	MaxCacheBytes int64
+}
+
+// mount is one archived site the server answers queries for.
+type mount struct {
+	name string
+	dir  string
+	info SiteInfo
+}
+
+// SiteInfo is one mounted store's row in the /v1/sites listing.
+type SiteInfo struct {
+	// Site is the mount name (for ArchiveDir layouts, the observing
+	// operator's PLMN).
+	Site string `json:"site"`
+	// Host is the store's observing operator, empty when unset.
+	Host string `json:"host,omitempty"`
+	// Days is the store's observation-window length.
+	Days int `json:"days"`
+	// Segments is the sealed-segment count at mount time.
+	Segments int `json:"segments"`
+	// Records is the sealed-record count at mount time.
+	Records int64 `json:"records"`
+}
+
+// Server answers catalog, classification and analysis queries over
+// mounted archive stores. Mount every store before calling Handler;
+// the mount table is read-only afterwards, so Server is safe for
+// concurrent use by the HTTP stack.
+type Server struct {
+	cfg    Config
+	mounts map[string]*mount
+	order  []string
+	cache  *sliceCache
+}
+
+// New returns an empty server; mount stores with Mount or MountSites.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return &Server{
+		cfg:    cfg,
+		mounts: map[string]*mount{},
+		cache:  newSliceCache(cfg.MaxCacheBytes),
+	}
+}
+
+// Mount registers the store at dir under the given site name. The
+// manifest is read once to validate the store and record its window;
+// segment bodies are only read when a query needs them.
+func (s *Server) Mount(name, dir string) error {
+	if name == "" || s.mounts[name] != nil {
+		return fmt.Errorf("serve: bad or duplicate mount name %q", name)
+	}
+	r, err := store.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serve: mounting %s: %w", name, err)
+	}
+	man := r.Manifest()
+	if man.Kind != store.KindCDR {
+		return fmt.Errorf("serve: %s is a %q store, not CDR", name, man.Kind)
+	}
+	s.mounts[name] = &mount{
+		name: name,
+		dir:  dir,
+		info: SiteInfo{
+			Site:     name,
+			Host:     man.Host,
+			Days:     man.Days,
+			Segments: len(man.Segments),
+			Records:  man.TotalRecords,
+		},
+	}
+	s.order = append(s.order, name)
+	sort.Strings(s.order)
+	return nil
+}
+
+// MountSites mounts every site-<plmn> store directory under root —
+// the layout FederationConfig.ArchiveDir writes — using the PLMN as
+// the mount name. It returns the mounted names.
+func (s *Server) MountSites(root string) ([]string, error) {
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scanning %s: %w", root, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "site-") {
+			continue
+		}
+		name := strings.TrimPrefix(e.Name(), "site-")
+		if err := s.Mount(name, filepath.Join(root, e.Name())); err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("serve: no site-* stores under %s", root)
+	}
+	return names, nil
+}
+
+// Sites lists the mounted sites in name order.
+func (s *Server) Sites() []SiteInfo {
+	out := make([]SiteInfo, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.mounts[n].info)
+	}
+	return out
+}
+
+// CacheStats snapshots the slice cache's counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// open re-opens a mount's store for a fill. Opening per fill keeps
+// the server honest about the disk: a store deleted or corrupted
+// after mount surfaces as a fill error (HTTP 503), never a stale
+// success.
+func (m *mount) open() (*store.Replayer, error) {
+	return store.Open(m.dir)
+}
+
+// wholeSlice returns the site's whole-window read model, building it
+// through the cache on first use.
+func (s *Server) wholeSlice(m *mount) (*slice, error) {
+	return s.cache.get("w|"+m.name, func() (*slice, error) {
+		r, err := m.open()
+		if err != nil {
+			return nil, err
+		}
+		cat, _, err := r.Replay(store.Filter{}, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return newSlice(cat, s.cfg.Workers), nil
+	})
+}
+
+// daySlice returns the read model of the site pruned to [lo, hi].
+func (s *Server) daySlice(m *mount, lo, hi int) (*slice, error) {
+	key := fmt.Sprintf("d|%s|%d-%d", m.name, lo, hi)
+	return s.cache.get(key, func() (*slice, error) {
+		r, err := m.open()
+		if err != nil {
+			return nil, err
+		}
+		cat, _, err := r.Replay(store.Filter{}.Days(lo, hi), s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return newSlice(cat, s.cfg.Workers), nil
+	})
+}
+
+// errorBody is the JSON error envelope every non-2xx response
+// carries.
+type errorBody struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// writeJSON marshals v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError maps a failure to its JSON error response.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeFillError reports a slice-fill failure: the store vanished or
+// corrupted under a live server, which is a backend availability
+// problem, not a client error.
+func writeFillError(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// site resolves the {site} path element, answering 404 itself when
+// the mount does not exist.
+func (s *Server) site(w http.ResponseWriter, r *http.Request) *mount {
+	name := r.PathValue("site")
+	m := s.mounts[name]
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown site %q", name))
+	}
+	return m
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/sites", s.handleSites)
+	mux.HandleFunc("GET /v1/sites/{site}/stats", s.handleSiteStats)
+	mux.HandleFunc("GET /v1/sites/{site}/days", s.handleDays)
+	mux.HandleFunc("GET /v1/sites/{site}/devices", s.handleDevices)
+	mux.HandleFunc("GET /v1/sites/{site}/devices/{device}", s.handleDevice)
+	mux.HandleFunc("GET /v1/sites/{site}/analysis/{series}", s.handleAnalysis)
+	mux.HandleFunc("GET /v1/compare", s.handleCompare)
+	return mux
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszBody is the /v1/statsz response.
+type statszBody struct {
+	// Cache snapshots the slice cache's counters.
+	Cache CacheStats `json:"cache"`
+	// Sites lists the mounted stores.
+	Sites []SiteInfo `json:"sites"`
+}
+
+// handleStatsz reports cache counters and the mount table.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statszBody{Cache: s.cache.stats(), Sites: s.Sites()})
+}
+
+// handleSites lists the mounted sites.
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sites())
+}
+
+// handleSiteStats serves the whole-window per-operator stats view.
+func (s *Server) handleSiteStats(w http.ResponseWriter, r *http.Request) {
+	m := s.site(w, r)
+	if m == nil {
+		return
+	}
+	sl, err := s.wholeSlice(m)
+	if err != nil {
+		writeFillError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsOf(m.name, m.info.Days, sl))
+}
+
+// handleDays serves the day-range summary of a site.
+func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
+	m := s.site(w, r)
+	if m == nil {
+		return
+	}
+	opts, err := DecodeQuery(r.URL.RawQuery, m.info.Days)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !opts.HasRange {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: days query needs lo and hi"))
+		return
+	}
+	sl, err := s.daySlice(m, opts.Lo, opts.Hi)
+	if err != nil {
+		writeFillError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ComputeDaySlice(m.name, opts.Lo, opts.Hi, sl.cat))
+}
+
+// deviceListBody is the /v1/sites/{site}/devices response.
+type deviceListBody struct {
+	// Site is the mount name.
+	Site string `json:"site"`
+	// Total is the site's distinct-device count.
+	Total int `json:"total"`
+	// Devices lists device hashes in ascending hash order, truncated
+	// to the requested limit.
+	Devices []string `json:"devices"`
+}
+
+// handleDevices lists the site's device hashes.
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	m := s.site(w, r)
+	if m == nil {
+		return
+	}
+	opts, err := DecodeQuery(r.URL.RawQuery, m.info.Days)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sl, err := s.wholeSlice(m)
+	if err != nil {
+		writeFillError(w, err)
+		return
+	}
+	body := deviceListBody{Site: m.name, Total: len(sl.sums), Devices: []string{}}
+	n := len(sl.sums)
+	if opts.Limit > 0 && opts.Limit < n {
+		n = opts.Limit
+	}
+	for i := 0; i < n; i++ {
+		body.Devices = append(body.Devices, sl.sums[i].Device.String())
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleDevice serves the single-device lookup. The fill replays a
+// device-pruned slice, so a cold lookup reads only the segments whose
+// hash range covers the device.
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	m := s.site(w, r)
+	if m == nil {
+		return
+	}
+	dev, err := ParseDevice(r.PathValue("device"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := fmt.Sprintf("v|%s|%016x", m.name, uint64(dev))
+	sl, err := s.cache.get(key, func() (*slice, error) {
+		rp, err := m.open()
+		if err != nil {
+			return nil, err
+		}
+		cat, _, err := rp.Replay(store.Filter{}.Devices(dev, dev), s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return newSlice(cat, s.cfg.Workers), nil
+	})
+	if err != nil {
+		writeFillError(w, err)
+		return
+	}
+	i, ok := sl.index[dev]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown device %016x", uint64(dev)))
+		return
+	}
+	writeJSON(w, http.StatusOK, deviceViewAt(sl, i))
+}
+
+// handleAnalysis serves one named analysis series over the site's
+// whole-window slice.
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	m := s.site(w, r)
+	if m == nil {
+		return
+	}
+	name := r.PathValue("series")
+	sl, err := s.wholeSlice(m)
+	if err != nil {
+		writeFillError(w, err)
+		return
+	}
+	se, ok := seriesOf(m.name, name, sl)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown series %q (have %v)", name, SeriesNames()))
+		return
+	}
+	writeJSON(w, http.StatusOK, se)
+}
+
+// handleCompare serves the cross-site comparison over every mount.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	slices := make(map[string]*slice, len(s.order))
+	for _, n := range s.order {
+		sl, err := s.wholeSlice(s.mounts[n])
+		if err != nil {
+			writeFillError(w, err)
+			return
+		}
+		slices[n] = sl
+	}
+	writeJSON(w, http.StatusOK, compareOf(s.order, slices))
+}
+
+// compareOf computes the CompareView over whole-window slices keyed
+// by mount name; order fixes the site ordering.
+func compareOf(order []string, slices map[string]*slice) *CompareView {
+	cv := &CompareView{Sites: []SiteBrief{}, Pairs: []SharedPair{}}
+	for _, n := range order {
+		sl := slices[n]
+		b := SiteBrief{Site: n, Devices: len(sl.sums), Records: len(sl.cat.Records)}
+		for i := range sl.labels {
+			if sl.labels[i].InboundRoamer() {
+				b.Inbound++
+			}
+		}
+		if b.Devices > 0 {
+			b.InboundShare = float64(b.Inbound) / float64(b.Devices)
+		}
+		cv.Sites = append(cv.Sites, b)
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			a, b := slices[order[i]], slices[order[j]]
+			shared := 0
+			// Count over the smaller index.
+			small, big := a, b
+			if len(b.index) < len(a.index) {
+				small, big = b, a
+			}
+			for dev := range small.index {
+				if _, ok := big.index[dev]; ok {
+					shared++
+				}
+			}
+			cv.Pairs = append(cv.Pairs, SharedPair{A: order[i], B: order[j], Shared: shared})
+		}
+	}
+	return cv
+}
+
+// ComputeCompare derives the fed-site comparison directly from
+// whole-window catalogs keyed by site name — the runner-side twin of
+// the /v1/compare handler.
+func ComputeCompare(cats map[string]*catalog.Catalog, workers int) *CompareView {
+	order := make([]string, 0, len(cats))
+	for n := range cats {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	slices := make(map[string]*slice, len(cats))
+	for n, c := range cats {
+		slices[n] = newSlice(c, workers)
+	}
+	return compareOf(order, slices)
+}

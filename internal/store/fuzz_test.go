@@ -1,0 +1,98 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"whereroam/internal/cdrs"
+	"whereroam/internal/mccmnc"
+)
+
+// FuzzSegmentFooter fuzzes the fixed-size footer decoder: arbitrary
+// bytes must come back as a clean error or a bounded SegmentInfo,
+// never a panic or an over-read.
+func FuzzSegmentFooter(f *testing.F) {
+	si := SegmentInfo{
+		Name: "seg-000000.wrseg", Records: 128, BodyBytes: 4096, BodyCRC: 0xdeadbeef,
+		MinDay: 0, MaxDay: 5, MinDevice: 0x1000, MaxDevice: 0x2000,
+	}
+	valid := encodeFooter(0, &si, []mccmnc.PLMN{mccmnc.MustParse("23410"), mccmnc.MustParse("26201")})
+	f.Add(valid[:])
+	overflow := si
+	overflow.VisitedOverflow = true
+	validOv := encodeFooter(1, &overflow, nil)
+	f.Add(validOv[:])
+	f.Add([]byte("WRSF"))
+	f.Add(make([]byte, footerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := decodeFooter(data)
+		if err != nil {
+			return
+		}
+		if len(got.Visited) > maxFooterVisited {
+			t.Fatalf("decoded %d visited networks, footer indexes at most %d",
+				len(got.Visited), maxFooterVisited)
+		}
+		if got.Records < 0 {
+			t.Fatalf("decoded negative record count %d", got.Records)
+		}
+	})
+}
+
+// FuzzManifest fuzzes the store-open path with arbitrary manifest
+// bytes: Open must reject garbage with an error (and confine segment
+// names to the store directory), never panic; when it succeeds,
+// Verify and Replay must also stay panic-free.
+func FuzzManifest(f *testing.F) {
+	// Seed with the manifest of a real store.
+	dir := f.TempDir()
+	w, err := NewWriter(dir, Meta{Host: mccmnc.MustParse("23410"), Days: 3}, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range feedRecords(4, 3) {
+		if err := w.Append(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	validMan, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validMan)
+	f.Add([]byte(`{"version":1,"kind":"cdr","days":3,"segments":[{"name":"../x.wrseg","records":1}]}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"kind":"cdr","segments":[{"name":"seg-000000.wrseg","records":-1,"bytes":-5}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reject obviously huge inputs to keep iterations fast.
+		if len(data) > 1<<16 {
+			return
+		}
+		fdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(fdir, ManifestName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(fdir)
+		if err != nil {
+			return
+		}
+		// Whatever Open accepted must stay panic-free downstream.
+		var man Manifest
+		if err := json.Unmarshal(data, &man); err != nil {
+			t.Fatalf("Open accepted a manifest json.Unmarshal rejects: %v", err)
+		}
+		r.Verify()
+		if man.Kind == KindCDR {
+			_, _, _ = r.Replay(Filter{}, 2)
+		}
+		_, _ = r.ReplayRecords(Filter{}.Days(0, 1), func(cdrs.Record) {})
+	})
+}

@@ -145,6 +145,15 @@ func (s *ReplayStats) add(o ReplayStats) {
 // torn (unsealed) segment files, and replays sealed segments with
 // index-driven pruning — concurrently into a catalog build
 // ([Replayer.Replay]) or sequentially into a caller sink.
+//
+// A Replayer is an immutable snapshot of the store at Open time: it
+// replays exactly the segments its manifest lists, and sealed
+// segments are never rewritten, so replaying while a SegmentWriter
+// keeps appending to the same directory is safe and bit-identical to
+// replaying a quiescent store — later seals are simply invisible
+// until the store is re-Opened. The one file a live writer does
+// rewrite, MANIFEST.json, is replaced atomically and read only at
+// Open.
 type Replayer struct {
 	dir  string
 	man  Manifest
@@ -155,7 +164,18 @@ type Replayer struct {
 // torn segment files (present on disk but not covered by the
 // manifest — the residue of a crash mid-write). Torn files are
 // reported, never read.
+//
+// The directory is listed before the manifest is read: a segment
+// sealed between the two steps is then present in the manifest but
+// absent from the listing (harmless), never the reverse, so a healthy
+// store with a live writer reports at most its single in-progress
+// segment as torn. Listing after reading would race the other way and
+// misreport freshly sealed segments.
 func Open(dir string) (*Replayer, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+	}
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: reading manifest: %w", err)
@@ -169,11 +189,14 @@ func Open(dir string) (*Replayer, error) {
 	}
 	sealed := make(map[string]bool, len(r.man.Segments))
 	for i := range r.man.Segments {
-		sealed[r.man.Segments[i].Name] = true
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+		name := r.man.Segments[i].Name
+		// Segment names come from an on-disk JSON file; confine them to
+		// plain seg-*.wrseg entries inside the store directory so a
+		// crafted manifest cannot read arbitrary paths.
+		if name != filepath.Base(name) || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wrseg") {
+			return nil, fmt.Errorf("store: %w: manifest segment name %q", ErrCorrupt, name)
+		}
+		sealed[name] = true
 	}
 	for _, e := range entries {
 		name := e.Name()

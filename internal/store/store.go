@@ -24,6 +24,17 @@
 // shard order — bit-identical to a live build at any worker count
 // (docs/ARCHITECTURE.md derives the argument; the root
 // determinism tests pin it).
+//
+// # Snapshot invariant
+//
+// A [Replayer] is a point-in-time snapshot: Open fixes the segment
+// set from the manifest, sealed segments are immutable, and the
+// manifest itself is only ever replaced atomically. A reader holding
+// a Replayer (or a catalog built from one) therefore observes a
+// frozen store even while a [SegmentWriter] keeps appending to the
+// same directory — concurrent seals become visible only to a later
+// Open. The serving layer (internal/serve) leans on this: cached
+// catalog slices never need locking against the archiver.
 package store
 
 import (

@@ -253,10 +253,13 @@ func (w *SegmentWriter[T]) noteVisited(p mccmnc.PLMN) {
 }
 
 // seal flushes the codec stream, appends the footer, closes the
-// segment file, and atomically publishes the updated manifest.
+// segment file, and atomically publishes the updated manifest. Every
+// exit path leaves w.f nil so a later Close cannot double-close the
+// descriptor.
 func (w *SegmentWriter[T]) seal() error {
 	if err := w.enc.Flush(); err != nil {
 		w.f.Close()
+		w.f = nil
 		return fmt.Errorf("store: flushing %s: %w", w.cur.Name, err)
 	}
 	w.cur.BodyBytes = w.body.n
@@ -265,13 +268,16 @@ func (w *SegmentWriter[T]) seal() error {
 	footer := encodeFooter(kindByte(w.kind), &w.cur, w.visited)
 	if _, err := w.f.Write(footer[:]); err != nil {
 		w.f.Close()
+		w.f = nil
 		return fmt.Errorf("store: writing %s footer: %w", w.cur.Name, err)
 	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
+		w.f = nil
 		return fmt.Errorf("store: syncing %s: %w", w.cur.Name, err)
 	}
 	if err := w.f.Close(); err != nil {
+		w.f = nil
 		return fmt.Errorf("store: closing %s: %w", w.cur.Name, err)
 	}
 	w.cur.Visited = make([]string, len(w.visited))

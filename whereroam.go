@@ -33,6 +33,7 @@ import (
 	"whereroam/internal/netsim"
 	"whereroam/internal/pipeline"
 	"whereroam/internal/probe"
+	"whereroam/internal/serve"
 	"whereroam/internal/settlement"
 	"whereroam/internal/signaling"
 	"whereroam/internal/store"
@@ -261,6 +262,36 @@ var (
 	NewSignalingArchiveWriter = store.NewSignalingWriter
 	// OpenArchive loads a store's manifest for verification or replay.
 	OpenArchive = store.Open
+)
+
+// Serving plane: the read-only HTTP/JSON query daemon over archive
+// stores — replayed slices in a size-bounded LRU with single-flight
+// fill (see internal/serve, cmd/roamd and docs/ARCHITECTURE.md).
+type (
+	// QueryServer answers catalog, classification and analysis
+	// queries over mounted archive stores.
+	QueryServer = serve.Server
+	// QueryServerConfig parameterizes a QueryServer (fill
+	// parallelism, cache bound).
+	QueryServerConfig = serve.Config
+	// ServedSite is one mounted store's row in the site listing.
+	ServedSite = serve.SiteInfo
+	// ServeCacheStats snapshots the slice cache's counters.
+	ServeCacheStats = serve.CacheStats
+	// LoadConfig parameterizes the closed-loop load generator.
+	LoadConfig = serve.LoadConfig
+	// LoadResult is one load run's latency/throughput accounting.
+	LoadResult = serve.LoadResult
+)
+
+// Serving constructors.
+var (
+	// NewQueryServer returns an empty query server; mount stores with
+	// Mount or MountSites, then serve Handler().
+	NewQueryServer = serve.New
+	// RunServeLoad drives a closed-loop request mix against a running
+	// daemon and reports per-op latency percentiles and throughput.
+	RunServeLoad = serve.RunLoad
 )
 
 // NewStreamingSession is NewSessionWorkers with the bounded-memory
