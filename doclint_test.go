@@ -1,9 +1,10 @@
 // Doc lint: every package in the module must carry a package-level
-// doc comment, and the pipeline-facing packages — the ones external
-// code composes streaming ingestion from — must document every
-// exported declaration. This is the enforcement half of the
-// documentation contract in docs/ARCHITECTURE.md: prose that a test
-// does not walk rots.
+// doc comment, and the pipeline-facing packages must document every
+// exported declaration. The rules themselves live in the godoclint
+// analyzer of internal/lint — where roamvet and `go vet -vettool`
+// also enforce them — and this test is a thin in-process wrapper so
+// that `go test` alone still walks the documentation contract. The
+// strict-package set is lint.StrictGodocPackages.
 package whereroam
 
 import (
@@ -12,24 +13,12 @@ import (
 	"go/token"
 	"io/fs"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
-)
 
-// strictGodoc lists the packages whose exported API must be fully
-// documented: the streaming ingest subsystem and the layers it is
-// built from, plus the federation surface (the dataset generators
-// and the session layer applications program against).
-var strictGodoc = map[string]bool{
-	"internal/ingest":      true,
-	"internal/pipeline":    true,
-	"internal/probe":       true,
-	"internal/catalog":     true,
-	"internal/dataset":     true,
-	"internal/experiments": true,
-	"internal/store":       true,
-	"internal/serve":       true,
-}
+	"whereroam/internal/lint"
+)
 
 // packageDirs returns every directory under the module root that
 // holds non-test Go files.
@@ -63,7 +52,10 @@ func packageDirs(t *testing.T) []string {
 	return dirs
 }
 
-func parseDir(t *testing.T, dir string) map[string]*ast.Package {
+// lintDir parses one package directory (production files only —
+// godoclint is syntactic, so no type-check is needed) and returns the
+// godoclint diagnostics under the directory's module import path.
+func lintDir(t *testing.T, dir string) []lint.Diagnostic {
 	t.Helper()
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
@@ -72,7 +64,30 @@ func parseDir(t *testing.T, dir string) map[string]*ast.Package {
 	if err != nil {
 		t.Fatalf("%s: %v", dir, err)
 	}
-	return pkgs
+	path := lint.ModulePath
+	if dir != "." {
+		path = lint.ModulePath + "/" + filepath.ToSlash(dir)
+	}
+	var diags []lint.Diagnostic
+	for _, name := range sortedKeys(pkgs) {
+		pkg := pkgs[name]
+		var files []*ast.File
+		for _, fname := range sortedKeys(pkg.Files) {
+			files = append(files, pkg.Files[fname])
+		}
+		u := &lint.Unit{Path: path, Fset: fset, Files: files}
+		diags = append(diags, lint.Run(u, []*lint.Analyzer{lint.Godoclint})...)
+	}
+	return diags
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // TestPackagesHaveDocComments walks every package and requires a
@@ -80,16 +95,9 @@ func parseDir(t *testing.T, dir string) map[string]*ast.Package {
 // file.
 func TestPackagesHaveDocComments(t *testing.T) {
 	for _, dir := range packageDirs(t) {
-		for name, pkg := range parseDir(t, dir) {
-			documented := false
-			for _, f := range pkg.Files {
-				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-					documented = true
-					break
-				}
-			}
-			if !documented {
-				t.Errorf("package %s (%s) has no package-level doc comment", name, dir)
+		for _, d := range lintDir(t, dir) {
+			if strings.Contains(d.Message, "package-level doc comment") {
+				t.Error(d)
 			}
 		}
 	}
@@ -99,69 +107,11 @@ func TestPackagesHaveDocComments(t *testing.T) {
 // top-level declaration — functions, methods on exported receivers,
 // types, and var/const specs — in the strict-godoc packages.
 func TestExportedAPIDocumented(t *testing.T) {
-	for dir := range strictGodoc {
-		for _, pkg := range parseDir(t, dir) {
-			for file, f := range pkg.Files {
-				for _, decl := range f.Decls {
-					checkDeclDocumented(t, file, decl)
-				}
+	for _, dir := range packageDirs(t) {
+		for _, d := range lintDir(t, dir) {
+			if !strings.Contains(d.Message, "package-level doc comment") {
+				t.Error(d)
 			}
-		}
-	}
-}
-
-func checkDeclDocumented(t *testing.T, file string, decl ast.Decl) {
-	t.Helper()
-	switch d := decl.(type) {
-	case *ast.FuncDecl:
-		if !d.Name.IsExported() || !receiverExported(d) {
-			return
-		}
-		if d.Doc == nil {
-			t.Errorf("%s: exported func %s has no doc comment", file, d.Name.Name)
-		}
-	case *ast.GenDecl:
-		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
-			return
-		}
-		for _, spec := range d.Specs {
-			switch s := spec.(type) {
-			case *ast.TypeSpec:
-				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
-					t.Errorf("%s: exported type %s has no doc comment", file, s.Name.Name)
-				}
-			case *ast.ValueSpec:
-				for _, n := range s.Names {
-					// A doc comment on the grouped decl covers its
-					// specs (the const-block idiom).
-					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-						t.Errorf("%s: exported %s %s has no doc comment", file, d.Tok, n.Name)
-					}
-				}
-			}
-		}
-	}
-}
-
-// receiverExported reports whether a method's receiver base type is
-// exported (methods on unexported types are not part of the API).
-func receiverExported(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
-	}
-	typ := d.Recv.List[0].Type
-	for {
-		switch tt := typ.(type) {
-		case *ast.StarExpr:
-			typ = tt.X
-		case *ast.IndexExpr:
-			typ = tt.X
-		case *ast.IndexListExpr:
-			typ = tt.X
-		case *ast.Ident:
-			return tt.IsExported()
-		default:
-			return true
 		}
 	}
 }

@@ -199,11 +199,15 @@ func (c *Crosstab) ColTotal(col string) float64 {
 	return t
 }
 
-// Total returns the grand total.
+// Total returns the grand total. Cells sum in row-major index order
+// — never in map-iteration order — so the float accumulation sequence
+// is identical on every run even for non-integer weights.
 func (c *Crosstab) Total() float64 {
 	t := 0.0
-	for _, v := range c.cells {
-		t += v
+	for ri := range c.rows {
+		for ci := range c.cols {
+			t += c.cells[[2]int{ri, ci}]
+		}
 	}
 	return t
 }

@@ -165,6 +165,7 @@ func (b *Builder) finalize() []DailyRecord {
 	// nominal one-minute dwell so single-event days still have a
 	// location.
 	if b.grid != nil {
+		//roamvet:maporder-ok one write per ranged device: visits[{dev,day}] is appended by exactly one iteration, so no visit order can interleave
 		for dev, prev := range b.last {
 			if s, ok := b.grid.Sector(prev.sector); ok {
 				if pd := b.day(prev.t); pd >= 0 {
@@ -175,6 +176,7 @@ func (b *Builder) finalize() []DailyRecord {
 		}
 	}
 	recs := make([]DailyRecord, 0, len(b.recs))
+	//roamvet:maporder-ok finalize returns an unordered batch by documented contract; Build and ShardedBuilder.Build apply sortRecords' (device, day) total order before anything order-sensitive sees it
 	for k, r := range b.recs {
 		if d := b.callDur[k]; d != 0 {
 			r.CallSeconds = d.Seconds()
@@ -214,6 +216,7 @@ func sortRecords(recs []DailyRecord) {
 // feeds device-disjoint — which is why ShardedBuilder routes events
 // by device and merges finalized shard outputs instead.
 func (b *Builder) Merge(o *Builder) {
+	//roamvet:maporder-ok per-ranged-key fold into b.recs[k]: each (device, day) key is touched by exactly one iteration, and the b-then-o union order within a key is fixed by the merge direction
 	for k, ro := range o.recs {
 		r := b.recs[k]
 		if r == nil {
@@ -243,6 +246,7 @@ func (b *Builder) Merge(o *Builder) {
 	for k, d := range o.callDur {
 		b.callDur[k] += d
 	}
+	//roamvet:maporder-ok keyed max-fold: each device keeps its later last-seen event, an extremum that no visit order can change
 	for dev, seen := range o.last {
 		if prev, ok := b.last[dev]; !ok || seen.t.After(prev.t) {
 			b.last[dev] = seen

@@ -235,6 +235,7 @@ func (c *Catalog) summarizeChunk(lo, hi int) *summaryPartial {
 // o's, so p's first-seen fields (SIM, TAC, APN/Visited order) win —
 // the same outcome a single pass over the concatenated chunks gives.
 func (p *summaryPartial) merge(o *summaryPartial) {
+	//roamvet:maporder-ok per-ranged-key fold into p.byDev[id]: each device is touched by exactly one iteration and first-seen fields follow the fixed p-then-o merge direction
 	for id, so := range o.byDev {
 		s := p.byDev[id]
 		if s == nil {
@@ -251,6 +252,7 @@ func (p *summaryPartial) merge(o *summaryPartial) {
 		s.Events += so.Events
 		s.FailedEvents += so.FailedEvents
 		s.Calls += so.Calls
+		//roamvet:floatfold-ok Summaries folds chunk partials serially in ascending chunk order, so each device's CallSeconds additions happen in one pinned sequence
 		s.CallSeconds += so.CallSeconds
 		s.Bytes += so.Bytes
 		s.RadioFlags |= so.RadioFlags
@@ -264,6 +266,7 @@ func (p *summaryPartial) merge(o *summaryPartial) {
 		}
 	}
 	for id, g := range o.gyrSum {
+		//roamvet:floatfold-ok per-ranged-key single addition, and chunk partials fold serially in ascending chunk order — the gyration sum sequence per device is pinned
 		p.gyrSum[id] += g
 	}
 	for id, n := range o.gyrN {

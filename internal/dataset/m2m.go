@@ -322,7 +322,7 @@ func emitPlatformDevice(tap *probe.Tap[signaling.Transaction], world *netsim.Wor
 	for s := range switchTimes {
 		switchTimes[s] = randTime()
 	}
-	sort.Slice(switchTimes, func(i, j int) bool { return switchTimes[i].Before(switchTimes[j]) })
+	sort.SliceStable(switchTimes, func(i, j int) bool { return switchTimes[i].Before(switchTimes[j]) })
 	vmnoAt := func(t time.Time) mccmnc.PLMN {
 		seg := sort.Search(len(switchTimes), func(i int) bool { return switchTimes[i].After(t) })
 		return vmnos[seg%len(vmnos)]

@@ -180,6 +180,7 @@ func StreamMNO(cfg MNOConfig, sink MNOSink) *MNOStream {
 	// The IR.88 registry derives from the totals alone, so it can be
 	// built before emission and consulted per device on the way out.
 	m2mTotals := map[mccmnc.PLMN]uint64{}
+	//roamvet:maporder-ok the target key k.home is unique among the k.base == M2MBlockBase entries of the ranged map (one M2M block per home PLMN), so each write lands exactly once
 	for k, n := range counts.totals {
 		if k.base == M2MBlockBase {
 			m2mTotals[k.home] = n

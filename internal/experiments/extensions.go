@@ -176,6 +176,7 @@ func runExtLatency(s *Session) *Report {
 	var hr, policy []float64
 	worstHR := 0.0
 	var worstPair string
+	//roamvet:maporder-ok hr/policy samples feed analysis.NewECDF which sorts them (multisets are visit-order-invariant); the worst-pair argmax tie-breaks lexicographically
 	for _, a := range aggs {
 		if !a.roaming || a.last.IsZero() {
 			continue
@@ -185,9 +186,14 @@ func runExtLatency(s *Session) *Report {
 		p := model.RTTUnderPolicy(world, a.home, visited)
 		hr = append(hr, h)
 		policy = append(policy, p)
-		if h > worstHR {
+		// Tie-break equal RTTs on the pair name: distinct pairs tie
+		// on RTT routinely (the latency model is distance-bucketed),
+		// and without the tie-break the reported pair would follow
+		// the map visit order of this loop.
+		pair := fmt.Sprintf("%s -> %s", a.home, visited)
+		if h > worstHR || (h == worstHR && worstPair != "" && pair < worstPair) {
 			worstHR = h
-			worstPair = fmt.Sprintf("%s -> %s", a.home, visited)
+			worstPair = pair
 		}
 	}
 	eHR := analysis.NewECDF(hr)

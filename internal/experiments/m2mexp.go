@@ -70,8 +70,10 @@ func aggregateM2M(ds *dataset.M2MDataset) map[identity.DeviceID]*m2mDeviceAgg {
 			a.last = tx.Visited
 		}
 	}
+	//roamvet:maporder-ok each iteration writes only the ranged entry's own primary field; entries are visited exactly once
 	for _, a := range aggs {
 		best, bestN := "", -1
+		//roamvet:maporder-ok argmax with a lexicographic tie-break ((n, -iso) is a total order), so the winner is visit-order-independent
 		for iso, n := range a.useCount {
 			if n > bestN || (n == bestN && iso < best) {
 				best, bestN = iso, n
@@ -80,6 +82,18 @@ func aggregateM2M(ds *dataset.M2MDataset) map[identity.DeviceID]*m2mDeviceAgg {
 		a.primary = best
 	}
 	return aggs
+}
+
+// sortedAggDevices returns the aggregate map's device keys in
+// ascending ID order — the pinned iteration order for sweeps whose
+// output depends on visit order (crosstab insertion, for one).
+func sortedAggDevices(aggs map[identity.DeviceID]*m2mDeviceAgg) []identity.DeviceID {
+	devs := make([]identity.DeviceID, 0, len(aggs))
+	for dev := range aggs {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	return devs
 }
 
 var hmnoNames = map[mccmnc.PLMN]string{
@@ -106,6 +120,7 @@ func runT1(s *Session) *Report {
 		vmnos     map[mccmnc.PLMN]bool
 	}
 	stats := map[string]*hmnoStat{}
+	//roamvet:maporder-ok per-HMNO fold of commutative effects only: integer adds and idempotent set-inserts, plus a first-visit ensure-exists — no counter depends on visit order
 	for _, a := range aggs {
 		name := hmnoNames[a.home]
 		st := stats[name]
@@ -166,8 +181,13 @@ func runFig2(s *Session) *Report {
 		Title: "Share of M2M devices per visited country per HMNO",
 		Paper: "ES devices spread over ~77 countries; MX/AR ~90% in their home country; DE spread across many European VMNOs",
 	}
+	// Crosstab rows and columns keep insertion order, so the Add
+	// sweep must visit devices in a pinned order — iterating the
+	// aggs map directly would make tied rows land in per-run order
+	// after the total sort (and columns in per-run order, full stop).
 	ct := analysis.NewCrosstab()
-	for _, a := range aggs {
+	for _, dev := range sortedAggDevices(aggs) {
+		a := aggs[dev]
 		ct.Add(a.primary, hmnoNames[a.home], 1)
 	}
 	ct.SortRowsByTotal()
@@ -217,6 +237,7 @@ func runFig3Left(s *Session) *Report {
 		Paper: "mean ≈267 records; 97% of devices < 2000; max ≈130k (flooders); roaming median ≈10× native median",
 	}
 	var all, ok4g, roaming, native []float64
+	//roamvet:maporder-ok every sample slice feeds analysis.NewECDF, which sorts its input — the collected multisets are visit-order-invariant
 	for _, a := range aggs {
 		v := float64(a.total)
 		all = append(all, v)
@@ -305,6 +326,7 @@ func runFig3Right(s *Session) *Report {
 		Paper: "~50% switch at most twice over 11 days; 20% switch at least daily; ~3% switch 100–3000 times",
 	}
 	var switches []float64
+	//roamvet:maporder-ok the switch counts feed analysis.NewECDF, which sorts its input — the collected multiset is visit-order-invariant
 	for _, a := range aggs {
 		if !a.roaming || len(a.visited) < 2 {
 			continue

@@ -115,6 +115,7 @@ func runT2(s *Session) *Report {
 	perDay := map[int]map[core.Label]int{}
 	dayTotal := map[int]int{}
 	for _, part := range parts {
+		//roamvet:maporder-ok integer fold keyed by (day, label): additions commute and the ensure-exists write is idempotent, so the merged counters are independent of visit order
 		for day, m := range part.perDay {
 			dst := perDay[day]
 			if dst == nil {

@@ -50,6 +50,7 @@ func runFig11(s *Session) *Report {
 		only2G, only3G, mix int
 	}
 	var native, roaming cohort
+	//roamvet:maporder-ok the day-count slices feed analysis.NewECDF which sorts them; every other cohort field is a commutative integer(-valued) add
 	for dev, a := range aggs {
 		c := &roaming
 		if ds.Native[dev] {
@@ -60,7 +61,9 @@ func runFig11(s *Session) *Report {
 		if a.firstDay == 0 {
 			c.daysDay1 = append(c.daysDay1, float64(a.activeDays))
 		}
+		//roamvet:floatfold-ok sums of integer-valued float64 terms far below 2^53 are exact, so addition order cannot change the result
 		c.events += float64(a.events)
+		//roamvet:floatfold-ok sums of integer-valued float64 terms far below 2^53 are exact, so addition order cannot change the result
 		c.activeDays += float64(a.activeDays)
 		if a.failed > 0 {
 			c.withFail++

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// commutativeBody reports whether every effect in a map-range body is
+// provably independent of the visit order, so the loop as a whole
+// computes the same result under any permutation of the keys. The
+// proof obligations, statement by statement:
+//
+//   - writes keyed exactly by the range key (m2[k] = v, m2[k] op= v,
+//     delete(m2, k)) touch each target key in at most one iteration,
+//     so any per-key effect is safe;
+//   - integer/boolean accumulation (n++, n += v, flags |= v) through
+//     any lvalue is exact and commutative;
+//   - writing a constant into a map (seen[x] = true) is idempotent —
+//     collisions write the same value;
+//   - min/max folds (if v > best { best = v }) compute an
+//     order-independent extremum;
+//   - definitions and rebindings of body-local scalars are scratch
+//     state that dies with the iteration;
+//   - if/else and blocks compose the above, provided no condition or
+//     right-hand side reads loop-carried mutable state outside the
+//     sanctioned forms; `continue` is allowed, `break` and `return`
+//     are not (which iteration triggers them depends on visit order).
+//
+// The check assumes calls reachable from the body do not mutate
+// loop-carried state (conversions and predicate calls are the norm);
+// the runtime determinism suites remain the backstop for that hole.
+func commutativeBody(info *types.Info, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return true
+	}
+	var keyObj types.Object
+	if key, ok := rs.Key.(*ast.Ident); ok && key.Name != "_" {
+		keyObj = info.ObjectOf(key)
+	}
+	written := writtenObjects(info, rs)
+	if written == nil {
+		return false
+	}
+	// Loop-carried state: objects written in the body but declared
+	// outside it. Body-local objects are per-iteration scratch.
+	inBody := func(obj types.Object) bool {
+		return obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End()
+	}
+	carried := map[types.Object]bool{}
+	for obj := range written {
+		if !inBody(obj) {
+			carried[obj] = true
+		}
+	}
+	// readsCarried reports whether e reads loop-carried mutable
+	// state, ignoring reads of allow[obj] at exactly m[key] (the
+	// per-key read-modify-write form).
+	var readsCarried func(e ast.Expr, allow types.Object) bool
+	readsCarried = func(e ast.Expr, allow types.Object) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if ix, ok := n.(*ast.IndexExpr); ok && allow != nil && keyObj != nil {
+				if rootObject(info, ix.X) == allow {
+					if kid, ok := ix.Index.(*ast.Ident); ok && info.ObjectOf(kid) == keyObj {
+						return false // sanctioned m[k] self-read
+					}
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && carried[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	isIntegerish := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+	}
+	isConstant := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil
+	}
+	// keyedByRangeKey reports whether ix indexes a map at exactly the
+	// range key — a target key touched in at most one iteration.
+	// Writing the ranged map itself at the range key is an in-place
+	// update of the key being visited, which the spec defines and no
+	// visit order can reorder.
+	keyedByRangeKey := func(ix *ast.IndexExpr) bool {
+		if keyObj == nil || !isMapType(info, ix.X) {
+			return false
+		}
+		kid, ok := ix.Index.(*ast.Ident)
+		return ok && info.ObjectOf(kid) == keyObj
+	}
+	// localScalar reports whether e is a bare identifier for a
+	// body-local variable (writes through pointers/selectors may
+	// alias loop-carried state and do not count).
+	localScalar := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		return obj != nil && inBody(obj)
+	}
+
+	var stmtOK func(s ast.Stmt) bool
+	maxMinFold := func(s *ast.IfStmt) bool {
+		cond, ok := s.Cond.(*ast.BinaryExpr)
+		if !ok || (cond.Op != token.LSS && cond.Op != token.GTR) || s.Else != nil || s.Init != nil {
+			return false
+		}
+		if len(s.Body.List) != 1 {
+			return false
+		}
+		as, ok := s.Body.List[0].(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+			return false
+		}
+		tgt := rootObject(info, as.Lhs[0])
+		if tgt == nil || !carried[tgt] {
+			return false
+		}
+		// One comparison operand must be the fold target, the other
+		// the assigned value, and neither may read other carried
+		// state.
+		matches := func(a, b ast.Expr) bool {
+			return rootObject(info, a) == tgt && !readsCarried(b, tgt)
+		}
+		return matches(cond.X, cond.Y) || matches(cond.Y, cond.X)
+	}
+	stmtOK = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				for _, lhs := range st.Lhs {
+					if !localScalar(lhs) && !isBlank(lhs) {
+						return false
+					}
+				}
+				for _, rhs := range st.Rhs {
+					if readsCarried(rhs, nil) {
+						return false
+					}
+				}
+				return true
+			}
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			lhs, rhs := st.Lhs[0], st.Rhs[0]
+			switch st.Tok {
+			case token.ASSIGN:
+				// Rebinding a body-local scalar is scratch state.
+				if localScalar(lhs) {
+					return !readsCarried(rhs, nil)
+				}
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				// Per-key rewrite: m2[k] = f(m2[k], ...) touches
+				// this key in exactly one iteration.
+				if keyedByRangeKey(ix) {
+					return !readsCarried(rhs, rootObject(info, ix.X))
+				}
+				// Idempotent set insertion: m2[any] = constant.
+				return isConstant(rhs) && !readsCarried(ix.Index, nil) && !readsCarried(ix.X, nil)
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				if readsCarried(rhs, nil) {
+					return false
+				}
+				if ix, ok := lhs.(*ast.IndexExpr); ok && keyedByRangeKey(ix) {
+					return true // per-key, any element type
+				}
+				// Elsewhere the op must be exact and commutative:
+				// integer or boolean, never floating point.
+				return isIntegerish(info.TypeOf(lhs))
+			case token.QUO_ASSIGN, token.MUL_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+				// Non-commutative across iterations; safe only on a
+				// per-key target.
+				ix, ok := lhs.(*ast.IndexExpr)
+				return ok && keyedByRangeKey(ix) && !readsCarried(rhs, rootObject(info, ix.X))
+			default:
+				return false
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := st.X.(*ast.IndexExpr); ok && keyedByRangeKey(ix) {
+				return true
+			}
+			return isIntegerish(info.TypeOf(st.X))
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "delete" || len(call.Args) != 2 {
+				return false
+			}
+			if _, isBuiltin := info.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+				return false
+			}
+			kid, ok := call.Args[1].(*ast.Ident)
+			return ok && keyObj != nil && info.ObjectOf(kid) == keyObj
+		case *ast.IfStmt:
+			if maxMinFold(st) {
+				return true
+			}
+			// A comma-ok (or other allowed) init is fine; the cond
+			// itself must not read loop-carried state.
+			if st.Init != nil && !stmtOK(st.Init) {
+				return false
+			}
+			if readsCarried(st.Cond, nil) {
+				return false
+			}
+			for _, s := range st.Body.List {
+				if !stmtOK(s) {
+					return false
+				}
+			}
+			switch e := st.Else.(type) {
+			case nil:
+				return true
+			case *ast.BlockStmt:
+				for _, s := range e.List {
+					if !stmtOK(s) {
+						return false
+					}
+				}
+				return true
+			case *ast.IfStmt:
+				return stmtOK(e)
+			default:
+				return false
+			}
+		case *ast.BlockStmt:
+			for _, s := range st.List {
+				if !stmtOK(s) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			// Which iteration breaks or returns depends on visit
+			// order; only continue is order-neutral.
+			return st.Tok == token.CONTINUE
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return false
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					return false
+				}
+				for _, v := range vs.Values {
+					if readsCarried(v, nil) {
+						return false
+					}
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for _, s := range rs.Body.List {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatFold flags floating-point accumulation (+= / -=, or x = x + y)
+// in contexts where the fold order is not pinned: inside a range over
+// a map, or inside a Merge/fold function. Float addition is not
+// associative, so folding shard or map-iteration deliveries in
+// arrival order yields different low bits run to run — the PR 4 bug
+// class (fleet-order float accumulation in fed-validation). Integer
+// accumulation is exact and commutative, which is why the catalog
+// aggregates call duration as integer nanoseconds; float folds must
+// either do the same, run over a pinned order, or justify themselves
+// with //roamvet:floatfold-ok <reason>.
+var FloatFold = &Analyzer{
+	Name:       "floatfold",
+	Doc:        "flags float accumulation inside map ranges and Merge/fold bodies",
+	NeedsTypes: true,
+	Run:        runFloatFold,
+}
+
+func runFloatFold(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			var target ast.Expr
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				target = as.Lhs[0]
+			case token.ASSIGN:
+				// x = x + y / x = y + x with a float x.
+				if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+					return true
+				}
+				be, ok := as.Rhs[0].(*ast.BinaryExpr)
+				if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+					return true
+				}
+				lobj := rootObject(pass.Info, as.Lhs[0])
+				if lobj == nil || (rootObject(pass.Info, be.X) != lobj && rootObject(pass.Info, be.Y) != lobj) {
+					return true
+				}
+				target = as.Lhs[0]
+			default:
+				return true
+			}
+			t := pass.Info.TypeOf(target)
+			if t == nil || !isFloat(t) {
+				return true
+			}
+			where, ok := unpinnedFoldContext(pass, stack)
+			if !ok {
+				return true
+			}
+			pass.Reportf(as.Pos(), "float accumulation %s: float addition is not associative, so the result depends on fold order; accumulate integers, pin the order, or annotate //roamvet:floatfold-ok <reason>", where)
+			return true
+		})
+	}
+}
+
+// unpinnedFoldContext reports whether the statement at the top of the
+// stack sits in a context whose visit order is not pinned: a range
+// over a map, or a function whose name marks it as a merge/fold
+// combinator (callers feed those in shard-arrival order).
+func unpinnedFoldContext(pass *Pass, stack []ast.Node) (string, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass.Info, s.X) {
+				return "inside a range over a map", true
+			}
+		case *ast.FuncDecl:
+			if name := strings.ToLower(s.Name.Name); strings.Contains(name, "merge") || strings.Contains(name, "fold") {
+				return "inside " + s.Name.Name, true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}

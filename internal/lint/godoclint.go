@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Godoclint enforces the documentation contract from
+// docs/ARCHITECTURE.md, previously enforced only by doclint_test.go
+// (which is now a thin wrapper over this analyzer): every package in
+// the module carries a package-level doc comment, and the
+// strict-godoc packages ([StrictGodocPackages] — the pipeline-facing
+// API surface) document every exported declaration: functions,
+// methods on exported receivers, types, and var/const specs.
+var Godoclint = &Analyzer{
+	Name: "godoclint",
+	Doc:  "requires package doc comments everywhere and full godoc in the strict-godoc packages",
+	Run:  runGodoclint,
+}
+
+func runGodoclint(pass *Pass) {
+	documented := false
+	for _, f := range pass.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented = true
+			break
+		}
+	}
+	if !documented && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package-level doc comment", pass.Files[0].Name.Name)
+	}
+	if !InStrictGodocScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			checkDeclDocumented(pass, decl)
+		}
+	}
+}
+
+func checkDeclDocumented(pass *Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		if d.Doc == nil {
+			pass.Reportf(d.Name.Pos(), "exported func %s has no doc comment", d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+			return
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					// A doc comment on the grouped decl covers its
+					// specs (the const-block idiom).
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						pass.Reportf(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported (methods on unexported types are not part of the API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

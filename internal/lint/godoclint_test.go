@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"whereroam/internal/lint"
+	"whereroam/internal/lint/linttest"
+)
+
+func TestGodoclintStrict(t *testing.T) {
+	linttest.Run(t, "godoclint", lint.Godoclint)
+}
+
+func TestGodoclintMissingPackageDoc(t *testing.T) {
+	linttest.Run(t, "godoclintnodoc", lint.Godoclint)
+}
+
+// TestGodoclintLaxScope analyzes a fixture under an import path
+// outside the strict-godoc set: only the package-doc rule applies, so
+// the fixture's undocumented export must not be reported.
+func TestGodoclintLaxScope(t *testing.T) {
+	linttest.RunAs(t, lint.ModulePath+"/internal/rng", "godoclintlax", lint.Godoclint)
+}
+
+// TestGodoclintValueSpecs covers the const/var rules with a synthetic
+// source file: a trailing line comment on a spec counts as its
+// documentation (the const-block idiom), so these cases cannot be
+// written as // want fixtures — the expectation comment itself would
+// document the spec.
+func TestGodoclintValueSpecs(t *testing.T) {
+	const src = `// Package p is a synthetic godoclint fixture.
+package p
+
+const Bare = 1
+
+var Loose = 2
+
+// Grouped documents the block, covering its specs.
+const (
+	A = 1
+	B = 2
+)
+
+const Trailing = 3 // a trailing comment documents the spec
+`
+	diags := runGodoclintSrc(t, src)
+	want := []string{
+		"exported const Bare has no doc comment",
+		"exported var Loose has no doc comment",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(want))
+	}
+	for i, w := range want {
+		if diags[i].Message != w {
+			t.Errorf("diagnostic %d = %q, want %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+// runGodoclintSrc runs godoclint over one synthetic file under a
+// strict-godoc import path.
+func runGodoclintSrc(t *testing.T, src string) []lint.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := linttest.DefaultPath
+	if !lint.InStrictGodocScope(path) {
+		t.Fatalf("%s is not in the strict-godoc scope", path)
+	}
+	u := &lint.Unit{Path: path, Fset: fset, Files: []*ast.File{f}}
+	return lint.Run(u, []*lint.Analyzer{lint.Godoclint})
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` statements over maps in the deterministic
+// packages. Go's map iteration order is deliberately randomized, so
+// any map range whose effect depends on visit order breaks the
+// bit-identical contract (the PR 3 unstable-sort bug entered through
+// exactly such a loop feeding output without an order pin).
+//
+// Two shapes are recognized as safe without annotation:
+//
+//   - collect-then-sort: the loop only writes local collector
+//     variables, and a sort.* / slices.Sort* call over one of those
+//     collectors appears later in the same function (the canonical
+//     keys-slice idiom);
+//   - commutative body: every statement in the loop body is an
+//     order-independent effect — writes keyed exactly by the ranged
+//     key, integer/boolean accumulation, idempotent constant map
+//     inserts, min/max folds, body-local scratch — as defined by
+//     [commutativeBody].
+//
+// Anything else needs either a real fix or a
+// //roamvet:maporder-ok <reason> annotation.
+var Maporder = &Analyzer{
+	Name:       "maporder",
+	Doc:        "flags range over a map whose effect can depend on iteration order",
+	NeedsTypes: true,
+	Run:        runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pass.Info, rs.X) {
+				return true
+			}
+			if commutativeBody(pass.Info, rs) {
+				return true
+			}
+			if feedsSort(pass.Info, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map: iteration order is nondeterministic; collect and sort, restrict the body to order-independent effects, or annotate //roamvet:maporder-ok <reason>")
+			return true
+		})
+	}
+}
+
+// feedsSort reports whether every variable the loop body writes is a
+// local collector and at least one of them is passed to a sort.* or
+// slices.Sort* call after the loop, inside the same enclosing
+// function — the collect-then-sort idiom.
+func feedsSort(info *types.Info, rs *ast.RangeStmt, stack []ast.Node) bool {
+	written := writtenObjects(info, rs)
+	if len(written) == 0 {
+		return false
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg, name, ok := pkgFunc(info, call.Fun)
+		if !ok || !isSortCall(pkg, name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObject(info, arg); obj != nil && written[obj] {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func isSortCall(pkg, name string) bool {
+	switch pkg {
+	case "sort":
+		switch name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// writtenObjects collects the objects assigned, compound-assigned,
+// appended to, or incremented in the loop body — the candidate
+// collector variables. It returns nil if the body writes something it
+// cannot attribute to a named object (so feedsSort stays
+// conservative).
+func writtenObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	written := map[types.Object]bool{}
+	attributable := true
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if obj := rootObject(info, lhs); obj != nil {
+					written[obj] = true
+				} else if !isBlank(lhs) {
+					attributable = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := rootObject(info, s.X); obj != nil {
+				written[obj] = true
+			} else {
+				attributable = false
+			}
+		}
+		return true
+	})
+	if !attributable {
+		return nil
+	}
+	return written
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// rootObject resolves an expression to the object of the variable at
+// its root: x, x[i], x.f, *x, &x and combinations thereof all resolve
+// to x. Returns nil for anything else (calls, literals).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.ObjectOf(x); obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					return obj
+				}
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RNGPurity forbids impure randomness and wall clocks in the
+// deterministic packages. The contract requires every random draw to
+// flow through internal/rng substreams (splittable, label-addressed,
+// seed-derived) and every timestamp to flow through configuration, so
+// that any two runs with the same seed are bit-identical. Three
+// classes of call break that:
+//
+//   - math/rand (and math/rand/v2) package-level functions, which
+//     draw from global, cross-goroutine-shared state;
+//   - rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8,
+//     which mint generators outside the internal/rng substream tree
+//     (their sequences are not label-addressed, so adding a consumer
+//     perturbs its neighbors);
+//   - time.Now, a wall clock.
+//
+// Sites that are genuinely outside the reproducibility boundary (load
+// generators measuring real latency, for example) carry a
+// //roamvet:rngpurity-ok <reason> annotation.
+var RNGPurity = &Analyzer{
+	Name:       "rngpurity",
+	Doc:        "forbids global math/rand, ad-hoc generator construction and time.Now in deterministic packages",
+	NeedsTypes: true,
+	Run:        runRNGPurity,
+}
+
+// randConstructors are the generator-minting entry points of both
+// math/rand generations; deterministic code must use internal/rng.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runRNGPurity(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			switch pkg {
+			case "math/rand", "math/rand/v2":
+				if randConstructors[name] {
+					pass.Reportf(sel.Pos(), "%s.%s mints a generator outside the internal/rng substream tree; derive randomness via rng.Source.Split instead, or annotate //roamvet:rngpurity-ok <reason>", pkg, name)
+				} else {
+					pass.Reportf(sel.Pos(), "%s.%s draws from global shared state; all randomness in deterministic packages must flow through internal/rng substreams", pkg, name)
+				}
+			case "time":
+				if name == "Now" {
+					pass.Reportf(sel.Pos(), "time.Now is a wall clock; deterministic packages must take times from configuration, or annotate //roamvet:rngpurity-ok <reason>")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"whereroam/internal/lint"
+	"whereroam/internal/lint/linttest"
+)
+
+func TestRNGPurity(t *testing.T) {
+	linttest.Run(t, "rngpurity", lint.RNGPurity)
+}

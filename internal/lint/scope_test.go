@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"testing"
+
+	"whereroam/internal/lint"
+)
+
+func TestAnalyzersFor(t *testing.T) {
+	cases := []struct {
+		path string
+		want int
+	}{
+		{lint.ModulePath + "/internal/dataset", len(lint.All)},
+		{lint.ModulePath + "/internal/serve", len(lint.All)},
+		{lint.ModulePath + "/internal/rng", 1},
+		{lint.ModulePath + "/cmd/roamvet", 1},
+		{lint.ModulePath, 1},
+	}
+	for _, c := range cases {
+		if got := len(lint.AnalyzersFor(c.path)); got != c.want {
+			t.Errorf("AnalyzersFor(%q) returned %d analyzers, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+func TestScopePrefixMatching(t *testing.T) {
+	if !lint.InDeterministicScope(lint.ModulePath + "/internal/dataset") {
+		t.Error("internal/dataset must be in the deterministic scope")
+	}
+	if !lint.InDeterministicScope(lint.ModulePath + "/internal/dataset/sub") {
+		t.Error("subpackages of a deterministic package inherit the scope")
+	}
+	if lint.InDeterministicScope(lint.ModulePath + "/internal/datasetx") {
+		t.Error("prefix matching must respect path-segment boundaries")
+	}
+	if !lint.InStrictGodocScope(lint.ModulePath + "/internal/benchfmt") {
+		t.Error("internal/benchfmt joined the strict-godoc set in this change")
+	}
+	if !lint.InStrictGodocScope(lint.ModulePath + "/internal/ingest") {
+		t.Error("internal/ingest is in the strict-godoc set")
+	}
+	if lint.InStrictGodocScope(lint.ModulePath + "/internal/rng") {
+		t.Error("internal/rng is not in the strict-godoc set")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All {
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the analyzer", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName of an unknown name must return nil")
+	}
+}

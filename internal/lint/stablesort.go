@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// StableSort flags sort.Slice (and slices.SortFunc) calls whose less
+// function compares timestamps. Timestamp keys tie — two records in
+// the same nanosecond, two events on the same day — and sort.Slice is
+// explicitly unstable, so the relative order of tied elements depends
+// on the input permutation, which in this repository depends on the
+// worker count. That was exactly the PR 3 bug: a timestamp sort over
+// shard-merged transactions reordered ties across worker counts.
+// Tie-prone sorts must either use sort.SliceStable (preserving the
+// pinned upstream order) or extend the key to a total order, in which
+// case the site carries //roamvet:stablesort-ok <reason>.
+var StableSort = &Analyzer{
+	Name:       "stablesort",
+	Doc:        "flags unstable sorts whose comparison key is a timestamp",
+	NeedsTypes: true,
+	Run:        runStableSort,
+}
+
+// timeishName matches selector names that conventionally carry
+// integer timestamps (Time, Timestamp, UnixNanos, ...).
+var timeishName = regexp.MustCompile(`(?i)(time|stamp|nanos)`)
+
+func runStableSort(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass.Info, call.Fun)
+			if !ok {
+				return true
+			}
+			var less ast.Expr
+			switch {
+			case pkg == "sort" && name == "Slice" && len(call.Args) == 2:
+				less = call.Args[1]
+			case pkg == "slices" && name == "SortFunc" && len(call.Args) == 2:
+				less = call.Args[1]
+			default:
+				return true
+			}
+			fl, ok := less.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if comparesTimestamps(pass, fl) {
+				pass.Reportf(call.Pos(), "unstable %s.%s with a timestamp comparison key: ties reorder with the input permutation; use sort.SliceStable or a total-order key, or annotate //roamvet:stablesort-ok <reason>", pkg, name)
+			}
+			return true
+		})
+	}
+}
+
+// comparesTimestamps reports whether the less function's body
+// compares time.Time values (via <, >, Before or After) or orders by
+// a field whose name is timestamp-like.
+func comparesTimestamps(pass *Pass, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				for _, op := range []ast.Expr{e.X, e.Y} {
+					if t := pass.Info.TypeOf(op); t != nil && isTimeTime(t) {
+						found = true
+					}
+					if sel, ok := op.(*ast.SelectorExpr); ok && timeishName.MatchString(sel.Sel.Name) {
+						found = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Before" || sel.Sel.Name == "After") {
+				if t := pass.Info.TypeOf(sel.X); t != nil && isTimeTime(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"whereroam/internal/lint"
+	"whereroam/internal/lint/linttest"
+)
+
+func TestStableSort(t *testing.T) {
+	linttest.Run(t, "stablesort", lint.StableSort)
+}

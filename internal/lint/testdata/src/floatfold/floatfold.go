@@ -1,0 +1,60 @@
+// Package floatfold is a roamvet fixture exercising the floatfold
+// analyzer: float accumulation inside map ranges and Merge/fold
+// bodies, the pinned-order and integer alternatives, and annotation
+// suppression.
+package floatfold
+
+func sumMapRange(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v // want `float accumulation inside a range over a map`
+	}
+	return t
+}
+
+func selfAssignForm(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t = t + v // want `float accumulation inside a range over a map`
+	}
+	return t
+}
+
+func sumSliceRange(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+func intMapRange(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+type acc struct {
+	total float64
+	n     int
+}
+
+func (a *acc) Merge(o *acc) {
+	a.total += o.total // want `float accumulation inside Merge`
+	a.n += o.n
+}
+
+func (a *acc) add(v float64) {
+	a.total += v
+}
+
+func annotated(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//roamvet:floatfold-ok fixture: suppression test, result is tolerance-checked
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,26 @@
+// Package godoclint is a roamvet fixture exercising the godoclint
+// analyzer in strict mode: undocumented exported declarations are
+// flagged, documented and unexported ones are not.
+package godoclint
+
+// Documented carries a doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// DoThing carries a doc comment.
+func DoThing() {}
+
+func DoOther() {} // want `exported func DoOther has no doc comment`
+
+// Method carries a doc comment.
+func (Documented) Method() {}
+
+func (Documented) Bare() {} // want `exported func Bare has no doc comment`
+
+type hidden struct{}
+
+// Methods on unexported receivers are not API surface.
+func (hidden) Exported() {}
+
+func unexported() {}

@@ -1,0 +1,7 @@
+// Package godoclintlax is a roamvet fixture analyzed under an import
+// path outside the strict-godoc set: the package doc rule applies,
+// the exported-declaration rule does not, so the undocumented export
+// below must produce no diagnostic.
+package godoclintlax
+
+func UndocumentedButOutsideStrictScope() {}

@@ -1,0 +1,4 @@
+package godoclintnodoc // want `package godoclintnodoc has no package-level doc comment`
+
+// Exported carries a doc comment, but the package clause does not.
+func Exported() {}

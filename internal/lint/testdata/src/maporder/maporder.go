@@ -1,0 +1,98 @@
+// Package maporder is a roamvet fixture exercising the maporder
+// analyzer: flagged map ranges, the collect-then-sort and
+// commutative-body exemptions, and annotation suppression.
+package maporder
+
+import "sort"
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func keyedFold(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+func setInsert(dst map[string]bool, src map[string]int) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func counterSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func maxFold(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func deleteByKey(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func earlyBreak(m map[string]int) bool {
+	found := false
+	for _, v := range m { // want `range over map`
+		if v > 10 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `range over map`
+		s += k
+	}
+	return s
+}
+
+func annotated(m map[string]int) []string {
+	var out []string
+	//roamvet:maporder-ok fixture: suppression test, order is irrelevant here
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

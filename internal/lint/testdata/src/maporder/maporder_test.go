@@ -1,0 +1,12 @@
+package maporder
+
+// Test files are outside the determinism contract: this unsorted map
+// range must NOT be reported (no want comment — an unexpected
+// diagnostic fails the fixture run).
+func testOnlyRange(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package rngpurity is a roamvet fixture exercising the rngpurity
+// analyzer: global math/rand state, ad-hoc generator construction,
+// wall clocks, and annotation suppression.
+package rngpurity
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now is a wall clock`
+}
+
+func freshGenerator(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // want `math/rand\.New mints a generator` `math/rand\.NewSource mints a generator`
+	return r.Intn(10)
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from global shared state`
+}
+
+func configClock(now time.Time) time.Time {
+	return now.Add(time.Hour)
+}
+
+func annotated() time.Time {
+	//roamvet:rngpurity-ok fixture: suppression test, operational timestamp
+	return time.Now()
+}

@@ -1,0 +1,50 @@
+// Package stablesort is a roamvet fixture exercising the stablesort
+// analyzer: unstable sorts over timestamp keys, the stable and
+// total-order-key alternatives, and annotation suppression.
+package stablesort
+
+import (
+	"slices"
+	"sort"
+	"time"
+)
+
+type event struct {
+	At   time.Time
+	Name string
+}
+
+type sample struct {
+	StampNanos int64
+	v          float64
+}
+
+func unstableTimeSort(evs []event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) }) // want `unstable sort\.Slice with a timestamp comparison key`
+}
+
+func unstableStampSort(ss []sample) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].StampNanos < ss[j].StampNanos }) // want `unstable sort\.Slice with a timestamp comparison key`
+}
+
+func unstableSlicesSort(evs []event) {
+	slices.SortFunc(evs, func(a, b event) int { // want `unstable slices\.SortFunc with a timestamp comparison key`
+		if a.At.Before(b.At) {
+			return -1
+		}
+		return 1
+	})
+}
+
+func stableTimeSort(evs []event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+}
+
+func totalOrderKey(evs []event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Name < evs[j].Name })
+}
+
+func annotated(evs []event) {
+	//roamvet:stablesort-ok fixture: suppression test, event times are unique by construction
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+}

@@ -143,6 +143,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	var wg sync.WaitGroup
 	states := make([]*workerState, cfg.Concurrency)
+	//roamvet:rngpurity-ok the load generator measures live wall-clock latency against a running server; it is outside the reproducibility boundary
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -151,15 +152,20 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func(worker int, st *workerState) {
 			defer wg.Done()
+			//roamvet:rngpurity-ok seeded per-worker rand only shapes the request mix of a live load test, which is outside the reproducibility boundary
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			//roamvet:rngpurity-ok Zipf skew models device popularity in a live load test, outside the reproducibility boundary
 			zipfs := make([]*rand.Zipf, len(targets))
 			for i, t := range targets {
 				if n := len(t.devices); n > 0 {
+					//roamvet:rngpurity-ok Zipf skew models device popularity in a live load test, outside the reproducibility boundary
 					zipfs[i] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(n-1))
 				}
 			}
+			//roamvet:rngpurity-ok the wall-clock deadline bounds a live load test, outside the reproducibility boundary
 			for time.Now().Before(deadline) {
 				op, url := nextRequest(rng, cfg.Mix, cfg.BaseURL, targets, zipfs)
+				//roamvet:rngpurity-ok t0 stamps a live request to measure real latency, outside the reproducibility boundary
 				t0 := time.Now()
 				status, err := get(client, url)
 				lat := time.Since(t0).Nanoseconds()
@@ -215,6 +221,8 @@ const (
 )
 
 // nextRequest draws one request from the mix.
+//
+//roamvet:rngpurity-ok consumes the load test's seeded per-worker generator, which only shapes live request traffic outside the reproducibility boundary
 func nextRequest(rng *rand.Rand, mix Mix, base string, targets []target, zipfs []*rand.Zipf) (string, string) {
 	ti := rng.Intn(len(targets))
 	t := targets[ti]
