@@ -159,7 +159,7 @@ func replaySites(dir string, workers int) {
 			fmt.Print(rep)
 			os.Exit(1)
 		}
-		cat, stats, err := r.Replay(store.Filter{}, workers)
+		cat, stats, err := r.Replay(store.Query{}, workers)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -59,7 +59,7 @@ func main() {
 			fmt.Print(rep)
 			os.Exit(1)
 		}
-		cat, stats, err := r.Replay(store.Filter{}, *workers)
+		cat, stats, err := r.Replay(store.Query{}, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -57,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cat, stats, err := r.Replay(store.Filter{}, *workers)
+		cat, stats, err := r.Replay(store.Query{}, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

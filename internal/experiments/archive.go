@@ -43,13 +43,13 @@ func (s *Federation) ArchiveTo(dir string) (*dataset.SMIPDataset, error) {
 
 // ReplayFrom opens the segmented archive at dir and rebuilds its
 // CDR-plane devices-catalog on the session's worker budget, with the
-// filter pruning segments against the store index before any body is
+// query pruning segments against the store index before any body is
 // read. The replayed catalog is bit-identical to the live build over
 // the same feed at any worker count.
-func (s *Federation) ReplayFrom(dir string, f store.Filter) (*catalog.Catalog, *store.ReplayStats, error) {
+func (s *Federation) ReplayFrom(dir string, q store.Query) (*catalog.Catalog, *store.ReplayStats, error) {
 	r, err := store.Open(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	return r.Replay(f, s.Workers)
+	return r.Replay(q, s.Workers)
 }

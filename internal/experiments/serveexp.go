@@ -87,7 +87,7 @@ func runFedServe(s *Session) *Report {
 			r.Notes = append(r.Notes, "site "+name+": "+err.Error())
 			continue
 		}
-		cat, _, err := rp.Replay(store.Filter{}, s.Workers)
+		cat, _, err := rp.Replay(store.Query{}, s.Workers)
 		if err != nil {
 			r.Notes = append(r.Notes, "site "+name+": "+err.Error())
 			continue

@@ -3,9 +3,11 @@
 // site-<plmn> layout the federation's ArchiveDir writes).
 //
 // The server mounts each store at startup and builds hot read models
-// ("slices") on demand: a store.Filter-pruned replay rebuilds the
-// requested catalog slice, then summaries, classification and roaming
-// labels are derived once and cached. Slices live in a size-bounded
+// ("slices") on demand: a store.Query-planned replay rebuilds the
+// requested catalog slice — segment selection driven by the footer
+// indexes, including per-segment device blooms for exact-device
+// lookups — then summaries, classification and roaming labels are
+// derived once and cached. Slices live in a size-bounded
 // LRU with single-flight fill — concurrent requests for the same cold
 // slice share one replay — and are immutable, so any number of
 // request goroutines read them without locks.
@@ -160,7 +162,7 @@ func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 // the server honest about the disk: a store deleted or corrupted
 // after mount surfaces as a fill error (HTTP 503), never a stale
 // success.
-func (m *mount) open() (*store.Replayer, error) {
+func (m *mount) open() (*store.Reader, error) {
 	return store.Open(m.dir)
 }
 
@@ -172,7 +174,7 @@ func (s *Server) wholeSlice(m *mount) (*slice, error) {
 		if err != nil {
 			return nil, err
 		}
-		cat, _, err := r.Replay(store.Filter{}, s.cfg.Workers)
+		cat, _, err := r.Replay(store.Query{}, s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +190,7 @@ func (s *Server) daySlice(m *mount, lo, hi int) (*slice, error) {
 		if err != nil {
 			return nil, err
 		}
-		cat, _, err := r.Replay(store.Filter{}.Days(lo, hi), s.cfg.Workers)
+		cat, _, err := r.Replay(store.Query{}.Days(lo, hi), s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +355,9 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 
 // handleDevice serves the single-device lookup. The fill replays a
 // device-pruned slice, so a cold lookup reads only the segments whose
-// hash range covers the device.
+// hash range covers the device — and, on stores with per-segment
+// device blooms, only those whose filter says the device may be
+// present.
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	m := s.site(w, r)
 	if m == nil {
@@ -370,7 +374,7 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		cat, _, err := rp.Replay(store.Filter{}.Devices(dev, dev), s.cfg.Workers)
+		cat, _, err := rp.Replay(store.Query{}.Device(dev), s.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

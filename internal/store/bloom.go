@@ -1,0 +1,97 @@
+package store
+
+// Per-segment device-hash Bloom filters.
+//
+// Every sealed segment carries a small Bloom filter over the device
+// hashes that appear in it, stored in the segment file between the
+// codec body and the footer and mirrored into the manifest entry.
+// Exact-device queries (Query.Device) probe the filter during
+// planning and skip segments that provably do not contain the device
+// — pruning that the min/max device-hash range in the footer cannot
+// provide once a segment holds a broad hash mix, which is the common
+// case because device IDs are uniform 64-bit hashes.
+//
+// The filter is classic Bloom with double hashing: k probe positions
+// are derived from two mixes of the device hash as h1 + i*h2 (h2
+// forced odd) over a power-of-two bit count, so membership tests are
+// false-positive-only — a set bit pattern can lie "maybe present",
+// never "absent" for an inserted hash. Sizing targets ~10 bits per
+// distinct device with k=4 probes, giving a false-positive rate
+// around 1-2%.
+
+const (
+	// bloomBitsPerDevice is the sizing target: bits allocated per
+	// distinct device hash inserted into a segment's filter.
+	bloomBitsPerDevice = 10
+	// bloomHashCount is the number of probe positions (k) derived
+	// per device hash.
+	bloomHashCount = 4
+	// bloomMinBytes floors the filter size so tiny segments still
+	// get a usable bit array.
+	bloomMinBytes = 64
+	// bloomMaxBytes caps the filter size accepted from disk; a
+	// larger length in a footer is treated as corruption.
+	bloomMaxBytes = 1 << 22
+)
+
+// bloomSize returns the filter size in bytes for n distinct devices:
+// the smallest power of two holding bloomBitsPerDevice*n bits, floored
+// at bloomMinBytes.
+func bloomSize(n int) int {
+	bits := n * bloomBitsPerDevice
+	size := bloomMinBytes
+	for size*8 < bits && size < bloomMaxBytes {
+		size *= 2
+	}
+	return size
+}
+
+// bloomMix is a splitmix64-style finalizer spreading the device hash
+// bits before probe derivation, so clustered inputs still probe
+// uniformly.
+func bloomMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// bloomProbes derives the two double-hashing streams for h. h2 is
+// forced odd so successive probes cover the whole power-of-two table.
+func bloomProbes(h uint64) (h1, h2 uint64) {
+	h1 = bloomMix(h)
+	h2 = bloomMix(h^0x9e3779b97f4a7c15) | 1
+	return h1, h2
+}
+
+// bloomAdd sets the k probe bits for device hash h in bits. The bit
+// array length must be a power of two.
+func bloomAdd(bits []byte, k int, h uint64) {
+	mask := uint64(len(bits)*8 - 1)
+	h1, h2 := bloomProbes(h)
+	for i := 0; i < k; i++ {
+		idx := (h1 + uint64(i)*h2) & mask
+		bits[idx>>3] |= 1 << (idx & 7)
+	}
+}
+
+// bloomMaybe reports whether device hash h may be present in the
+// filter. False means definitely absent; true means present or a
+// false positive. A nil/empty filter or non-positive k reports true
+// (no pruning information).
+func bloomMaybe(bits []byte, k int, h uint64) bool {
+	if len(bits) == 0 || k <= 0 || len(bits)&(len(bits)-1) != 0 {
+		return true
+	}
+	mask := uint64(len(bits)*8 - 1)
+	h1, h2 := bloomProbes(h)
+	for i := 0; i < k; i++ {
+		idx := (h1 + uint64(i)*h2) & mask
+		if bits[idx>>3]&(1<<(idx&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}

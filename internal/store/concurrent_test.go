@@ -1,10 +1,7 @@
 package store
 
 import (
-	"encoding/json"
 	"errors"
-	"os"
-	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -184,24 +181,10 @@ func TestOpenRejectsEscapingSegmentName(t *testing.T) {
 	dir := t.TempDir()
 	writeStore(t, dir, 3, 64, feedRecords(8, 3))
 
-	manPath := filepath.Join(dir, ManifestName)
-	data, err := os.ReadFile(manPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var man Manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		t.Fatal(err)
-	}
+	man := reloadManifest(t, dir)
 	for _, evil := range []string{"../seg-000000.wrseg", "sub/seg-000000.wrseg", "MANIFEST.json", ""} {
 		man.Segments[0].Name = evil
-		out, err := json.Marshal(&man)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(manPath, out, 0o644); err != nil {
-			t.Fatal(err)
-		}
+		rewriteManifest(t, dir, man)
 		if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("Open with segment name %q: got %v, want ErrCorrupt", evil, err)
 		}

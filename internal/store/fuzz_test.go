@@ -1,9 +1,11 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"whereroam/internal/cdrs"
@@ -12,11 +14,12 @@ import (
 
 // FuzzSegmentFooter fuzzes the fixed-size footer decoder: arbitrary
 // bytes must come back as a clean error or a bounded SegmentInfo,
-// never a panic or an over-read.
+// never a panic or an over-read — for both footer versions.
 func FuzzSegmentFooter(f *testing.F) {
 	si := SegmentInfo{
 		Name: "seg-000000.wrseg", Records: 128, BodyBytes: 4096, BodyCRC: 0xdeadbeef,
 		MinDay: 0, MaxDay: 5, MinDevice: 0x1000, MaxDevice: 0x2000,
+		Bloom: make([]byte, bloomMinBytes), BloomHashes: bloomHashCount,
 	}
 	valid := encodeFooter(0, &si, []mccmnc.PLMN{mccmnc.MustParse("23410"), mccmnc.MustParse("26201")})
 	f.Add(valid[:])
@@ -24,11 +27,16 @@ func FuzzSegmentFooter(f *testing.F) {
 	overflow.VisitedOverflow = true
 	validOv := encodeFooter(1, &overflow, nil)
 	f.Add(validOv[:])
+	v1 := si
+	v1.Bloom, v1.BloomHashes = nil, 0
+	validV1 := encodeFooterV1(0, &v1, []mccmnc.PLMN{mccmnc.MustParse("23410")})
+	f.Add(validV1[:])
 	f.Add([]byte("WRSF"))
-	f.Add(make([]byte, footerSize))
+	f.Add(make([]byte, footerV1Size))
+	f.Add(make([]byte, footerV2Size))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := decodeFooter(data)
+		got, _, err := decodeFooter(data)
 		if err != nil {
 			return
 		}
@@ -42,12 +50,12 @@ func FuzzSegmentFooter(f *testing.F) {
 	})
 }
 
-// FuzzManifest fuzzes the store-open path with arbitrary manifest
-// bytes: Open must reject garbage with an error (and confine segment
-// names to the store directory), never panic; when it succeeds,
-// Verify and Replay must also stay panic-free.
+// FuzzManifest fuzzes the v1 store-open fallback path with arbitrary
+// MANIFEST.json bytes: Open must reject garbage with an error (and
+// confine segment names to the store directory), never panic; when it
+// succeeds, Verify and Replay must also stay panic-free.
 func FuzzManifest(f *testing.F) {
-	// Seed with the manifest of a real store.
+	// Seed with a v1 rendering of a real store's manifest.
 	dir := f.TempDir()
 	w, err := NewWriter(dir, Meta{Host: mccmnc.MustParse("23410"), Days: 3}, 4)
 	if err != nil {
@@ -61,7 +69,13 @@ func FuzzManifest(f *testing.F) {
 	if err := w.Close(); err != nil {
 		f.Fatal(err)
 	}
-	validMan, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	r, err := Open(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1man := *r.Manifest()
+	v1man.Version = manifestVersionV1
+	validMan, err := json.Marshal(&v1man)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -91,8 +105,56 @@ func FuzzManifest(f *testing.F) {
 		}
 		r.Verify()
 		if man.Kind == KindCDR {
-			_, _, _ = r.Replay(Filter{}, 2)
+			_, _, _ = r.Replay(Query{}, 2)
 		}
-		_, _ = r.ReplayRecords(Filter{}.Days(0, 1), func(cdrs.Record) {})
+		_, _ = r.ReplayRecords(Query{}.Days(0, 1), func(cdrs.Record) {})
+	})
+}
+
+// FuzzManifestLog fuzzes the MANIFEST.log entry decoder: arbitrary
+// bytes must decode to a (possibly empty) entry prefix plus a torn
+// flag, never panic — and what decodes must round-trip through the
+// encoder.
+func FuzzManifestLog(f *testing.F) {
+	// Seed with real log images: whole, truncated mid-entry, and with
+	// trailing garbage.
+	var buf bytes.Buffer
+	for i, si := range []SegmentInfo{
+		{Name: "seg-000000.wrseg", Records: 4, Bytes: 400, BodyBytes: 200, BodyCRC: 1,
+			MinDay: 0, MaxDay: 1, MinDevice: 10, MaxDevice: 20,
+			Visited: []string{"23410"}, Bloom: make([]byte, bloomMinBytes), BloomHashes: bloomHashCount},
+		{Name: "seg-000001.wrseg", Records: 4, Bytes: 410, BodyBytes: 210, BodyCRC: 2,
+			MinDay: 1, MaxDay: 2, MinDevice: 5, MaxDevice: 400, VisitedOverflow: true},
+	} {
+		if err := appendLogEntry(&buf, &si); err != nil {
+			f.Fatalf("seed entry %d: %v", i, err)
+		}
+	}
+	whole := append([]byte(nil), buf.Bytes()...)
+	f.Add(whole)
+	f.Add(whole[:len(whole)-7])
+	f.Add(append(append([]byte(nil), whole...), "WRML???"...))
+	f.Add([]byte("WRML"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		entries, torn := decodeLogEntries(data)
+		var re bytes.Buffer
+		for i := range entries {
+			if err := appendLogEntry(&re, &entries[i]); err != nil {
+				t.Fatalf("re-encoding decoded entry %d: %v", i, err)
+			}
+		}
+		got, gotTorn := decodeLogEntries(re.Bytes())
+		if gotTorn {
+			t.Fatal("re-encoded log decodes as torn")
+		}
+		if len(got) != len(entries) || (len(entries) > 0 && !reflect.DeepEqual(got, entries)) {
+			t.Fatalf("log entries do not round-trip: %d in, %d out", len(entries), len(got))
+		}
+		_ = torn
 	})
 }

@@ -1,0 +1,382 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"whereroam/internal/cdrs"
+	"whereroam/internal/mccmnc"
+)
+
+// writeV1Store archives recs the way a v1 writer did: v1 footers
+// (no Bloom filter) and a full MANIFEST.json, no log, no checkpoint.
+// It is the fixture for the v1 read-compat round trip.
+func writeV1Store(t *testing.T, dir string, meta Meta, segRecords int, recs []cdrs.Record) {
+	t.Helper()
+	man := Manifest{
+		Version:        manifestVersionV1,
+		Kind:           KindCDR,
+		Start:          meta.Start,
+		Days:           meta.Days,
+		SegmentRecords: segRecords,
+	}
+	if meta.Host != (mccmnc.PLMN{}) {
+		man.Host = meta.Host.Concat()
+	}
+	for base := 0; base < len(recs); base += segRecords {
+		hi := base + segRecords
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		chunk := recs[base:hi]
+		name := fmt.Sprintf("seg-%06d.wrseg", len(man.Segments))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw := &crcCountWriter{w: f}
+		enc := cdrs.NewWriter(cw)
+		si := SegmentInfo{Name: name, MinDay: math.MaxInt32, MaxDay: math.MinInt32, MinDevice: math.MaxUint64}
+		var visited []mccmnc.PLMN
+		for i := range chunk {
+			if err := enc.Write(&chunk[i]); err != nil {
+				t.Fatal(err)
+			}
+			inf := cdrInfo(&chunk[i])
+			day := dayOf(inf.Time, meta.Start)
+			if day < si.MinDay {
+				si.MinDay = day
+			}
+			if day > si.MaxDay {
+				si.MaxDay = day
+			}
+			if inf.Device < si.MinDevice {
+				si.MinDevice = inf.Device
+			}
+			if inf.Device > si.MaxDevice {
+				si.MaxDevice = inf.Device
+			}
+			seen := false
+			for _, v := range visited {
+				if v == inf.Visited {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				if len(visited) >= maxFooterVisited {
+					si.VisitedOverflow = true
+				} else {
+					visited = append(visited, inf.Visited)
+				}
+			}
+			si.Records++
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		si.BodyBytes, si.BodyCRC = cw.n, cw.crc
+		si.Bytes = cw.n + footerV1Size
+		footer := encodeFooterV1(kindByte(KindCDR), &si, visited)
+		if _, err := f.Write(footer[:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range visited {
+			si.Visited = append(si.Visited, p.Concat())
+		}
+		man.Segments = append(man.Segments, si)
+		man.TotalRecords += int64(si.Records)
+	}
+	data, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A v2 store must tolerate a torn final MANIFEST.log entry: Open
+// drops the incomplete entry, its segment file shows up as torn, and
+// everything sealed before it replays — the crash-mid-seal contract.
+func TestManifestLogTornTailTolerated(t *testing.T) {
+	const days = 4
+	recs := feedRecords(20, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 16, recs)
+
+	full, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSeg := len(full.Manifest().Segments)
+	if nSeg < 3 {
+		t.Fatalf("fixture too small: %d segments", nSeg)
+	}
+
+	logPath := filepath.Join(dir, ManifestLogName)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trailing garbage after the last whole entry: flagged, harmless.
+	if err := os.WriteFile(logPath, append(append([]byte(nil), raw...), "WRML\x00\x00"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with garbage log tail: %v", err)
+	}
+	if !r.ManifestInfo().TornLogTail {
+		t.Fatal("garbage log tail not reported")
+	}
+	if got := len(r.Manifest().Segments); got != nSeg {
+		t.Fatalf("garbage tail lost segments: %d of %d", got, nSeg)
+	}
+
+	// Truncation inside the final entry: that segment drops out of the
+	// manifest and is reported as a torn file instead.
+	if err := os.WriteFile(logPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Open(dir)
+	if err != nil {
+		t.Fatalf("Open with truncated log: %v", err)
+	}
+	if got := len(r.Manifest().Segments); got != nSeg-1 {
+		t.Fatalf("truncated log kept %d segments, want %d", got, nSeg-1)
+	}
+	if !r.ManifestInfo().TornLogTail {
+		t.Fatal("truncated log tail not reported")
+	}
+	lastName := full.Manifest().Segments[nSeg-1].Name
+	foundTorn := false
+	for _, n := range r.Torn() {
+		if n == lastName {
+			foundTorn = true
+		}
+	}
+	if !foundTorn {
+		t.Fatalf("segment %s of the torn entry not reported torn (torn=%v)", lastName, r.Torn())
+	}
+	var got []cdrs.Record
+	if _, err := r.ReplayRecords(Query{}, func(rec cdrs.Record) { got = append(got, rec) }); err != nil {
+		t.Fatal(err)
+	}
+	wantRecs := 0
+	for _, si := range full.Manifest().Segments[:nSeg-1] {
+		wantRecs += si.Records
+	}
+	if len(got) != wantRecs {
+		t.Fatalf("replay after torn tail: %d records, want %d", len(got), wantRecs)
+	}
+	if !reflect.DeepEqual(got, recs[:wantRecs]) {
+		t.Fatal("replay after torn tail differs from the sealed prefix")
+	}
+}
+
+// A stale checkpoint plus a longer log must recover every segment the
+// log covers — the crash-between-seal-and-checkpoint case — and the
+// recovered view must replay identically to the healthy one.
+func TestStaleCheckpointLongerLogRecovers(t *testing.T) {
+	const days = 6
+	// Enough records for > checkpointMinTail segments so a real
+	// checkpoint happened mid-write.
+	recs := feedRecords(90, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 8, recs)
+
+	healthy, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minf := healthy.ManifestInfo()
+	if minf.CheckpointSegments == 0 || minf.TailSegments == 0 {
+		t.Fatalf("fixture must have both checkpoint and log tail, got %+v", minf)
+	}
+	wantCat, _, err := healthy.Replay(Query{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Roll the checkpoint back to a much older prefix.
+	stale := *healthy.Manifest()
+	stale.Segments = append([]SegmentInfo(nil), stale.Segments[:3]...)
+	stale.LogEntries = 3
+	stale.Version = manifestVersionV2
+	if err := writeCheckpoint(dir, &stale); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(r.Manifest().Segments), len(healthy.Manifest().Segments); got != want {
+		t.Fatalf("stale checkpoint recovery found %d segments, want %d", got, want)
+	}
+	if r.ManifestInfo().CheckpointSegments != 3 {
+		t.Fatalf("ManifestInfo checkpoint segments = %d, want 3", r.ManifestInfo().CheckpointSegments)
+	}
+	if !reflect.DeepEqual(r.Manifest().Segments, healthy.Manifest().Segments) {
+		t.Fatal("recovered segment index differs from the healthy one")
+	}
+	gotCat, _, err := r.Replay(Query{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantCat, gotCat) {
+		t.Fatal("replay from recovered manifest differs from healthy replay")
+	}
+	if rep := r.Verify(); !rep.OK() {
+		t.Fatalf("recovered store fails verification:\n%s", rep)
+	}
+}
+
+// The checkpoint is written atomically: stray .tmp residue (a crash
+// mid-checkpoint, before the rename) must not affect Open, and the
+// surviving checkpoint must still be the previous complete one.
+func TestCheckpointAtomicTmpResidue(t *testing.T) {
+	const days = 3
+	recs := feedRecords(16, days)
+	dir := t.TempDir()
+	writeStore(t, dir, days, 8, recs)
+
+	want, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestCheckpointName+".tmp"), []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with checkpoint tmp residue: %v", err)
+	}
+	if !reflect.DeepEqual(r.Manifest(), want.Manifest()) {
+		t.Fatal("checkpoint tmp residue changed the manifest view")
+	}
+	if rep := r.Verify(); !rep.OK() {
+		t.Fatalf("store with tmp residue fails verification:\n%s", rep)
+	}
+}
+
+// Checkpointing is geometric: a store with well over checkpointMinTail
+// segments must have a checkpoint covering a prefix, a bounded log
+// tail, and the split must be exactly what ManifestInfo reports.
+func TestCheckpointGeometricCoverage(t *testing.T) {
+	const days = 6
+	recs := feedRecords(90, days) // 1080 records, 135 segments at 8/segment
+	dir := t.TempDir()
+	writeStore(t, dir, days, 8, recs)
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minf := r.ManifestInfo()
+	if minf.Version != manifestVersionV2 {
+		t.Fatalf("manifest version %d, want 2", minf.Version)
+	}
+	total := len(r.Manifest().Segments)
+	if minf.CheckpointSegments+minf.TailSegments != total {
+		t.Fatalf("checkpoint %d + tail %d != %d segments", minf.CheckpointSegments, minf.TailSegments, total)
+	}
+	if minf.CheckpointSegments < checkpointMinTail {
+		t.Fatalf("no meaningful checkpoint after %d segments: %+v", total, minf)
+	}
+	// Geometric rule: the tail never exceeds the covered prefix (plus
+	// the threshold before the first checkpoint fires).
+	if minf.TailSegments >= minf.CheckpointSegments+checkpointMinTail {
+		t.Fatalf("log tail %d outgrew checkpoint %d", minf.TailSegments, minf.CheckpointSegments)
+	}
+}
+
+// A v1 store (v1 footers, MANIFEST.json, no Bloom filters) must keep
+// reading: same replay as a v2 store of the same records, clean
+// verify, working day pruning, and device queries that simply lack
+// Bloom pruning. Compacting a v1 store must produce a working v2
+// store.
+func TestV1StoreReadCompat(t *testing.T) {
+	const days = 5
+	recs := feedRecords(30, days)
+
+	v1dir := t.TempDir()
+	writeV1Store(t, v1dir, testMeta(days), 32, recs)
+	v2dir := t.TempDir()
+	writeStore(t, v2dir, days, 32, recs)
+
+	r1, err := Open(v1dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ManifestInfo().Version != manifestVersionV1 {
+		t.Fatalf("v1 store read as version %d", r1.ManifestInfo().Version)
+	}
+	if rep := r1.Verify(); !rep.OK() {
+		t.Fatalf("v1 store fails verification:\n%s", rep)
+	}
+	r2, err := Open(v2dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat1, stats1, err := r1.Replay(Query{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2, _, err := r2.Replay(Query{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cat1, cat2) {
+		t.Fatal("v1 replay differs from v2 replay of the same records")
+	}
+	if stats1.SegmentsPrunedBloom != 0 {
+		t.Fatalf("v1 store cannot bloom-prune, stats say %d", stats1.SegmentsPrunedBloom)
+	}
+
+	// Day pruning still works off the v1 footer ranges.
+	_, pruned, err := r1.Replay(Query{}.Days(0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.SegmentsPruned == 0 {
+		t.Fatal("day-pruned v1 replay pruned nothing")
+	}
+	// An exact-device query must not mis-prune without filters: the
+	// empty Bloom reports "maybe" for everything.
+	dev := recs[0].Device
+	plan := r1.Plan(Query{}.Device(dev))
+	if plan.PrunedBloom != 0 {
+		t.Fatalf("v1 plan bloom-pruned %d segments with no filters", plan.PrunedBloom)
+	}
+
+	// Compacting the v1 store yields a v2 store with identical replay.
+	cdir := t.TempDir() + "/compacted"
+	if _, err := Compact(cdir, []string{v1dir}, CompactOptions{SegmentRecords: 32}); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Open(cdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.ManifestInfo().Version != manifestVersionV2 {
+		t.Fatalf("compacted store read as version %d", rc.ManifestInfo().Version)
+	}
+	catC, _, err := rc.Replay(Query{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cat1, catC) {
+		t.Fatal("compacted v1 store replays differently")
+	}
+}

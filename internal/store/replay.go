@@ -1,8 +1,8 @@
 package store
 
 import (
-	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,97 +11,14 @@ import (
 
 	"whereroam/internal/catalog"
 	"whereroam/internal/cdrs"
-	"whereroam/internal/identity"
 	"whereroam/internal/ingest"
-	"whereroam/internal/mccmnc"
 	"whereroam/internal/pipeline"
 	"whereroam/internal/signaling"
 )
 
-// Filter is a replay predicate: the zero Filter keeps everything, and
-// the chainable constructors narrow it by event-day range, device-ID
-// range or visited network. Filters prune at two levels — whole
-// segments are skipped without reading when their footer index proves
-// no record can match, and surviving segments are filtered record by
-// record.
-type Filter struct {
-	hasDays    bool
-	dayLo      int
-	dayHi      int
-	hasDevs    bool
-	devLo      uint64
-	devHi      uint64
-	hasVisited bool
-	visited    mccmnc.PLMN
-}
-
-// Days narrows the filter to records whose event day (relative to the
-// store's Start) lies in [lo, hi].
-func (f Filter) Days(lo, hi int) Filter {
-	f.hasDays, f.dayLo, f.dayHi = true, lo, hi
-	return f
-}
-
-// Devices narrows the filter to records whose device-ID hash lies in
-// [lo, hi].
-func (f Filter) Devices(lo, hi identity.DeviceID) Filter {
-	f.hasDevs, f.devLo, f.devHi = true, uint64(lo), uint64(hi)
-	return f
-}
-
-// VisitedHost narrows the filter to records generated on the given
-// visited network.
-func (f Filter) VisitedHost(p mccmnc.PLMN) Filter {
-	f.hasVisited, f.visited = true, p
-	return f
-}
-
-// keepSegment reports whether the segment's footer index admits any
-// matching record; a false verdict skips the segment unread.
-func (f Filter) keepSegment(si *SegmentInfo) bool {
-	if si.Records == 0 {
-		return false
-	}
-	if f.hasDays && (si.MinDay > f.dayHi || si.MaxDay < f.dayLo) {
-		return false
-	}
-	if f.hasDevs && (si.MinDevice > f.devHi || si.MaxDevice < f.devLo) {
-		return false
-	}
-	if f.hasVisited && !si.VisitedOverflow {
-		found := false
-		want := f.visited.Concat()
-		for _, v := range si.Visited {
-			if v == want {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
-}
-
-// keepRecord reports whether one record matches the filter; day is
-// the record's event day relative to the store's Start.
-func (f Filter) keepRecord(day int, inf RecordInfo) bool {
-	if f.hasDays && (day < f.dayLo || day > f.dayHi) {
-		return false
-	}
-	if f.hasDevs && (inf.Device < f.devLo || inf.Device > f.devHi) {
-		return false
-	}
-	if f.hasVisited && inf.Visited != f.visited {
-		return false
-	}
-	return true
-}
-
 // ReplayStats instruments one replay: how much of the store was
 // actually read versus pruned away, and how many records survived the
-// filter. BytesRead counts segment-body bytes only — pruned segments
+// query. BytesRead counts segment-body bytes only — pruned segments
 // contribute nothing, which is what the pruning benchmarks and the
 // acceptance tests assert on.
 type ReplayStats struct {
@@ -110,8 +27,13 @@ type ReplayStats struct {
 	// SegmentsRead counts segments whose bodies were decoded.
 	SegmentsRead int
 	// SegmentsPruned counts segments skipped by the footer index
-	// without reading.
+	// without reading, for any reason (range indexes or Bloom
+	// filter).
 	SegmentsPruned int
+	// SegmentsPrunedBloom counts the subset of SegmentsPruned skipped
+	// by the device-hash Bloom filter alone — their range indexes
+	// admitted the queried device.
+	SegmentsPrunedBloom int
 	// SegmentsTorn counts unsealed segment files skipped with a
 	// report (a crash mid-write leaves at most one).
 	SegmentsTorn int
@@ -120,7 +42,7 @@ type ReplayStats struct {
 	// RecordsRead counts records decoded from the read segments.
 	RecordsRead int64
 	// RecordsKept counts records that survived the record-level
-	// filter (for a catalog replay: and the store's declared day
+	// query (for a catalog replay: and the store's declared day
 	// window — kept means it reached the catalog builder).
 	RecordsKept int64
 	// RecordsOutsideWindow counts records whose event day falls
@@ -141,29 +63,41 @@ func (s *ReplayStats) add(o ReplayStats) {
 	s.RecordsOutsideWindow += o.RecordsOutsideWindow
 }
 
-// Replayer reads a store back: it loads the manifest once, reports
-// torn (unsealed) segment files, and replays sealed segments with
-// index-driven pruning — concurrently into a catalog build
-// ([Replayer.Replay]) or sequentially into a caller sink.
+// Reader reads a store back: it materializes the manifest once
+// (checkpoint + log tail for v2 stores, MANIFEST.json for v1),
+// reports torn (unsealed) segment files, and replays sealed segments
+// with index-driven pruning — concurrently into a catalog build
+// ([Reader.Replay]) or sequentially into a caller sink. [Reader.Plan]
+// exposes the segment-selection decision for a [Query] without
+// reading anything.
 //
-// A Replayer is an immutable snapshot of the store at Open time: it
+// A Reader is an immutable snapshot of the store at Open time: it
 // replays exactly the segments its manifest lists, and sealed
 // segments are never rewritten, so replaying while a SegmentWriter
 // keeps appending to the same directory is safe and bit-identical to
 // replaying a quiescent store — later seals are simply invisible
-// until the store is re-Opened. The one file a live writer does
-// rewrite, MANIFEST.json, is replaced atomically and read only at
-// Open.
-type Replayer struct {
+// until the store is re-Opened. The files a live writer does touch —
+// the append-only MANIFEST.log and the atomically replaced
+// MANIFEST.ckpt — are read only at Open.
+type Reader struct {
 	dir  string
 	man  Manifest
+	minf ManifestInfo
 	torn []string
 }
 
-// Open loads the store manifest at dir and scans the directory for
-// torn segment files (present on disk but not covered by the
-// manifest — the residue of a crash mid-write). Torn files are
-// reported, never read.
+// Replayer is the v1 name for [Reader].
+//
+// Deprecated: use Reader. Replayer remains as an alias so existing
+// callers compile unchanged.
+type Replayer = Reader
+
+// Open loads the store manifest at dir (checkpoint + log tail for v2
+// stores, MANIFEST.json for v1) and scans the directory for torn
+// segment files (present on disk but not covered by the manifest —
+// the residue of a crash mid-write). Torn files are reported, never
+// read. A torn final MANIFEST.log entry is tolerated: the entry is
+// discarded and its segment file shows up as torn.
 //
 // The directory is listed before the manifest is read: a segment
 // sealed between the two steps is then present in the manifest but
@@ -171,26 +105,20 @@ type Replayer struct {
 // store with a live writer reports at most its single in-progress
 // segment as torn. Listing after reading would race the other way and
 // misreport freshly sealed segments.
-func Open(dir string) (*Replayer, error) {
+func Open(dir string) (*Reader, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	r := &Reader{dir: dir}
+	r.man, r.minf, err = loadManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: reading manifest: %w", err)
-	}
-	r := &Replayer{dir: dir}
-	if err := json.Unmarshal(data, &r.man); err != nil {
-		return nil, fmt.Errorf("store: parsing manifest: %w", err)
-	}
-	if r.man.Version != manifestVersion {
-		return nil, fmt.Errorf("store: unsupported manifest version %d", r.man.Version)
+		return nil, err
 	}
 	sealed := make(map[string]bool, len(r.man.Segments))
 	for i := range r.man.Segments {
 		name := r.man.Segments[i].Name
-		// Segment names come from an on-disk JSON file; confine them to
+		// Segment names come from an on-disk manifest; confine them to
 		// plain seg-*.wrseg entries inside the store directory so a
 		// crafted manifest cannot read arbitrary paths.
 		if name != filepath.Base(name) || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wrseg") {
@@ -208,30 +136,39 @@ func Open(dir string) (*Replayer, error) {
 	return r, nil
 }
 
-// Manifest returns the store's manifest. Callers must treat it as
-// read-only.
-func (r *Replayer) Manifest() *Manifest { return &r.man }
+// Manifest returns the store's materialized manifest. Callers must
+// treat it as read-only.
+func (r *Reader) Manifest() *Manifest { return &r.man }
+
+// ManifestInfo reports how the manifest was materialized at Open:
+// schema version, checkpoint/log-tail split, and whether a torn log
+// tail was discarded.
+func (r *Reader) ManifestInfo() ManifestInfo { return r.minf }
 
 // Torn lists the unsealed segment files found at Open time.
-func (r *Replayer) Torn() []string { return r.torn }
+func (r *Reader) Torn() []string { return r.torn }
 
 // Dir returns the store directory.
-func (r *Replayer) Dir() string { return r.dir }
+func (r *Reader) Dir() string { return r.dir }
 
 // baseStats pre-fills the store-wide counters of a replay.
-func (r *Replayer) baseStats() ReplayStats {
+func (r *Reader) baseStats() ReplayStats {
 	return ReplayStats{SegmentsTotal: len(r.man.Segments), SegmentsTorn: len(r.torn)}
 }
 
-// selectSegments applies the segment-level filter, returning the
+// selectSegments applies the segment-level planner, returning the
 // indices of segments to read (in store order) and counting the
 // pruned remainder.
-func (r *Replayer) selectSegments(f Filter, stats *ReplayStats) []int {
+func (r *Reader) selectSegments(q Query, stats *ReplayStats) []int {
 	var selected []int
 	for i := range r.man.Segments {
-		if f.keepSegment(&r.man.Segments[i]) {
+		switch q.judgeSegment(&r.man.Segments[i]) {
+		case segKeep:
 			selected = append(selected, i)
-		} else {
+		case segPruneBloom:
+			stats.SegmentsPruned++
+			stats.SegmentsPrunedBloom++
+		default:
 			stats.SegmentsPruned++
 		}
 	}
@@ -240,7 +177,7 @@ func (r *Replayer) selectSegments(f Filter, stats *ReplayStats) []int {
 
 // Replay rebuilds the CDR-plane devices-catalog from the store on
 // workers goroutines (the usual convention: below one means one per
-// CPU). Segments prune against the filter's footer index without
+// CPU). Segments prune against the query's footer-index plan without
 // being read; surviving segments decode concurrently — one shard of
 // contiguous segments per worker callback, each into its own
 // shard-local catalog builder — and the shard builders fold in shard
@@ -251,13 +188,13 @@ func (r *Replayer) selectSegments(f Filter, stats *ReplayStats) []int {
 // from). Torn segments are skipped and counted; a corrupt sealed
 // segment (CRC, length or record-count mismatch) aborts with
 // ErrCorrupt.
-func (r *Replayer) Replay(f Filter, workers int) (*catalog.Catalog, *ReplayStats, error) {
+func (r *Reader) Replay(q Query, workers int) (*catalog.Catalog, *ReplayStats, error) {
 	if r.man.Kind != KindCDR {
 		return nil, nil, fmt.Errorf("store: cannot build a catalog from a %q store", r.man.Kind)
 	}
 	meta := r.man.Meta()
 	stats := r.baseStats()
-	selected := r.selectSegments(f, &stats)
+	selected := r.selectSegments(q, &stats)
 
 	type part struct {
 		b     *catalog.Builder
@@ -274,7 +211,7 @@ func (r *Replayer) Replay(f Filter, workers int) (*catalog.Catalog, *ReplayStats
 					p.stats.RecordsRead++
 					inf := cdrInfo(rec)
 					day := dayOf(inf.Time, meta.Start)
-					if !f.keepRecord(day, inf) {
+					if !q.keepRecord(day, inf) {
 						return
 					}
 					// The builder silently drops records outside the
@@ -309,51 +246,51 @@ func (r *Replayer) Replay(f Filter, workers int) (*catalog.Catalog, *ReplayStats
 	return acc.Build(), &stats, nil
 }
 
-// ReplayInto streams the store's CDR/xDR records (post-filter, in
+// ReplayInto streams the store's CDR/xDR records (post-query, in
 // store order) into a live catalog ingester — the replay twin of
 // [ingest.CatalogIngester.ReadRecords]. The caller still owns the
 // ingester's Build/Close.
-func (r *Replayer) ReplayInto(f Filter, in *ingest.CatalogIngester) (*ReplayStats, error) {
+func (r *Reader) ReplayInto(q Query, in *ingest.CatalogIngester) (*ReplayStats, error) {
 	if r.man.Kind != KindCDR {
 		return nil, fmt.Errorf("store: cannot ingest a %q store as CDRs", r.man.Kind)
 	}
-	return r.ReplayRecords(f, in.OfferRecord)
+	return r.ReplayRecords(q, in.OfferRecord)
 }
 
 // ReplayRecords hands every matching CDR/xDR to sink sequentially, in
 // store order — each device's records arrive in their original
 // archive order, the order contract downstream aggregation rests on.
-func (r *Replayer) ReplayRecords(f Filter, sink func(cdrs.Record)) (*ReplayStats, error) {
+func (r *Reader) ReplayRecords(q Query, sink func(cdrs.Record)) (*ReplayStats, error) {
 	if r.man.Kind != KindCDR {
 		return nil, fmt.Errorf("store: cannot replay a %q store as CDRs", r.man.Kind)
 	}
-	return replaySeq(r, f,
+	return replaySeq(r, q,
 		func(rd io.Reader) wireDecoder[cdrs.Record] { return cdrs.NewReader(rd) },
 		cdrInfo, sink)
 }
 
 // ReplayTransactions hands every matching signaling transaction to
 // sink sequentially, in store order.
-func (r *Replayer) ReplayTransactions(f Filter, sink func(signaling.Transaction)) (*ReplayStats, error) {
+func (r *Reader) ReplayTransactions(q Query, sink func(signaling.Transaction)) (*ReplayStats, error) {
 	if r.man.Kind != KindSignaling {
 		return nil, fmt.Errorf("store: cannot replay a %q store as signaling", r.man.Kind)
 	}
-	return replaySeq(r, f,
+	return replaySeq(r, q,
 		func(rd io.Reader) wireDecoder[signaling.Transaction] { return signaling.NewReader(rd) },
 		txInfo, sink)
 }
 
 // replaySeq is the sequential replay loop shared by both planes.
-func replaySeq[T any](r *Replayer, f Filter, newDec func(io.Reader) wireDecoder[T],
+func replaySeq[T any](r *Reader, q Query, newDec func(io.Reader) wireDecoder[T],
 	info func(*T) RecordInfo, sink func(T)) (*ReplayStats, error) {
 	stats := r.baseStats()
 	start := r.man.Start
-	for _, i := range r.selectSegments(f, &stats) {
+	for _, i := range r.selectSegments(q, &stats) {
 		si := &r.man.Segments[i]
 		err := scanSegment(r.dir, si, newDec, func(rec *T) {
 			stats.RecordsRead++
 			inf := info(rec)
-			if f.keepRecord(dayOf(inf.Time, start), inf) {
+			if q.keepRecord(dayOf(inf.Time, start), inf) {
 				stats.RecordsKept++
 				sink(*rec)
 			}
@@ -373,7 +310,9 @@ func replaySeq[T any](r *Replayer, f Filter, newDec func(io.Reader) wireDecoder[
 // scanSegment decodes one sealed segment body, verifying its length,
 // CRC and record count against the manifest entry, and calls visit
 // for every record. Any mismatch or decode failure reports the
-// segment as corrupt.
+// segment as corrupt. The manifest's Bytes field covers body, Bloom
+// filter and footer for both footer versions, so the size check holds
+// without knowing which version sealed the file.
 func scanSegment[T any](dir string, si *SegmentInfo, newDec func(io.Reader) wireDecoder[T], visit func(*T)) error {
 	f, err := os.Open(filepath.Join(dir, si.Name))
 	if err != nil {
@@ -384,9 +323,9 @@ func scanSegment[T any](dir string, si *SegmentInfo, newDec func(io.Reader) wire
 	if err != nil {
 		return fmt.Errorf("store: stat segment %s: %w", si.Name, err)
 	}
-	if st.Size() != si.BodyBytes+footerSize {
+	if st.Size() != si.Bytes || si.Bytes < si.BodyBytes+footerV1Size {
 		return fmt.Errorf("%w: %s is %d bytes, manifest says %d",
-			ErrCorrupt, si.Name, st.Size(), si.BodyBytes+footerSize)
+			ErrCorrupt, si.Name, st.Size(), si.Bytes)
 	}
 	body := &crcCountReader{r: io.LimitReader(f, si.BodyBytes)}
 	dec := newDec(body)
@@ -426,11 +365,15 @@ type VerifyReport struct {
 	Dir string
 	// Kind is the store's record plane.
 	Kind string
+	// Manifest reports how the manifest was materialized (schema
+	// version, checkpoint/log-tail split, torn log tail).
+	Manifest ManifestInfo
 	// Segments counts the sealed segments checked.
 	Segments int
 	// Records totals the records decoded across sealed segments.
 	Records int64
-	// Bytes totals the segment bytes checked (bodies plus footers).
+	// Bytes totals the segment bytes checked (bodies, Bloom filters
+	// and footers).
 	Bytes int64
 	// Torn lists unsealed segment files (crash residue): present on
 	// disk, absent from the manifest.
@@ -448,6 +391,12 @@ func (v *VerifyReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "store %s: kind=%s segments=%d records=%d bytes=%d\n",
 		v.Dir, v.Kind, v.Segments, v.Records, v.Bytes)
+	fmt.Fprintf(&b, "manifest v%d: checkpoint=%d log-tail=%d",
+		v.Manifest.Version, v.Manifest.CheckpointSegments, v.Manifest.TailSegments)
+	if v.Manifest.TornLogTail {
+		b.WriteString(" (torn log tail discarded)")
+	}
+	b.WriteString("\n")
 	for _, t := range v.Torn {
 		fmt.Fprintf(&b, "TORN    %s: not sealed by the manifest (crash mid-write?)\n", t)
 	}
@@ -461,14 +410,17 @@ func (v *VerifyReport) String() string {
 }
 
 // Verify re-reads every sealed segment end to end: the footer must
-// decode, match its manifest entry, and seal the exact body the CRC
-// and record count were computed over. Torn files are reported
-// without being read. Verification never aborts early — the report
-// covers the whole store.
-func (r *Replayer) Verify() *VerifyReport {
+// decode, match its manifest entry — including the Bloom-filter
+// frame, cross-checked against both the manifest copy and the on-disk
+// filter bytes — and seal the exact body the CRC and record count
+// were computed over. Torn files are reported without being read.
+// Verification never aborts early — the report covers the whole
+// store.
+func (r *Reader) Verify() *VerifyReport {
 	rep := &VerifyReport{
 		Dir:      r.dir,
 		Kind:     r.man.Kind,
+		Manifest: r.minf,
 		Segments: len(r.man.Segments),
 		Torn:     append([]string(nil), r.torn...),
 	}
@@ -486,14 +438,15 @@ func (r *Replayer) Verify() *VerifyReport {
 
 // verifySegment checks one sealed segment: footer decode and
 // manifest agreement first — every index field pruning trusts,
-// including the visited set — then the full body scan.
-func (r *Replayer) verifySegment(si *SegmentInfo) error {
-	footer, kind, err := r.readFooter(si)
+// including the visited set and the Bloom filter — then the full
+// body scan.
+func (r *Reader) verifySegment(si *SegmentInfo) error {
+	footer, ft, err := r.readFooter(si)
 	if err != nil {
 		return err
 	}
-	if kind != kindByte(r.man.Kind) {
-		return fmt.Errorf("%w: footer kind %d does not match %q store", ErrCorrupt, kind, r.man.Kind)
+	if ft.kind != kindByte(r.man.Kind) {
+		return fmt.Errorf("%w: footer kind %d does not match %q store", ErrCorrupt, ft.kind, r.man.Kind)
 	}
 	if footer.Records != si.Records || footer.BodyCRC != si.BodyCRC ||
 		footer.MinDay != si.MinDay || footer.MaxDay != si.MaxDay ||
@@ -501,6 +454,9 @@ func (r *Replayer) verifySegment(si *SegmentInfo) error {
 		footer.VisitedOverflow != si.VisitedOverflow ||
 		!equalVisited(footer.Visited, si.Visited) {
 		return fmt.Errorf("%w: footer disagrees with manifest entry", ErrCorrupt)
+	}
+	if err := r.verifyBloom(si, ft); err != nil {
+		return err
 	}
 	if r.man.Kind == KindSignaling {
 		return scanSegment(r.dir, si,
@@ -510,6 +466,41 @@ func (r *Replayer) verifySegment(si *SegmentInfo) error {
 	return scanSegment(r.dir, si,
 		func(rd io.Reader) wireDecoder[cdrs.Record] { return cdrs.NewReader(rd) },
 		func(*cdrs.Record) {})
+}
+
+// verifyBloom cross-checks a segment's Bloom filter three ways: the
+// footer frame against the manifest copy, and the on-disk filter
+// bytes (between body and footer) against the footer's CRC. v1
+// footers carry no filter; their manifest entries must not either.
+func (r *Reader) verifyBloom(si *SegmentInfo, ft footerTail) error {
+	if ft.version == footerVersionV1 {
+		if len(si.Bloom) != 0 || si.BloomHashes != 0 {
+			return fmt.Errorf("%w: manifest carries a bloom filter a v1 footer cannot seal", ErrCorrupt)
+		}
+		return nil
+	}
+	if int(ft.bloomLen) != len(si.Bloom) || int(ft.bloomK) != si.BloomHashes {
+		return fmt.Errorf("%w: footer bloom frame disagrees with manifest entry", ErrCorrupt)
+	}
+	if ft.bloomLen == 0 {
+		return nil
+	}
+	if crc32.Checksum(si.Bloom, crcTable) != ft.bloomCRC {
+		return fmt.Errorf("%w: manifest bloom filter fails the footer CRC", ErrCorrupt)
+	}
+	f, err := os.Open(filepath.Join(r.dir, si.Name))
+	if err != nil {
+		return fmt.Errorf("store: opening segment %s: %w", si.Name, err)
+	}
+	defer f.Close()
+	disk := make([]byte, ft.bloomLen)
+	if _, err := f.ReadAt(disk, si.BodyBytes); err != nil {
+		return fmt.Errorf("store: reading %s bloom filter: %w", si.Name, err)
+	}
+	if crc32.Checksum(disk, crcTable) != ft.bloomCRC {
+		return fmt.Errorf("%w: on-disk bloom filter fails the footer CRC", ErrCorrupt)
+	}
+	return nil
 }
 
 // equalVisited compares two visited-network index lists (both are in
@@ -526,28 +517,41 @@ func equalVisited(a, b []string) bool {
 	return true
 }
 
-// readFooter loads and decodes a sealed segment's footer, returning
-// the index entry and the footer's kind byte.
-func (r *Replayer) readFooter(si *SegmentInfo) (SegmentInfo, byte, error) {
+// readFooter loads and decodes a sealed segment's footer of either
+// version (the trailing footerV2Size bytes are tried first, then the
+// trailing footerV1Size bytes), returning the index entry and the
+// footer's tail fields.
+func (r *Reader) readFooter(si *SegmentInfo) (SegmentInfo, footerTail, error) {
 	f, err := os.Open(filepath.Join(r.dir, si.Name))
 	if err != nil {
-		return SegmentInfo{}, 0, fmt.Errorf("store: opening segment %s: %w", si.Name, err)
+		return SegmentInfo{}, footerTail{}, fmt.Errorf("store: opening segment %s: %w", si.Name, err)
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return SegmentInfo{}, 0, fmt.Errorf("store: stat segment %s: %w", si.Name, err)
+		return SegmentInfo{}, footerTail{}, fmt.Errorf("store: stat segment %s: %w", si.Name, err)
 	}
-	if st.Size() < footerSize {
-		return SegmentInfo{}, 0, fmt.Errorf("%w: %s too short for a footer", ErrCorrupt, si.Name)
+	if st.Size() < footerV1Size {
+		return SegmentInfo{}, footerTail{}, fmt.Errorf("%w: %s too short for a footer", ErrCorrupt, si.Name)
 	}
-	var buf [footerSize]byte
-	if _, err := f.ReadAt(buf[:], st.Size()-footerSize); err != nil {
-		return SegmentInfo{}, 0, fmt.Errorf("store: reading %s footer: %w", si.Name, err)
+	if st.Size() >= footerV2Size {
+		var buf [footerV2Size]byte
+		if _, err := f.ReadAt(buf[:], st.Size()-footerV2Size); err != nil {
+			return SegmentInfo{}, footerTail{}, fmt.Errorf("store: reading %s footer: %w", si.Name, err)
+		}
+		if footer, ft, err := decodeFooter(buf[:]); err == nil {
+			return footer, ft, nil
+		}
+		// Not a valid v2 footer — fall through and try the v1 frame
+		// at the file tail.
 	}
-	footer, err := decodeFooter(buf[:])
+	var buf [footerV1Size]byte
+	if _, err := f.ReadAt(buf[:], st.Size()-footerV1Size); err != nil {
+		return SegmentInfo{}, footerTail{}, fmt.Errorf("store: reading %s footer: %w", si.Name, err)
+	}
+	footer, ft, err := decodeFooter(buf[:])
 	if err != nil {
-		return SegmentInfo{}, 0, fmt.Errorf("%s: %w", si.Name, err)
+		return SegmentInfo{}, footerTail{}, fmt.Errorf("%s: %w", si.Name, err)
 	}
-	return footer, buf[5], nil
+	return footer, ft, nil
 }

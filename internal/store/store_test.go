@@ -1,8 +1,8 @@
 package store
 
 import (
-	"encoding/json"
 	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -67,6 +67,34 @@ func writeStore(t *testing.T, dir string, days, segRecords int, recs []cdrs.Reco
 		}
 	}
 	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reloadManifest materializes a store's manifest off disk for
+// tamper-style tests.
+func reloadManifest(t *testing.T, dir string) Manifest {
+	t.Helper()
+	man, _, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+// rewriteManifest publishes man as a v2 checkpoint covering the whole
+// MANIFEST.log, so a following Open materializes exactly man — the
+// tamper hook for tests that lie in the manifest index.
+func rewriteManifest(t *testing.T, dir string, man Manifest) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestLogName))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal(err)
+	}
+	entries, _ := decodeLogEntries(raw)
+	man.Version = manifestVersionV2
+	man.LogEntries = len(entries)
+	if err := writeCheckpoint(dir, &man); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -521,23 +549,9 @@ func TestVerifyCatchesManifestIndexTamper(t *testing.T) {
 	dir := t.TempDir()
 	writeStore(t, dir, days, 8, recs)
 
-	manPath := filepath.Join(dir, ManifestName)
-	data, err := os.ReadFile(manPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var man Manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		t.Fatal(err)
-	}
+	man := reloadManifest(t, dir)
 	man.Segments[0].Visited = man.Segments[0].Visited[:1]
-	tampered, err := json.Marshal(&man)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(manPath, tampered, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	rewriteManifest(t, dir, man)
 
 	r, err := Open(dir)
 	if err != nil {

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -14,15 +13,23 @@ import (
 	"whereroam/internal/signaling"
 )
 
+// checkpointMinTail is the smallest log tail that triggers a manifest
+// checkpoint. Combined with the tail ≥ covered-segments rule this
+// makes checkpointing geometric (roughly every doubling of the
+// store), so the amortized manifest cost per seal stays O(1) while
+// Open never parses more than about half the store from the log.
+const checkpointMinTail = 16
+
 // SegmentWriter archives a record stream into a store directory:
 // records append to the current segment through the plane's binary
-// wire codec, segments seal with a footer every SegmentRecords
-// records, and the manifest is atomically rewritten at every seal.
-// All methods are safe for concurrent producers (appends serialize on
-// an internal mutex, so each producer's record order is preserved —
-// the per-device order contract replay rests on). Errors are sticky:
-// the first I/O failure fails every later append and is returned by
-// Close.
+// wire codec, segments seal with a Bloom filter and footer every
+// SegmentRecords records, and each seal appends one entry to the
+// manifest log — O(1) in segment count, with a geometric checkpoint
+// snapshotting the index. All methods are safe for concurrent
+// producers (appends serialize on an internal mutex, so each
+// producer's record order is preserved — the per-device order
+// contract replay rests on). Errors are sticky: the first I/O failure
+// fails every later append and is returned by Close.
 //
 // [Writer] and [SignalingWriter] are its two instantiations; build
 // them with [NewWriter] and [NewSignalingWriter].
@@ -34,19 +41,22 @@ type SegmentWriter[T any] struct {
 	newEnc     func(io.Writer) wireEncoder[T]
 	info       func(*T) RecordInfo
 
-	mu      sync.Mutex
-	err     error
-	closed  bool
-	f       *os.File
-	body    *crcCountWriter
-	enc     wireEncoder[T]
-	cur     SegmentInfo
-	visited []mccmnc.PLMN
-	man     Manifest
+	mu       sync.Mutex
+	err      error
+	closed   bool
+	f        *os.File
+	body     *crcCountWriter
+	enc      wireEncoder[T]
+	cur      SegmentInfo
+	visited  []mccmnc.PLMN
+	devs     map[uint64]struct{}
+	logF     *os.File
+	ckptSegs int
+	man      Manifest
 }
 
 // Writer archives a CDR/xDR record stream (the internal/cdrs wire
-// codec) — the store kind [Replayer.Replay] rebuilds devices-catalogs
+// codec) — the store kind [Reader.Replay] rebuilds devices-catalogs
 // from.
 type Writer = SegmentWriter[cdrs.Record]
 
@@ -77,7 +87,7 @@ func newSegmentWriter[T any](dir, kind string, meta Meta, segmentRecords int,
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+	if storeExists(dir) {
 		return nil, fmt.Errorf("store: %s already holds a store manifest", dir)
 	}
 	w := &SegmentWriter[T]{
@@ -88,7 +98,7 @@ func newSegmentWriter[T any](dir, kind string, meta Meta, segmentRecords int,
 		newEnc:     newEnc,
 		info:       info,
 		man: Manifest{
-			Version:        manifestVersion,
+			Version:        manifestVersionV2,
 			Kind:           kind,
 			Start:          meta.Start,
 			Days:           meta.Days,
@@ -98,10 +108,17 @@ func newSegmentWriter[T any](dir, kind string, meta Meta, segmentRecords int,
 	if meta.Host != (mccmnc.PLMN{}) {
 		w.man.Host = meta.Host.Concat()
 	}
-	// An empty store is still a store: write the manifest up front so
-	// a feed that produces no records leaves a valid, replayable
-	// (empty) archive rather than a bare directory.
-	if err := w.writeManifest(); err != nil {
+	logF, err := os.OpenFile(filepath.Join(dir, ManifestLogName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating manifest log: %w", err)
+	}
+	w.logF = logF
+	// An empty store is still a store: write the initial checkpoint
+	// up front so a feed that produces no records leaves a valid,
+	// replayable (empty) archive rather than a bare directory. The
+	// checkpoint's dir sync also makes the log file's entry durable.
+	if err := w.checkpoint(); err != nil {
+		logF.Close()
 		return nil, err
 	}
 	return w, nil
@@ -146,6 +163,7 @@ func (w *SegmentWriter[T]) Append(rec T) error {
 	if inf.Device > w.cur.MaxDevice {
 		w.cur.MaxDevice = inf.Device
 	}
+	w.devs[inf.Device] = struct{}{}
 	w.noteVisited(inf.Visited)
 	w.cur.Records++
 	if w.cur.Records >= w.segRecords {
@@ -188,8 +206,10 @@ func (w *SegmentWriter[T]) Err() error {
 // Dir returns the store directory.
 func (w *SegmentWriter[T]) Dir() string { return w.dir }
 
-// Close seals the in-progress segment (if it holds records), writes
-// the final manifest and releases the writer. It returns the writer's
+// Close seals the in-progress segment (if it holds records) and
+// releases the writer. The manifest needs no final rewrite — every
+// sealed segment is already durable in the log — so a closed and a
+// crashed-after-seal store open identically. It returns the writer's
 // first error. Idempotent.
 func (w *SegmentWriter[T]) Close() error {
 	w.mu.Lock()
@@ -202,16 +222,21 @@ func (w *SegmentWriter[T]) Close() error {
 		if w.f != nil {
 			w.f.Close()
 		}
+		if w.logF != nil {
+			w.logF.Close()
+		}
 		return w.err
 	}
 	if w.f != nil {
 		if err := w.seal(); err != nil {
 			w.err = err
-			return w.err
 		}
 	}
-	if err := w.writeManifest(); err != nil {
-		w.err = err
+	if w.logF != nil {
+		if err := w.logF.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("store: closing manifest log: %w", err)
+		}
+		w.logF = nil
 	}
 	return w.err
 }
@@ -234,6 +259,7 @@ func (w *SegmentWriter[T]) openSegment() error {
 		MinDevice: math.MaxUint64,
 	}
 	w.visited = w.visited[:0]
+	w.devs = make(map[uint64]struct{})
 	return nil
 }
 
@@ -252,10 +278,10 @@ func (w *SegmentWriter[T]) noteVisited(p mccmnc.PLMN) {
 	w.visited = append(w.visited, p)
 }
 
-// seal flushes the codec stream, appends the footer, closes the
-// segment file, and atomically publishes the updated manifest. Every
-// exit path leaves w.f nil so a later Close cannot double-close the
-// descriptor.
+// seal flushes the codec stream, appends the segment's Bloom filter
+// and footer, closes the segment file, appends the manifest-log entry
+// and checkpoints when the log tail has grown enough. Every exit path
+// leaves w.f nil so a later Close cannot double-close the descriptor.
 func (w *SegmentWriter[T]) seal() error {
 	if err := w.enc.Flush(); err != nil {
 		w.f.Close()
@@ -264,8 +290,22 @@ func (w *SegmentWriter[T]) seal() error {
 	}
 	w.cur.BodyBytes = w.body.n
 	w.cur.BodyCRC = w.body.crc
-	w.cur.Bytes = w.body.n + footerSize
+	bloom := make([]byte, bloomSize(len(w.devs)))
+	// Bloom construction ORs one bit set per device into the filter;
+	// the result is independent of insertion order.
+	//roamvet:maporder-ok bit-OR accumulation is commutative
+	for dev := range w.devs {
+		bloomAdd(bloom, bloomHashCount, dev)
+	}
+	w.cur.Bloom = bloom
+	w.cur.BloomHashes = bloomHashCount
+	w.cur.Bytes = w.body.n + int64(len(bloom)) + footerV2Size
 	footer := encodeFooter(kindByte(w.kind), &w.cur, w.visited)
+	if _, err := w.f.Write(bloom); err != nil {
+		w.f.Close()
+		w.f = nil
+		return fmt.Errorf("store: writing %s bloom filter: %w", w.cur.Name, err)
+	}
 	if _, err := w.f.Write(footer[:]); err != nil {
 		w.f.Close()
 		w.f = nil
@@ -280,51 +320,45 @@ func (w *SegmentWriter[T]) seal() error {
 		w.f = nil
 		return fmt.Errorf("store: closing %s: %w", w.cur.Name, err)
 	}
+	// The segment's directory entry must be durable before the log
+	// entry that references it, or a crash could persist the entry
+	// but not the file.
+	if err := syncDir(w.dir); err != nil {
+		w.f = nil
+		return fmt.Errorf("store: syncing %s: %w", w.dir, err)
+	}
 	w.cur.Visited = make([]string, len(w.visited))
 	for i, p := range w.visited {
 		w.cur.Visited[i] = p.Concat()
+	}
+	if err := appendLogEntry(w.logF, &w.cur); err != nil {
+		w.f = nil
+		return err
+	}
+	if err := w.logF.Sync(); err != nil {
+		w.f = nil
+		return fmt.Errorf("store: syncing manifest log: %w", err)
 	}
 	w.man.Segments = append(w.man.Segments, w.cur)
 	w.man.TotalRecords += int64(w.cur.Records)
 	w.f, w.body, w.enc = nil, nil, nil
 	w.cur = SegmentInfo{}
-	return w.writeManifest()
+	w.devs = nil
+	tail := len(w.man.Segments) - w.ckptSegs
+	if tail >= checkpointMinTail && tail >= w.ckptSegs {
+		return w.checkpoint()
+	}
+	return nil
 }
 
-// writeManifest atomically replaces the store manifest: write to a
-// temp file, fsync it, rename over the manifest, fsync the directory.
-// The temp-file fsync matters — without it a crash after the rename
-// could persist the rename's metadata but not the data blocks,
-// leaving a truncated MANIFEST.json that makes the whole store
-// unopenable instead of the promised previous-seal view.
-func (w *SegmentWriter[T]) writeManifest() error {
-	data, err := json.MarshalIndent(&w.man, "", "  ")
-	if err != nil {
-		return fmt.Errorf("store: encoding manifest: %w", err)
+// checkpoint snapshots the manifest into MANIFEST.ckpt, recording how
+// many log entries (= sealed segments, one entry each) it covers.
+func (w *SegmentWriter[T]) checkpoint() error {
+	man := w.man
+	man.LogEntries = len(w.man.Segments)
+	if err := writeCheckpoint(w.dir, &man); err != nil {
+		return fmt.Errorf("store: writing checkpoint: %w", err)
 	}
-	tmp := filepath.Join(w.dir, ManifestName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("store: writing manifest: %w", err)
-	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		f.Close()
-		return fmt.Errorf("store: writing manifest: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("store: syncing manifest: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("store: closing manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(w.dir, ManifestName)); err != nil {
-		return fmt.Errorf("store: publishing manifest: %w", err)
-	}
-	// Persist the rename (and any new segment file's directory entry).
-	if d, err := os.Open(w.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	w.ckptSegs = len(w.man.Segments)
 	return nil
 }

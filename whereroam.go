@@ -240,17 +240,43 @@ type (
 	ArchiveWriter = store.Writer
 	// SignalingArchiveWriter persists a signaling-transaction feed.
 	SignalingArchiveWriter = store.SignalingWriter
-	// ArchiveReplayer reads a store back: verification, pruned
-	// sequential replay, and the concurrent catalog rebuild.
+	// ArchiveReader reads a store back: verification, query planning,
+	// pruned sequential replay, and the concurrent catalog rebuild.
+	ArchiveReader = store.Reader
+	// ArchiveQuery selects what a replay reads: day range, device
+	// range or exact device (bloom-pruned), visited network; the zero
+	// query keeps everything. Queries also narrow compactions.
+	ArchiveQuery = store.Query
+	// ArchiveQueryPlan is the dry-run view of a query's segment
+	// selection: what would be read, what the indexes prune.
+	ArchiveQueryPlan = store.QueryPlan
+	// ArchiveReplayer reads a store back.
+	//
+	// Deprecated: ArchiveReplayer is the pre-Query name of
+	// ArchiveReader; new code should use ArchiveReader.
 	ArchiveReplayer = store.Replayer
-	// ArchiveFilter prunes a replay by day range, device range or
-	// visited network; the zero filter keeps everything.
+	// ArchiveFilter prunes a replay.
+	//
+	// Deprecated: ArchiveFilter is the pre-redesign name of
+	// ArchiveQuery; new code should use ArchiveQuery.
 	ArchiveFilter = store.Filter
-	// ArchiveStats instruments a replay: segments read vs pruned vs
-	// torn, bytes read, records kept.
+	// ArchiveStats instruments a replay: segments read vs pruned
+	// (range and bloom) vs torn, bytes read, records kept.
 	ArchiveStats = store.ReplayStats
 	// ArchiveManifest is the store-level segment index.
 	ArchiveManifest = store.Manifest
+	// ArchiveManifestInfo reports how a store's manifest was
+	// materialized: format version, checkpoint coverage, log tail.
+	ArchiveManifestInfo = store.ManifestInfo
+	// ArchiveCompactOptions tunes CompactArchive: output segment
+	// size, narrowing query, merge fan-in, temp-file placement.
+	ArchiveCompactOptions = store.CompactOptions
+	// ArchiveCompactPlan is CompactArchive's dry-run view: what would
+	// merge, from where, in how many passes.
+	ArchiveCompactPlan = store.CompactPlan
+	// ArchiveCompactStats reports what a compaction did: segments
+	// merged vs pruned, records in vs out, passes run.
+	ArchiveCompactStats = store.CompactStats
 )
 
 // Archive constructors.
@@ -262,6 +288,12 @@ var (
 	NewSignalingArchiveWriter = store.NewSignalingWriter
 	// OpenArchive loads a store's manifest for verification or replay.
 	OpenArchive = store.Open
+	// CompactArchive merges N input stores into one time-ordered
+	// store whose replay is bit-identical to replaying the inputs.
+	CompactArchive = store.Compact
+	// PlanArchiveCompaction returns the merge plan CompactArchive
+	// would execute, without reading any segment body.
+	PlanArchiveCompaction = store.PlanCompact
 )
 
 // Serving plane: the read-only HTTP/JSON query daemon over archive
