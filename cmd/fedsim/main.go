@@ -54,6 +54,7 @@ func main() {
 		genOnly = flag.Bool("gen", false, "generate the federation dataset and print its shape without running experiments")
 		heapMiB = flag.Int64("max-heap-mib", 0, "fail if the process heap peak exceeds this many MiB (0 = no assertion)")
 		archive = flag.String("archive", "", "persist each site's CDR/xDR feed to a per-site store under this directory")
+		archSeg = flag.Int("archive-segment", 0, "records per archive segment (0 = store default); small values give tiny archives many prunable segments")
 		replay  = flag.String("replay", "", "verify (strictly: torn/corrupt segments fail) and replay every per-site store under this directory, then exit; use roamstore for tolerant replay")
 	)
 	flag.Parse()
@@ -87,6 +88,7 @@ func main() {
 	sess.Streaming = *stream
 	sess.BoundedMemory = *ooc
 	sess.ArchiveDir = *archive
+	sess.ArchiveSegmentRecords = *archSeg
 
 	if *genOnly {
 		start := time.Now()

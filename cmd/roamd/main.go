@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	roamd -archive DIR [-addr :8080] [-cache-mb 256] [-workers N]
+//	roamd -archive DIR [-addr :8080] [-cache-mb -1] [-workers N]
+//	      [-metrics] [-pprof] [-slow-ms 250]
 //
 // Endpoints (all GET):
 //
 //	/v1/healthz                          liveness
-//	/v1/statsz                           cache counters + mounts
+//	/v1/statsz                           cache counters + mounts (deprecated: use /metrics)
 //	/v1/sites                            mounted sites
 //	/v1/sites/{site}/stats               whole-window operator stats
 //	/v1/sites/{site}/days?lo=&hi=        day-range summary
@@ -19,6 +20,13 @@
 //	/v1/sites/{site}/devices/{device}    single-device lookup
 //	/v1/sites/{site}/analysis/{series}   analysis series
 //	/v1/compare                          cross-site comparison
+//	/metrics                             Prometheus text exposition (-metrics)
+//	/debug/spans                         recent traced operations (-metrics)
+//	/debug/pprof/*                       runtime profiles (-pprof)
+//
+// -cache-mb defaults to -1: derive the slice-cache bound from the
+// process's GOMEMLIMIT (a quarter of the limit, clamped), falling
+// back to 256 MiB when no limit is set.
 package main
 
 import (
@@ -28,8 +36,11 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
+	"time"
 
+	"whereroam/internal/obs"
 	"whereroam/internal/serve"
 )
 
@@ -39,19 +50,38 @@ func main() {
 	var (
 		archive = flag.String("archive", "", "archive root containing site-<plmn> store directories (required)")
 		addr    = flag.String("addr", ":8080", "listen address")
-		cacheMB = flag.Int("cache-mb", 256, "slice cache bound in MiB (0 = unbounded)")
+		cacheMB = flag.Int("cache-mb", -1, "slice cache bound in MiB (0 = unbounded, -1 = auto from GOMEMLIMIT)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "replay parallelism per slice fill")
+		metrics = flag.Bool("metrics", true, "expose /metrics and /debug/spans")
+		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
+		slowMS  = flag.Int("slow-ms", 250, "log traced operations slower than this many milliseconds")
 	)
 	flag.Parse()
 	if *archive == "" {
-		fmt.Fprintln(os.Stderr, "usage: roamd -archive DIR [-addr :8080] [-cache-mb 256] [-workers N]")
+		fmt.Fprintln(os.Stderr, "usage: roamd -archive DIR [-addr :8080] [-cache-mb -1] [-workers N] [-metrics] [-pprof] [-slow-ms 250]")
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Config{
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB < 0 {
+		cacheBytes = serve.AutoCacheBytes(debug.SetMemoryLimit(-1))
+		log.Printf("cache bound auto-derived: %d MiB", cacheBytes>>20)
+	}
+
+	cfg := serve.Config{
 		Workers:       *workers,
-		MaxCacheBytes: int64(*cacheMB) << 20,
-	})
+		MaxCacheBytes: cacheBytes,
+	}
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(256, time.Duration(*slowMS)*time.Millisecond, log.Printf)
+		cfg.Metrics = reg
+		cfg.Tracer = tracer
+	}
+
+	srv := serve.New(cfg)
 	names, err := srv.MountSites(*archive)
 	if err != nil {
 		log.Fatal(err)
@@ -61,8 +91,21 @@ func main() {
 		log.Printf("  site %s: host=%s days=%d segments=%d records=%d",
 			si.Site, si.Host, si.Days, si.Segments, si.Records)
 	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	if *metrics {
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /debug/spans", tracer.Handler())
+		log.Print("metrics on /metrics, spans on /debug/spans")
+	}
+	if *pprofOn {
+		obs.RegisterPprof(mux)
+		log.Print("profiling on /debug/pprof/")
+	}
+
 	log.Printf("serving on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -68,6 +68,15 @@ func main() {
 			o.Op, o.Count, time.Duration(o.P50Ns), time.Duration(o.P99Ns), time.Duration(o.MeanNs))
 	}
 
+	// Cross-check the client-observed latency against the daemon's own
+	// histogram. The scrape quietly skips when the daemon runs with
+	// -metrics=false (ok is false, no error).
+	if d, ok, err := serve.ScrapeHistogramQuantile(nil, *addr, "roamd_http_latency_seconds", 0.99); err != nil {
+		log.Printf("server-side p99 scrape failed: %v", err)
+	} else if ok {
+		log.Printf("server-side p99 (roamd_http_latency_seconds): %s", d)
+	}
+
 	if *out != "" {
 		rep := benchfmt.NewReport(1)
 		for _, op := range ops {

@@ -66,6 +66,12 @@ type FederationConfig struct {
 	// visited operator. The build panics on archive I/O errors,
 	// mirroring the config-validation panics.
 	ArchiveDir string
+	// ArchiveSegmentRecords caps records per archive segment; 0 means
+	// store.DefaultSegmentRecords. Smaller segments mean more pruning
+	// opportunities per query — CI's smoke job uses a small cap so even
+	// a tiny archive exercises range and bloom pruning. The archived
+	// bytes are identical either way; only the segment boundaries move.
+	ArchiveSegmentRecords int
 	// BoundedMemory switches the build to the out-of-core pipeline: a
 	// counting pre-pass turns the fleet's serial IMSI allocation into
 	// per-shard block offsets, and sites are then built one at a time
@@ -670,7 +676,7 @@ func buildSiteCatalog(cfg FederationConfig, host mccmnc.PLMN, grid *radio.Grid, 
 	wrapCDR := func(sink func(cdrs.Record)) func(cdrs.Record) { return sink }
 	if cfg.ArchiveDir != "" {
 		dir := filepath.Join(cfg.ArchiveDir, "site-"+host.Concat())
-		w, err := store.NewWriter(dir, store.Meta{Host: host, Start: cfg.Start, Days: cfg.Days}, 0)
+		w, err := store.NewWriter(dir, store.Meta{Host: host, Start: cfg.Start, Days: cfg.Days}, cfg.ArchiveSegmentRecords)
 		if err != nil {
 			panic(fmt.Sprintf("dataset: federation archive: %v", err))
 		}

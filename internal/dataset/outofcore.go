@@ -313,7 +313,7 @@ func generateSiteBounded(cfg FederationConfig, j int, root, froot *rng.Source, d
 	cdrSink := in.OfferRecord
 	if cfg.ArchiveDir != "" {
 		dir := filepath.Join(cfg.ArchiveDir, "site-"+host.Concat())
-		w, err := store.NewWriter(dir, store.Meta{Host: host, Start: cfg.Start, Days: cfg.Days}, 0)
+		w, err := store.NewWriter(dir, store.Meta{Host: host, Start: cfg.Start, Days: cfg.Days}, cfg.ArchiveSegmentRecords)
 		if err != nil {
 			panic(fmt.Sprintf("dataset: federation archive: %v", err))
 		}

@@ -129,6 +129,11 @@ type Federation struct {
 	// while the site catalogs build (dataset.FederationConfig's
 	// ArchiveDir, threaded through FederationData).
 	ArchiveDir string
+	// ArchiveSegmentRecords caps records per archive segment (0 =
+	// store.DefaultSegmentRecords); threaded through FederationData
+	// like ArchiveDir. Small caps let tiny smoke archives span many
+	// segments and exercise the replay pruning paths.
+	ArchiveSegmentRecords int
 
 	mu      sync.Mutex
 	m2m     *dataset.M2MDataset

@@ -76,6 +76,7 @@ func (s *Federation) FederationData() *dataset.FederationDataset {
 		cfg.Streaming = s.Streaming
 		cfg.BoundedMemory = s.BoundedMemory
 		cfg.ArchiveDir = s.ArchiveDir
+		cfg.ArchiveSegmentRecords = s.ArchiveSegmentRecords
 		s.fed = dataset.GenerateFederation(cfg)
 	}
 	return s.fed

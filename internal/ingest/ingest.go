@@ -31,6 +31,7 @@ import (
 
 	"whereroam/internal/catalog"
 	"whereroam/internal/cdrs"
+	"whereroam/internal/obs"
 	"whereroam/internal/probe"
 	"whereroam/internal/radio"
 	"whereroam/internal/signaling"
@@ -67,6 +68,7 @@ type CatalogIngester struct {
 
 	radioIn  atomic.Int64
 	recordIn atomic.Int64
+	met      atomic.Pointer[Metrics]
 	closed   bool
 }
 
@@ -85,12 +87,26 @@ func NewCatalogIngester(sb *catalog.ShardedBuilder, depth int) *CatalogIngester 
 		go func(i int) {
 			defer in.wg.Done()
 			b := sb.Builder(i)
+			// Drain timing starts at the shard's first item seen after
+			// metrics attach and stops when the queue closes — the
+			// "per-stage shard time" of this pipeline stage.
+			var sw obs.Stopwatch
+			timing := false
 			for it := range in.queues[i] {
+				if !timing {
+					if m := in.met.Load(); m != nil {
+						sw = m.drainTimer()
+						timing = true
+					}
+				}
 				if it.isCDR {
 					b.AddRecord(it.rec)
 				} else {
 					b.AddRadioEvent(it.ev)
 				}
+			}
+			if timing {
+				sw.Stop()
 			}
 		}(i)
 	}
@@ -103,14 +119,18 @@ func NewCatalogIngester(sb *catalog.ShardedBuilder, depth int) *CatalogIngester 
 // order to be well defined.
 func (in *CatalogIngester) OfferRadio(ev radio.Event) {
 	in.radioIn.Add(1)
-	in.queues[in.sb.ShardFor(ev.Device)] <- item{ev: ev}
+	q := in.queues[in.sb.ShardFor(ev.Device)]
+	in.met.Load().noteRadio(len(q))
+	q <- item{ev: ev}
 }
 
 // OfferRecord routes one CDR/xDR to its device's shard; same blocking
 // and concurrency contract as OfferRadio.
 func (in *CatalogIngester) OfferRecord(rec cdrs.Record) {
 	in.recordIn.Add(1)
-	in.queues[in.sb.ShardFor(rec.Device)] <- item{rec: rec, isCDR: true}
+	q := in.queues[in.sb.ShardFor(rec.Device)]
+	in.met.Load().noteRecord(len(q))
+	q <- item{rec: rec, isCDR: true}
 }
 
 // DrainRadio consumes a radio-event stream into the ingester until

@@ -1,0 +1,84 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+
+	"whereroam/internal/catalog"
+	"whereroam/internal/obs"
+)
+
+// TestIngesterMetrics streams a mixed load with metrics attached and
+// checks the counters against the ingester's own Stats, the depth
+// high-water against the channel bound, and that every shard's drain
+// got timed.
+func TestIngesterMetrics(t *testing.T) {
+	evs, recs := synthStreams(40, 20)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+
+	const shards, depth = 4, 8
+	sb := catalog.NewShardedBuilder(host, start, 22, ukGrid(t), shards)
+	in := NewCatalogIngester(sb, depth)
+	in.Observe(m)
+
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := range evs {
+				if int(evs[i].Device)%3 == p {
+					in.OfferRadio(evs[i])
+				}
+			}
+			for i := range recs {
+				if int(recs[i].Device)%3 == p {
+					in.OfferRecord(recs[i])
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	in.Build(0)
+
+	if got := reg.Counter("ingest_radio_events_total", "").Value(); got != int64(len(evs)) {
+		t.Errorf("radio counter = %d, want %d", got, len(evs))
+	}
+	if got := reg.Counter("ingest_records_total", "").Value(); got != int64(len(recs)) {
+		t.Errorf("records counter = %d, want %d", got, len(recs))
+	}
+	// The sample is taken before the offered item enqueues, so the
+	// mark is bounded by the channel capacity.
+	hwm := reg.Gauge("ingest_channel_depth_high_water", "").Value()
+	if hwm < 0 || hwm > depth {
+		t.Errorf("depth high-water = %d, want within [0, %d]", hwm, depth)
+	}
+	drained := reg.Histogram("ingest_shard_drain_seconds", "", nil).Count()
+	if drained < 1 || drained > shards {
+		t.Errorf("drain histogram count = %d, want within [1, %d]", drained, shards)
+	}
+}
+
+// TestIngesterUnobserved pins that the no-metrics path still works
+// and NewMetrics(nil) detaches completely.
+func TestIngesterUnobserved(t *testing.T) {
+	if NewMetrics(nil) != nil {
+		t.Fatal("NewMetrics(nil) must return the nil no-op Metrics")
+	}
+	evs, recs := synthStreams(10, 5)
+	sb := catalog.NewShardedBuilder(host, start, 22, ukGrid(t), 2)
+	in := NewCatalogIngester(sb, 4)
+	in.Observe(nil)
+	for i := range evs {
+		in.OfferRadio(evs[i])
+	}
+	for i := range recs {
+		in.OfferRecord(recs[i])
+	}
+	got := in.Build(1)
+	want := serialCatalog(t, evs, recs)
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("unobserved ingest records = %d, want %d", len(got.Records), len(want.Records))
+	}
+}

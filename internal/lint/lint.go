@@ -70,6 +70,21 @@ var DeterministicPackages = []string{
 	ModulePath + "/internal/experiments",
 }
 
+// ScopeExemptions documents why packages that sit next to the
+// deterministic chain are deliberately outside the determinism scope.
+// Every entry is a package import path mapped to the reason it may
+// read wall clocks and hold unordered state. The table is the
+// authoritative record — scope_test.go asserts each exempt package is
+// genuinely out of scope and each reason is non-empty, so an
+// accidental scope change surfaces as a test diff, not a silent lint
+// gap.
+var ScopeExemptions = map[string]string{
+	ModulePath + "/internal/obs": "observability is measurement of the system, not part of it: " +
+		"metrics, spans and profiles exist to read wall clocks and mutate shared counters, and " +
+		"none of their state flows back into replayed or served bytes. Instrumented packages " +
+		"stay in scope — they may only call nil-safe obs hooks, so every clock read lives here.",
+}
+
 // StrictGodocPackages lists the import-path prefixes whose exported
 // API must be fully documented (the strict half of the documentation
 // contract). This is the doclint_test.go strict set plus the
@@ -84,6 +99,7 @@ var StrictGodocPackages = []string{
 	ModulePath + "/internal/store",
 	ModulePath + "/internal/serve",
 	ModulePath + "/internal/benchfmt",
+	ModulePath + "/internal/obs",
 }
 
 // InDeterministicScope reports whether the package with the given

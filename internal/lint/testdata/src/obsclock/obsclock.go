@@ -1,0 +1,15 @@
+// Package obsclock is a roamvet fixture proving the scope exemption
+// for internal/obs: the same time.Now call that rngpurity flags in a
+// deterministic package (see the serveclock fixture) passes clean when
+// the unit is analyzed under the internal/obs import path, because obs
+// is outside the determinism scope by design — it owns the module's
+// wall-clock reads. No want comments on purpose: any diagnostic here
+// fails the test.
+package obsclock
+
+import "time"
+
+// Stamp reads the wall clock, the thing obs exists to do.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package serveclock is the in-scope twin of the obsclock fixture:
+// byte-for-byte the same wall-clock read, but analyzed under the
+// internal/serve import path, where the determinism contract applies
+// and rngpurity must flag it. Together the two fixtures pin the scope
+// boundary from both sides.
+package serveclock
+
+import "time"
+
+// Stamp reads the wall clock, which deterministic packages must not.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now is a wall clock`
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): series sorted by name, one `# HELP` and
+// `# TYPE` block per base name, histograms as cumulative `_bucket`
+// series plus `_sum` and `_count`. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type series struct {
+		name  string // full registered name, labels included
+		lines func(bw *bufio.Writer)
+	}
+	r.mu.Lock()
+	all := make([]series, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.hists))
+	for name, c := range r.counters {
+		name, c := name, c
+		all = append(all, series{name, func(bw *bufio.Writer) {
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(c.Value(), 10))
+			bw.WriteByte('\n')
+		}})
+	}
+	for name, g := range r.gauges {
+		name, g := name, g
+		all = append(all, series{name, func(bw *bufio.Writer) {
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(g.Value(), 10))
+			bw.WriteByte('\n')
+		}})
+	}
+	for name, fn := range r.gaugeFuncs {
+		name, fn := name, fn
+		all = append(all, series{name, func(bw *bufio.Writer) {
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(fn(), 'g', -1, 64))
+			bw.WriteByte('\n')
+		}})
+	}
+	for name, h := range r.hists {
+		name, h := name, h
+		all = append(all, series{name, func(bw *bufio.Writer) {
+			writeHistogram(bw, name, h)
+		}})
+	}
+	help := make(map[string]string, len(r.help))
+	kinds := make(map[string]string, len(r.kinds))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	for _, s := range all {
+		base := baseName(s.name)
+		if !seen[base] {
+			seen[base] = true
+			if h := help[base]; h != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(base)
+				bw.WriteByte(' ')
+				bw.WriteString(h)
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(base)
+			bw.WriteByte(' ')
+			bw.WriteString(kinds[base])
+			bw.WriteByte('\n')
+		}
+		s.lines(bw)
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram as cumulative buckets plus
+// _sum/_count. A label block in the registered name is merged with
+// the `le` label: `h{route="a"}` yields
+// `h_bucket{route="a",le="0.005"}`.
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	base := baseName(name)
+	labels := "" // inner label text, no braces
+	if len(base) < len(name) {
+		labels = name[len(base)+1 : len(name)-1]
+	}
+	writeName := func(suffix, extra string) {
+		bw.WriteString(base)
+		bw.WriteString(suffix)
+		if labels == "" && extra == "" {
+			return
+		}
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeName("_bucket", `le="`+strconv.FormatFloat(b, 'g', -1, 64)+`"`)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeName("_bucket", `le="+Inf"`)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+	writeName("_sum", "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	bw.WriteByte('\n')
+	writeName("_count", "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint. A nil
+// registry serves an empty body.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

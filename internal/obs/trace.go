@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span as kept in the tracer's ring and
+// served from /debug/spans.
+type SpanRecord struct {
+	// Name is the operation name passed to Tracer.Start.
+	Name string `json:"name"`
+	// Labels holds "key=value" pairs attached via Span.Label, in
+	// attachment order.
+	Labels []string `json:"labels,omitempty"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationNs is the span's wall-clock duration in nanoseconds.
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// Tracer records lightweight spans: a bounded ring of the most recent
+// finished spans, plus a slow-operation log line (through logf) for
+// any span exceeding the threshold. All methods are nil-safe no-ops.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	n    int
+	slow time.Duration
+	logf func(format string, args ...any)
+}
+
+// NewTracer returns a tracer keeping the last capacity spans and
+// logging spans slower than slow through logf (both optional: a zero
+// slow threshold disables the log, a nil logf drops it).
+func NewTracer(capacity int, slow time.Duration, logf func(format string, args ...any)) *Tracer {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity), slow: slow, logf: logf}
+}
+
+// Start opens a span. On a nil tracer it returns a nil span whose
+// methods are no-ops and no clock is read.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, rec: SpanRecord{Name: name, Start: time.Now()}}
+}
+
+// Recent returns the ring's spans, most recent first. Nil tracers
+// return nil.
+func (t *Tracer) Recent() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		// next-1 is the most recent write; walk backwards.
+		idx := (t.next - 1 - i + len(t.ring)*2) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Handler serves the recent spans as JSON, most recent first.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t.Recent())
+	})
+}
+
+// Span is an in-flight traced operation. All methods are nil-safe,
+// so `tracer.Start(...).Label(...).Finish()` chains work unattached.
+type Span struct {
+	t   *Tracer
+	rec SpanRecord
+}
+
+// Label attaches a key=value pair and returns the span for chaining.
+func (s *Span) Label(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.rec.Labels = append(s.rec.Labels, key+"="+value)
+	return s
+}
+
+// Finish closes the span: stamps the duration, stores the record in
+// the ring, and emits a slow-op log line when over threshold.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.rec.Start)
+	s.rec.DurationNs = d.Nanoseconds()
+	t := s.t
+	t.mu.Lock()
+	t.ring[t.next] = s.rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	slow := t.slow > 0 && d >= t.slow && t.logf != nil
+	t.mu.Unlock()
+	if slow {
+		t.logf("obs: slow op %s [%s] took %v (threshold %v)", s.rec.Name, strings.Join(s.rec.Labels, " "), d, t.slow)
+	}
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"whereroam/internal/obs"
+)
+
+// metricValue extracts the value of one exposition line by its full
+// series name (including any label block), or -1 when absent.
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s has unparsable value %q", series, rest)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestServeObservability drives an instrumented server end to end and
+// checks that the three layers all surface on /metrics: per-route
+// request/error counters, cache gauges, and the store's plan/read
+// counters populated through the handler's replay path — plus a
+// slice_build span in the tracer ring.
+func TestServeObservability(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(32, time.Hour, nil)
+	s := newTestServer(t, Config{Workers: 2, Metrics: reg, Tracer: tracer})
+	h := s.Handler()
+	site := firstSite(t, s)
+
+	if st, _ := testGet(t, h, "/v1/sites"); st != http.StatusOK {
+		t.Fatalf("/v1/sites: status %d", st)
+	}
+	for i := 0; i < 3; i++ {
+		if st, _ := testGet(t, h, "/v1/sites/"+site+"/stats"); st != http.StatusOK {
+			t.Fatalf("stats: status %d", st)
+		}
+	}
+	if st, _ := testGet(t, h, "/v1/sites/99999/stats"); st != http.StatusNotFound {
+		t.Fatalf("unknown site: status %d", st)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for series, min := range map[string]float64{
+		`roamd_http_requests_total{route="sites"}`:      1,
+		`roamd_http_requests_total{route="site_stats"}`: 4, // 3 ok + 1 not-found
+		`roamd_http_errors_total{route="site_stats"}`:   1,
+		`roamd_http_latency_seconds_count`:              5,
+		`roamd_cache_fills`:                             1,
+		`roamd_cache_hits`:                              2, // stats repeats hit the slice cache
+		`store_segments_selected_total`:                 1,
+		`store_segments_read_total`:                     1,
+		`store_records_read_total`:                      1,
+		`store_bytes_read_total`:                        1,
+	} {
+		if got := metricValue(t, text, series); got < min {
+			t.Errorf("%s = %v, want >= %v", series, got, min)
+		}
+	}
+	if got := metricValue(t, text, "roamd_http_inflight"); got != 0 {
+		t.Errorf("roamd_http_inflight = %v after requests drained, want 0", got)
+	}
+
+	var sawBuild bool
+	for _, sp := range tracer.Recent() {
+		if sp.Name == "slice_build" {
+			sawBuild = true
+			if len(sp.Labels) == 0 || !strings.HasPrefix(sp.Labels[0], "key=") {
+				t.Errorf("slice_build span lacks key label: %+v", sp)
+			}
+		}
+	}
+	if !sawBuild {
+		t.Error("tracer ring has no slice_build span")
+	}
+}
+
+// TestUninstrumentedServerHasNoWrapper pins the zero-config path:
+// without a registry or tracer the middleware is not installed and
+// requests still serve.
+func TestUninstrumentedServerHasNoWrapper(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	if s.obs != nil {
+		t.Fatal("obs state created without Metrics or Tracer configured")
+	}
+	if st, _ := testGet(t, s.Handler(), "/v1/sites"); st != http.StatusOK {
+		t.Fatalf("/v1/sites: status %d", st)
+	}
+}
+
+// TestStatszShape pins the deprecated /v1/statsz JSON contract: the
+// endpoint stays a thin view with exactly the historical key set, so
+// existing scrapers keep working while /metrics is the successor.
+func TestStatszShape(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	st, body := testGet(t, s.Handler(), "/v1/statsz")
+	if st != http.StatusOK {
+		t.Fatalf("/v1/statsz: status %d", st)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatalf("statsz is not a JSON object: %v", err)
+	}
+	if want := []string{"cache", "sites"}; !sameKeys(top, want) {
+		t.Fatalf("statsz top-level keys = %v, want %v", keys(top), want)
+	}
+	var cache map[string]json.RawMessage
+	if err := json.Unmarshal(top["cache"], &cache); err != nil {
+		t.Fatalf("statsz cache is not a JSON object: %v", err)
+	}
+	want := []string{"bytes", "entries", "evictions", "fills", "hits", "max_bytes", "misses", "waits"}
+	if !sameKeys(cache, want) {
+		t.Fatalf("statsz cache keys = %v, want %v", keys(cache), want)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameKeys(m map[string]json.RawMessage, want []string) bool {
+	got := keys(m)
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScrapeHistogramQuantile covers roamload's server-side p99
+// cross-check against a live /metrics endpoint.
+func TestScrapeHistogramQuantile(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("roamd_http_latency_seconds", "t", nil)
+	for i := 0; i < 99; i++ {
+		hist.Observe(0.0004) // le=0.0005 bucket
+	}
+	hist.Observe(0.08) // le=0.1 bucket
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	d, ok, err := ScrapeHistogramQuantile(nil, ts.URL, "roamd_http_latency_seconds", 0.99)
+	if err != nil || !ok {
+		t.Fatalf("scrape failed: ok=%v err=%v", ok, err)
+	}
+	// Rank ceil(0.99*100)=99 lands in the le=0.0005 bucket.
+	if d != 500*time.Microsecond {
+		t.Errorf("p99 = %v, want 500µs", d)
+	}
+	d, ok, err = ScrapeHistogramQuantile(nil, ts.URL, "roamd_http_latency_seconds", 1)
+	if err != nil || !ok {
+		t.Fatalf("scrape failed: ok=%v err=%v", ok, err)
+	}
+	if d != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", d)
+	}
+
+	// Missing series and missing endpoint both report ok=false, nil err.
+	if _, ok, err := ScrapeHistogramQuantile(nil, ts.URL, "no_such_series", 0.99); ok || err != nil {
+		t.Errorf("missing series: ok=%v err=%v, want false,nil", ok, err)
+	}
+	bare := httptest.NewServer(http.NewServeMux())
+	defer bare.Close()
+	if _, ok, err := ScrapeHistogramQuantile(nil, bare.URL, "roamd_http_latency_seconds", 0.99); ok || err != nil {
+		t.Errorf("missing endpoint: ok=%v err=%v, want false,nil", ok, err)
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ScrapeHistogramQuantile fetches baseURL+"/metrics" and extracts the
+// q-quantile of the named histogram series from its cumulative
+// buckets — the cross-check roamload runs after a load test, so the
+// client-observed p99 can be compared against what the server's own
+// histogram recorded. It resolves to the bucket's upper bound, like
+// the server-side quantile. The ok result is false — with a nil
+// error — when the endpoint is absent (404: metrics disabled), the
+// series is missing, or it has no observations; errors are transport
+// or parse failures.
+func ScrapeHistogramQuantile(client *http.Client, baseURL, series string, q float64) (d time.Duration, ok bool, err error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("serve: scraping /metrics: status %d", resp.StatusCode)
+	}
+
+	type bucket struct {
+		le  float64
+		cum int64
+	}
+	var buckets []bucket
+	prefix := series + "_bucket{"
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		le, cum, perr := parseBucketLine(line)
+		if perr != nil {
+			return 0, false, perr
+		}
+		buckets = append(buckets, bucket{le: le, cum: cum})
+	}
+	if err := sc.Err(); err != nil {
+		return 0, false, fmt.Errorf("serve: reading /metrics: %w", err)
+	}
+	if len(buckets) == 0 {
+		return 0, false, nil
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false, nil
+	}
+	rank := int64(q*float64(total) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range buckets {
+		if b.cum >= rank {
+			le := b.le
+			// The +Inf bucket clamps to the largest finite bound, the
+			// same convention as obs.Histogram.Quantile.
+			if le > 1e18 && len(buckets) > 1 {
+				le = buckets[len(buckets)-2].le
+			}
+			return time.Duration(le * float64(time.Second)), true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// parseBucketLine splits one `series_bucket{...,le="X"} N` exposition
+// line into its bound and cumulative count.
+func parseBucketLine(line string) (le float64, cum int64, err error) {
+	li := strings.Index(line, `le="`)
+	if li < 0 {
+		return 0, 0, fmt.Errorf("serve: bucket line without le label: %q", line)
+	}
+	rest := line[li+len(`le="`):]
+	qi := strings.IndexByte(rest, '"')
+	if qi < 0 {
+		return 0, 0, fmt.Errorf("serve: malformed bucket line: %q", line)
+	}
+	leStr := rest[:qi]
+	if leStr == "+Inf" {
+		le = 1e19
+	} else if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("serve: bad le bound %q: %w", leStr, err)
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return 0, 0, fmt.Errorf("serve: malformed bucket line: %q", line)
+	}
+	cum, err = strconv.ParseInt(line[sp+1:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: bad bucket count in %q: %w", line, err)
+	}
+	return le, cum, nil
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"whereroam/internal/catalog"
+	"whereroam/internal/obs"
 	"whereroam/internal/store"
 )
 
@@ -43,6 +44,17 @@ type Config struct {
 	// MaxCacheBytes bounds the slice cache's estimated resident cost;
 	// non-positive means effectively unbounded.
 	MaxCacheBytes int64
+	// Metrics attaches the observability registry: per-route request
+	// counters and latency histograms, cache gauges, and the mounted
+	// stores' planner/read counters all register against it. Nil (the
+	// default) leaves the server uninstrumented — the request path is
+	// byte-for-byte the unobserved code, which is what keeps the
+	// serving benchmarks and response determinism untouched.
+	Metrics *obs.Registry
+	// Tracer records slice-build spans (labeled with cache key and
+	// slice cost) and the store's compaction spans. Nil disables
+	// tracing independently of Metrics.
+	Tracer *obs.Tracer
 }
 
 // mount is one archived site the server answers queries for.
@@ -76,6 +88,7 @@ type Server struct {
 	mounts map[string]*mount
 	order  []string
 	cache  *sliceCache
+	obs    *serverObs
 }
 
 // New returns an empty server; mount stores with Mount or MountSites.
@@ -83,11 +96,15 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		mounts: map[string]*mount{},
 		cache:  newSliceCache(cfg.MaxCacheBytes),
 	}
+	if cfg.Metrics != nil || cfg.Tracer != nil {
+		s.obs = newServerObs(s, cfg.Metrics, cfg.Tracer)
+	}
+	return s
 }
 
 // Mount registers the store at dir under the given site name. The
@@ -169,33 +186,13 @@ func (m *mount) open() (*store.Reader, error) {
 // wholeSlice returns the site's whole-window read model, building it
 // through the cache on first use.
 func (s *Server) wholeSlice(m *mount) (*slice, error) {
-	return s.cache.get("w|"+m.name, func() (*slice, error) {
-		r, err := m.open()
-		if err != nil {
-			return nil, err
-		}
-		cat, _, err := r.Replay(store.Query{}, s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		return newSlice(cat, s.cfg.Workers), nil
-	})
+	return s.buildSlice("w|"+m.name, m, store.Query{})
 }
 
 // daySlice returns the read model of the site pruned to [lo, hi].
 func (s *Server) daySlice(m *mount, lo, hi int) (*slice, error) {
 	key := fmt.Sprintf("d|%s|%d-%d", m.name, lo, hi)
-	return s.cache.get(key, func() (*slice, error) {
-		r, err := m.open()
-		if err != nil {
-			return nil, err
-		}
-		cat, _, err := r.Replay(store.Query{}.Days(lo, hi), s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		return newSlice(cat, s.cfg.Workers), nil
-	})
+	return s.buildSlice(key, m, store.Query{}.Days(lo, hi))
 }
 
 // errorBody is the JSON error envelope every non-2xx response
@@ -240,18 +237,21 @@ func (s *Server) site(w http.ResponseWriter, r *http.Request) *mount {
 	return m
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API. When Config.Metrics is set,
+// every route is wrapped in the per-route middleware (request/error
+// counters, in-flight gauge, latency histograms); otherwise the
+// handlers mount bare.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
-	mux.HandleFunc("GET /v1/sites", s.handleSites)
-	mux.HandleFunc("GET /v1/sites/{site}/stats", s.handleSiteStats)
-	mux.HandleFunc("GET /v1/sites/{site}/days", s.handleDays)
-	mux.HandleFunc("GET /v1/sites/{site}/devices", s.handleDevices)
-	mux.HandleFunc("GET /v1/sites/{site}/devices/{device}", s.handleDevice)
-	mux.HandleFunc("GET /v1/sites/{site}/analysis/{series}", s.handleAnalysis)
-	mux.HandleFunc("GET /v1/compare", s.handleCompare)
+	mux.HandleFunc("GET /v1/healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/statsz", s.route("statsz", s.handleStatsz))
+	mux.HandleFunc("GET /v1/sites", s.route("sites", s.handleSites))
+	mux.HandleFunc("GET /v1/sites/{site}/stats", s.route("site_stats", s.handleSiteStats))
+	mux.HandleFunc("GET /v1/sites/{site}/days", s.route("days", s.handleDays))
+	mux.HandleFunc("GET /v1/sites/{site}/devices", s.route("devices", s.handleDevices))
+	mux.HandleFunc("GET /v1/sites/{site}/devices/{device}", s.route("device", s.handleDevice))
+	mux.HandleFunc("GET /v1/sites/{site}/analysis/{series}", s.route("analysis", s.handleAnalysis))
+	mux.HandleFunc("GET /v1/compare", s.route("compare", s.handleCompare))
 	return mux
 }
 
@@ -268,7 +268,13 @@ type statszBody struct {
 	Sites []SiteInfo `json:"sites"`
 }
 
-// handleStatsz reports cache counters and the mount table.
+// handleStatsz reports cache counters and the mount table. It is a
+// thin view over the same cache counters the /metrics gauges export
+// (the sliceCache is the single source of truth for both).
+//
+// Deprecated: prefer GET /metrics (Prometheus text format, superset
+// of these counters plus the serve/store series). statsz remains for
+// existing scrapers and keeps its JSON shape pinned by test.
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statszBody{Cache: s.cache.stats(), Sites: s.Sites()})
 }
@@ -369,17 +375,7 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("v|%s|%016x", m.name, uint64(dev))
-	sl, err := s.cache.get(key, func() (*slice, error) {
-		rp, err := m.open()
-		if err != nil {
-			return nil, err
-		}
-		cat, _, err := rp.Replay(store.Query{}.Device(dev), s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		return newSlice(cat, s.cfg.Workers), nil
-	})
+	sl, err := s.buildSlice(key, m, store.Query{}.Device(dev))
 	if err != nil {
 		writeFillError(w, err)
 		return

@@ -1,0 +1,51 @@
+package serve
+
+// Memory-derived cache sizing for roamd's -cache-mb auto default.
+//
+// The daemon's biggest resident cost is the slice cache, so when the
+// operator set a GOMEMLIMIT but no explicit -cache-mb, a quarter of
+// the limit is a safe, useful bound: large enough that the cache is
+// the majority consumer it is designed to be, small enough that
+// replay scratch, response encoding and the runtime's own overhead
+// fit in the remainder without pushing the limit into GC thrash.
+
+const (
+	// autoCacheDivisor is the share of the memory limit granted to the
+	// slice cache (1/4).
+	autoCacheDivisor = 4
+	// AutoCacheFloorBytes is the smallest auto-derived cache bound:
+	// below this the cache thrashes on whole-site slices and the
+	// daemon is better off evicting aggressively from a fixed floor.
+	AutoCacheFloorBytes = 64 << 20
+	// AutoCacheCeilBytes caps the auto-derived bound: past this point
+	// a bigger slice cache stops paying (site slices repeat) and the
+	// spare memory is better left to the page cache.
+	AutoCacheCeilBytes = 4 << 30
+	// AutoCacheDefaultBytes is the fallback when no usable memory
+	// limit is set — the historical -cache-mb default of 256 MiB.
+	AutoCacheDefaultBytes = 256 << 20
+	// noMemLimitSentinel detects the "effectively unlimited" value
+	// debug.SetMemoryLimit(-1) reports when no GOMEMLIMIT is set
+	// (math.MaxInt64): any limit this large is treated as unset.
+	noMemLimitSentinel = int64(1) << 60
+)
+
+// AutoCacheBytes derives a slice-cache byte bound from the process's
+// memory limit (pass debug.SetMemoryLimit(-1), which reads the
+// effective GOMEMLIMIT without changing it): a quarter of the limit,
+// clamped to [AutoCacheFloorBytes, AutoCacheCeilBytes]. A
+// non-positive or effectively-unlimited value yields
+// AutoCacheDefaultBytes.
+func AutoCacheBytes(memLimit int64) int64 {
+	if memLimit <= 0 || memLimit >= noMemLimitSentinel {
+		return AutoCacheDefaultBytes
+	}
+	b := memLimit / autoCacheDivisor
+	if b < AutoCacheFloorBytes {
+		return AutoCacheFloorBytes
+	}
+	if b > AutoCacheCeilBytes {
+		return AutoCacheCeilBytes
+	}
+	return b
+}

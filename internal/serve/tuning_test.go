@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"math"
+	"runtime/debug"
+	"testing"
+)
+
+func TestAutoCacheBytes(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		limit int64
+		want  int64
+	}{
+		{"unset sentinel", math.MaxInt64, AutoCacheDefaultBytes},
+		{"zero", 0, AutoCacheDefaultBytes},
+		{"negative", -1, AutoCacheDefaultBytes},
+		{"quarter share", 1 << 30, 256 << 20},
+		{"floor clamp", 128 << 20, AutoCacheFloorBytes},
+		{"just above floor threshold", 4 * AutoCacheFloorBytes, AutoCacheFloorBytes},
+		{"ceiling clamp", 64 << 30, AutoCacheCeilBytes},
+		{"huge but below sentinel", noMemLimitSentinel - 1, AutoCacheCeilBytes},
+	} {
+		if got := AutoCacheBytes(tc.limit); got != tc.want {
+			t.Errorf("%s: AutoCacheBytes(%d) = %d, want %d", tc.name, tc.limit, got, tc.want)
+		}
+	}
+}
+
+// TestAutoCacheBytesLiveRead exercises the call shape roamd uses:
+// debug.SetMemoryLimit(-1) reads the effective limit without changing
+// it, and the derived bound is always inside the documented range.
+func TestAutoCacheBytesLiveRead(t *testing.T) {
+	got := AutoCacheBytes(debug.SetMemoryLimit(-1))
+	if got < AutoCacheFloorBytes || got > AutoCacheCeilBytes {
+		t.Errorf("AutoCacheBytes(live limit) = %d, outside [%d, %d]",
+			got, int64(AutoCacheFloorBytes), int64(AutoCacheCeilBytes))
+	}
+}

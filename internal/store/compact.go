@@ -78,6 +78,11 @@ type CompactOptions struct {
 	// TempDir hosts the intermediate run files of multi-pass merges
 	// (empty means the system temp dir). Nothing is left behind.
 	TempDir string
+	// Metrics attaches observability: pass/run spans on its tracer,
+	// seal volume and latency on the output writer's counters. Nil
+	// (the zero value) keeps compaction unobserved; the output is
+	// byte-identical either way.
+	Metrics *Metrics
 }
 
 // fanIn resolves the effective merge fan-in.
@@ -454,6 +459,8 @@ func compactStores[T any](dst string, readers []*Reader, plan *CompactPlan, opts
 	info func(*T) RecordInfo,
 	newWriter func(string, Meta, int) (*SegmentWriter[T], error)) (*CompactStats, error) {
 	stats := &CompactStats{}
+	total := opts.Metrics.span("compact").
+		Label("inputs", itoa(len(readers))).Label("fan_in", itoa(plan.MaxFanIn))
 	var srcs []runSrc[T]
 	for _, r := range readers {
 		for i := range r.man.Segments {
@@ -483,6 +490,8 @@ func compactStores[T any](dst string, readers []*Reader, plan *CompactPlan, opts
 				return nil, fmt.Errorf("store: creating compaction temp dir: %w", err)
 			}
 		}
+		pass := opts.Metrics.span("compact_pass").
+			Label("level", itoa(level)).Label("runs", itoa(len(srcs)))
 		next := make([]runSrc[T], 0, (len(srcs)+fan-1)/fan)
 		for g := 0; g < len(srcs); g += fan {
 			hi := g + fan
@@ -490,20 +499,26 @@ func compactStores[T any](dst string, readers []*Reader, plan *CompactPlan, opts
 				hi = len(srcs)
 			}
 			path := fmt.Sprintf("%s/run-%d-%06d", tmpDir, level, g/fan)
+			run := opts.Metrics.span("compact_run").
+				Label("level", itoa(level)).Label("group", itoa(g/fan))
 			if err := writeRunFile(path, srcs[g:hi], newEnc); err != nil {
 				return nil, err
 			}
+			run.Finish()
 			next = append(next, fileRun(path, newDec, info))
 		}
 		srcs = next
 		level++
 		stats.Passes++
+		pass.Finish()
 	}
 
 	w, err := newWriter(dst, plan.Meta, plan.SegmentRecords)
 	if err != nil {
 		return nil, err
 	}
+	w.Observe(opts.Metrics)
+	final := opts.Metrics.span("compact_final").Label("runs", itoa(len(srcs)))
 	if err := mergeGroup(srcs, func(rec *T) error {
 		stats.RecordsOut++
 		return w.Append(*rec)
@@ -514,8 +529,10 @@ func compactStores[T any](dst string, readers []*Reader, plan *CompactPlan, opts
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	final.Finish()
 	stats.SegmentsOut = w.Segments()
 	stats.Passes++
+	total.Label("records_out", fmt.Sprint(stats.RecordsOut)).Finish()
 	return stats, nil
 }
 

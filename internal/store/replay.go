@@ -84,6 +84,7 @@ type Reader struct {
 	man  Manifest
 	minf ManifestInfo
 	torn []string
+	met  *Metrics
 }
 
 // Replayer is the v1 name for [Reader].
@@ -161,17 +162,20 @@ func (r *Reader) baseStats() ReplayStats {
 // pruned remainder.
 func (r *Reader) selectSegments(q Query, stats *ReplayStats) []int {
 	var selected []int
+	prunedRange, prunedBloom := 0, 0
 	for i := range r.man.Segments {
 		switch q.judgeSegment(&r.man.Segments[i]) {
 		case segKeep:
 			selected = append(selected, i)
 		case segPruneBloom:
-			stats.SegmentsPruned++
-			stats.SegmentsPrunedBloom++
+			prunedBloom++
 		default:
-			stats.SegmentsPruned++
+			prunedRange++
 		}
 	}
+	stats.SegmentsPruned += prunedRange + prunedBloom
+	stats.SegmentsPrunedBloom += prunedBloom
+	r.met.notePlan(len(selected), prunedRange, prunedBloom)
 	return selected
 }
 
@@ -201,7 +205,7 @@ func (r *Reader) Replay(q Query, workers int) (*catalog.Catalog, *ReplayStats, e
 		stats ReplayStats
 		err   error
 	}
-	parts := pipeline.Map(len(selected), workers, func(sh pipeline.Shard) part {
+	parts := pipeline.MapTimed(len(selected), workers, r.met.shardHist(), func(sh pipeline.Shard) part {
 		p := part{b: catalog.NewBuilder(meta.Host, meta.Start, meta.Days, nil)}
 		for k := sh.Lo; k < sh.Hi; k++ {
 			si := &r.man.Segments[selected[k]]
@@ -243,6 +247,7 @@ func (r *Reader) Replay(q Query, workers int) (*catalog.Catalog, *ReplayStats, e
 		stats.add(parts[i].stats)
 		acc.Merge(parts[i].b)
 	}
+	r.met.noteRead(&stats)
 	return acc.Build(), &stats, nil
 }
 
@@ -304,6 +309,7 @@ func replaySeq[T any](r *Reader, q Query, newDec func(io.Reader) wireDecoder[T],
 		stats.SegmentsRead++
 		stats.BytesRead += si.BodyBytes
 	}
+	r.met.noteRead(&stats)
 	return &stats, nil
 }
 

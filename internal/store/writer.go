@@ -53,6 +53,7 @@ type SegmentWriter[T any] struct {
 	logF     *os.File
 	ckptSegs int
 	man      Manifest
+	met      *Metrics
 }
 
 // Writer archives a CDR/xDR record stream (the internal/cdrs wire
@@ -283,6 +284,7 @@ func (w *SegmentWriter[T]) noteVisited(p mccmnc.PLMN) {
 // and checkpoints when the log tail has grown enough. Every exit path
 // leaves w.f nil so a later Close cannot double-close the descriptor.
 func (w *SegmentWriter[T]) seal() error {
+	sw := w.met.sealTimer()
 	if err := w.enc.Flush(); err != nil {
 		w.f.Close()
 		w.f = nil
@@ -341,6 +343,8 @@ func (w *SegmentWriter[T]) seal() error {
 	}
 	w.man.Segments = append(w.man.Segments, w.cur)
 	w.man.TotalRecords += int64(w.cur.Records)
+	sw.Stop()
+	w.met.noteSeal(w.cur.Bytes, w.cur.Records)
 	w.f, w.body, w.enc = nil, nil, nil
 	w.cur = SegmentInfo{}
 	w.devs = nil
@@ -354,6 +358,7 @@ func (w *SegmentWriter[T]) seal() error {
 // checkpoint snapshots the manifest into MANIFEST.ckpt, recording how
 // many log entries (= sealed segments, one entry each) it covers.
 func (w *SegmentWriter[T]) checkpoint() error {
+	defer w.met.ckptTimer().Stop()
 	man := w.man
 	man.LogEntries = len(w.man.Segments)
 	if err := writeCheckpoint(w.dir, &man); err != nil {

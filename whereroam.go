@@ -31,6 +31,7 @@ import (
 	"whereroam/internal/ingest"
 	"whereroam/internal/mccmnc"
 	"whereroam/internal/netsim"
+	"whereroam/internal/obs"
 	"whereroam/internal/pipeline"
 	"whereroam/internal/probe"
 	"whereroam/internal/serve"
@@ -324,6 +325,29 @@ var (
 	// RunServeLoad drives a closed-loop request mix against a running
 	// daemon and reports per-op latency percentiles and throughput.
 	RunServeLoad = serve.RunLoad
+)
+
+// Observability plane: the zero-dependency metrics registry and span
+// tracer the daemon, store and ingest layers report into. Every hook
+// in the instrumented packages is a nil-safe no-op, so servers built
+// without a registry run the uninstrumented code paths byte for byte
+// (see internal/obs and the "Observability" section of
+// docs/ARCHITECTURE.md).
+type (
+	// MetricsRegistry holds counters, gauges and histograms and writes
+	// Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// SpanTracer records recent operation spans and logs slow ones.
+	SpanTracer = obs.Tracer
+)
+
+// Observability constructors.
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewSpanTracer returns a ring-buffered tracer; ops slower than
+	// the threshold go to the log function.
+	NewSpanTracer = obs.NewTracer
 )
 
 // NewStreamingSession is NewSessionWorkers with the bounded-memory
